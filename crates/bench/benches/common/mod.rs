@@ -1,0 +1,44 @@
+//! Shared criterion scaffolding for the table/figure benches.
+
+use criterion::{BenchmarkId, Criterion};
+use gpnm_bench::{prepare_cell, PreparedCell};
+use gpnm_engine::Strategy;
+use gpnm_workload::Dataset;
+
+/// Bench one dataset's figure grid: for each (pattern, ΔG) cell, time all
+/// four paper strategies on identical prepared engines.
+///
+/// Cells are kept to a representative subset (smallest and largest ΔG at
+/// one mid pattern size) so `cargo bench` stays minutes-scale; the
+/// `paper-repro` binary covers the full grid.
+pub fn bench_figure(
+    c: &mut Criterion,
+    group_name: &str,
+    dataset: Dataset,
+    scale_div: usize,
+    delta_div: usize,
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    for delta in [(6usize, 200usize), (10, 1000)] {
+        let cell: PreparedCell = prepare_cell(dataset, scale_div, (8, 8), delta, delta_div, 0xB0B);
+        for strategy in Strategy::PAPER {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), format!("dG=({},{})", delta.0, delta.1)),
+                &strategy,
+                |b, &strategy| {
+                    b.iter(|| {
+                        let mut engine = cell.engine.clone();
+                        engine
+                            .subsequent_query(&cell.batch, strategy)
+                            .expect("batch validated")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}

@@ -1,0 +1,18 @@
+//! Figure 5: average query processing time on email-EU-core.
+//!
+//! Representative cells of the paper's 5x5 grid (full grid:
+//! `paper-repro -- fig5`). email-EU-core runs at half scale here to keep
+//! criterion's repeated sampling tractable; the shape (UA-GPNM fastest,
+//! INC-GPNM slowest, gap widening with |dG|) is scale-stable.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpnm_workload::Dataset;
+
+fn fig5(c: &mut Criterion) {
+    common::bench_figure(c, "fig5_email_eu_core", Dataset::EmailEuCore, 2, 20);
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Figure 6: average query processing time on the DBLP stand-in.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpnm_workload::Dataset;
+
+fn fig6(c: &mut Criterion) {
+    common::bench_figure(c, "fig6_dblp", Dataset::DblpSim, 4, 20);
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

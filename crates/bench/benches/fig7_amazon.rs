@@ -1,0 +1,13 @@
+//! Figure 7: average query processing time on the Amazon stand-in.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpnm_workload::Dataset;
+
+fn fig7(c: &mut Criterion) {
+    common::bench_figure(c, "fig7_amazon", Dataset::AmazonSim, 4, 20);
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

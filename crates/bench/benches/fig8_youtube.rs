@@ -1,0 +1,13 @@
+//! Figure 8: average query processing time on the Youtube stand-in.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpnm_workload::Dataset;
+
+fn fig8(c: &mut Criterion) {
+    common::bench_figure(c, "fig8_youtube", Dataset::YoutubeSim, 4, 20);
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Figure 9: average query processing time on the LiveJournal stand-in —
+//! the paper's largest and densest graph.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpnm_workload::Dataset;
+
+fn fig9(c: &mut Criterion) {
+    common::bench_figure(c, "fig9_livejournal", Dataset::LiveJournalSim, 4, 20);
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

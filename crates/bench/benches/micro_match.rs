@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the BGS matcher: batch fixpoint under both
+//! semantics (ablation) and incremental repair of a single update.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpnm_distance::IncrementalIndex;
+use gpnm_matcher::{match_graph, repair, MatchSemantics, RepairPlan};
+use gpnm_workload::{generate_pattern, generate_social_graph, PatternConfig, SocialGraphConfig};
+
+fn matcher_benches(c: &mut Criterion) {
+    let (graph, interner) = generate_social_graph(&SocialGraphConfig {
+        nodes: 1000,
+        edges: 8000,
+        labels: 30,
+        communities: 30,
+        seed: 12,
+        ..Default::default()
+    });
+    let pattern = generate_pattern(
+        &PatternConfig {
+            nodes: 8,
+            edges: 8,
+            bound_range: (1, 3),
+            seed: 12,
+        },
+        &interner,
+    );
+    let index = IncrementalIndex::build(&graph);
+
+    let mut group = c.benchmark_group("match");
+    group.bench_function("batch_simulation", |b| {
+        b.iter(|| match_graph(&pattern, &graph, &index, MatchSemantics::Simulation))
+    });
+    group.bench_function("batch_dual_simulation", |b| {
+        b.iter(|| match_graph(&pattern, &graph, &index, MatchSemantics::DualSimulation))
+    });
+
+    // Incremental repair with a small dirty set vs recomputing everything.
+    let base = match_graph(&pattern, &graph, &index, MatchSemantics::Simulation);
+    let mut plan = RepairPlan::new();
+    for v in graph.nodes().take(20) {
+        plan.verify.insert(v);
+    }
+    group.bench_function("repair_20_dirty_nodes", |b| {
+        b.iter(|| {
+            let mut result = base.clone();
+            repair(
+                &pattern,
+                &graph,
+                &index,
+                MatchSemantics::Simulation,
+                &mut result,
+                &plan,
+            );
+            result
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, matcher_benches);
+criterion_main!(benches);

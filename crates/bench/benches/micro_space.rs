@@ -1,0 +1,60 @@
+//! The §VII-B space-cost experiment: dense |ND|^2 SLen vs the Bell &
+//! Garland Hybrid (ELL+COO) compression, in bytes (printed) and lookup
+//! cost (benched).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpnm_distance::{apsp_matrix, DistanceOracle, HybridMatrix};
+use gpnm_graph::NodeId;
+use gpnm_workload::{generate_social_graph, SocialGraphConfig};
+
+fn space_benches(c: &mut Criterion) {
+    // Many small communities with almost no cross edges: most node pairs
+    // are unreachable, SLen is sparse — the regime §IV-B's remark targets.
+    let (graph, _) = generate_social_graph(&SocialGraphConfig {
+        nodes: 1500,
+        edges: 6000,
+        labels: 100,
+        communities: 100,
+        label_coherence: 1.0,
+        intra_community_bias: 0.995,
+        seed: 31,
+    });
+    let dense = apsp_matrix(&graph);
+    let hybrid = HybridMatrix::from_dense_auto(&dense);
+    eprintln!(
+        "[micro_space] dense: {} bytes; hybrid (K={}): {} bytes ({:.1}x smaller); finite entries: {}",
+        dense.mem_bytes(),
+        hybrid.k(),
+        hybrid.mem_bytes(),
+        dense.mem_bytes() as f64 / hybrid.mem_bytes() as f64,
+        dense.finite_entries(),
+    );
+
+    let probes: Vec<(NodeId, NodeId)> = (0..1000)
+        .map(|i| (NodeId(i % 1500), NodeId((i * 7 + 3) % 1500)))
+        .collect();
+    let mut group = c.benchmark_group("slen_lookup");
+    group.bench_function("dense_1000_gets", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|&(u, v)| dense.distance(u, v) as u64)
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("hybrid_1000_gets", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|&(u, v)| hybrid.distance(u, v) as u64)
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("hybrid_compress", |b| {
+        b.iter(|| HybridMatrix::from_dense_auto(&dense))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, space_benches);
+criterion_main!(benches);

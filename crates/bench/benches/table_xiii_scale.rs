@@ -1,0 +1,49 @@
+//! Table XIII: average query time by scale of dG — the scalability sweep.
+//!
+//! All five dG scales on one dataset; the per-strategy growth rate is the
+//! paper's scalability claim (UA-GPNM grows slowest).
+
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpnm_bench::prepare_cell;
+use gpnm_engine::Strategy;
+use gpnm_workload::Dataset;
+
+fn table_xiii(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_xiii_scale");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    for (i, delta) in [(6usize, 200usize), (7, 400), (8, 600), (9, 800), (10, 1000)]
+        .into_iter()
+        .enumerate()
+    {
+        let cell = prepare_cell(
+            Dataset::EmailEuCore,
+            2,
+            (8, 8),
+            delta,
+            20,
+            0x5CA1E + i as u64,
+        );
+        for strategy in Strategy::PAPER {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), format!("dG=({},{})", delta.0, delta.1)),
+                &strategy,
+                |b, &strategy| {
+                    b.iter(|| {
+                        let mut engine = cell.engine.clone();
+                        engine
+                            .subsequent_query(&cell.batch, strategy)
+                            .expect("batch validated")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table_xiii);
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! Hybrid (ELL + COO) compressed storage for sparse `SLen` matrices.
+//!
+//! The paper's §IV-B remark: social graphs have many nodes with no
+//! out-degree or in-degree, so most `SLen` entries are infinite and the
+//! matrix can be compressed with the Hybrid format of Bell & Garland [34] —
+//! an ELL block of `K` packed entries per row plus a COO overflow list,
+//! costing `2·|ND|·|K|` instead of `|ND|²` when `K ≪ |ND|`.
+
+use gpnm_graph::NodeId;
+
+use crate::matrix::DistanceMatrix;
+use crate::INF;
+
+/// A read-only Hybrid-format view of a distance matrix.
+///
+/// Rows keep their first `k` finite entries in the ELL block
+/// (column-id/value pairs, padded); excess finite entries spill into a
+/// row-major sorted COO list. The diagonal zero of live nodes counts as a
+/// finite entry like any other.
+#[derive(Debug, Clone)]
+pub struct HybridMatrix {
+    n: usize,
+    k: usize,
+    /// ELL columns, `n * k`, padded with `u32::MAX` (no entry).
+    ell_cols: Vec<u32>,
+    /// ELL values, `n * k`.
+    ell_vals: Vec<u32>,
+    /// COO overflow `(row, col, value)`, sorted by `(row, col)`.
+    coo: Vec<(u32, u32, u32)>,
+}
+
+const NO_COL: u32 = u32::MAX;
+
+impl HybridMatrix {
+    /// Compress `dense`, keeping at most `k` entries per row in the ELL
+    /// block. `k = 0` degenerates to pure COO.
+    pub fn from_dense(dense: &DistanceMatrix, k: usize) -> Self {
+        let n = dense.n();
+        let mut ell_cols = vec![NO_COL; n * k];
+        let mut ell_vals = vec![INF; n * k];
+        let mut coo = Vec::new();
+        for i in 0..n {
+            let row = dense.row(NodeId::from_index(i));
+            let mut packed = 0;
+            for (j, &d) in row.iter().enumerate() {
+                if d == INF {
+                    continue;
+                }
+                if packed < k {
+                    ell_cols[i * k + packed] = j as u32;
+                    ell_vals[i * k + packed] = d;
+                    packed += 1;
+                } else {
+                    coo.push((i as u32, j as u32, d));
+                }
+            }
+        }
+        HybridMatrix {
+            n,
+            k,
+            ell_cols,
+            ell_vals,
+            coo,
+        }
+    }
+
+    /// Choose `K` as the maximum number of finite entries in any row — the
+    /// sizing rule quoted in §IV-B — and compress with an empty COO part.
+    pub fn from_dense_auto(dense: &DistanceMatrix) -> Self {
+        let n = dense.n();
+        let k = (0..n)
+            .map(|i| {
+                dense
+                    .row(NodeId::from_index(i))
+                    .iter()
+                    .filter(|&&d| d != INF)
+                    .count()
+            })
+            .max()
+            .unwrap_or(0);
+        Self::from_dense(dense, k)
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The ELL width `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of COO overflow entries.
+    pub fn coo_len(&self) -> usize {
+        self.coo.len()
+    }
+
+    /// Shortest path length from `u` to `v` ([`INF`] if absent).
+    pub fn get(&self, u: NodeId, v: NodeId) -> u32 {
+        let i = u.index();
+        let target = v.index() as u32;
+        let base = i * self.k;
+        // ELL rows are filled left to right in column order; a linear scan
+        // over <= K entries beats branch-heavy binary search for small K.
+        for s in 0..self.k {
+            let c = self.ell_cols[base + s];
+            if c == NO_COL {
+                break;
+            }
+            if c == target {
+                return self.ell_vals[base + s];
+            }
+            if c > target {
+                return INF; // columns are ascending: target cannot follow
+            }
+        }
+        match self
+            .coo
+            .binary_search_by_key(&(i as u32, target), |&(r, c, _)| (r, c))
+        {
+            Ok(pos) => self.coo[pos].2,
+            Err(_) => INF,
+        }
+    }
+
+    /// Decompress back to a dense matrix (testing aid).
+    pub fn to_dense(&self) -> DistanceMatrix {
+        let mut m = DistanceMatrix::all_inf(self.n);
+        for i in 0..self.n {
+            let base = i * self.k;
+            for s in 0..self.k {
+                let c = self.ell_cols[base + s];
+                if c == NO_COL {
+                    break;
+                }
+                m.set(
+                    NodeId::from_index(i),
+                    NodeId::from_index(c as usize),
+                    self.ell_vals[base + s],
+                );
+            }
+        }
+        for &(r, c, d) in &self.coo {
+            m.set(NodeId::from_index(r as usize), NodeId::from_index(c as usize), d);
+        }
+        m
+    }
+
+    /// Heap footprint in bytes: the `2|ND||K|` of §IV-B plus COO overflow.
+    pub fn mem_bytes(&self) -> usize {
+        (self.ell_cols.len() + self.ell_vals.len()) * std::mem::size_of::<u32>()
+            + self.coo.len() * std::mem::size_of::<(u32, u32, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp::apsp_matrix;
+    use gpnm_graph::paper::fig1;
+
+    #[test]
+    fn round_trip_on_paper_matrix() {
+        let dense = apsp_matrix(&fig1().graph);
+        let hybrid = HybridMatrix::from_dense_auto(&dense);
+        assert_eq!(hybrid.to_dense(), dense);
+        assert_eq!(hybrid.coo_len(), 0, "auto K leaves COO empty");
+    }
+
+    #[test]
+    fn gets_agree_with_dense_for_small_k() {
+        let dense = apsp_matrix(&fig1().graph);
+        let hybrid = HybridMatrix::from_dense(&dense, 3);
+        assert!(hybrid.coo_len() > 0, "K=3 must overflow on an 8-node graph");
+        for i in 0..dense.n() {
+            for j in 0..dense.n() {
+                let (u, v) = (NodeId::from_index(i), NodeId::from_index(j));
+                assert_eq!(hybrid.get(u, v), dense.get(u, v), "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn pure_coo_when_k_zero() {
+        let dense = apsp_matrix(&fig1().graph);
+        let hybrid = HybridMatrix::from_dense(&dense, 0);
+        assert_eq!(hybrid.to_dense(), dense);
+        assert_eq!(hybrid.coo_len(), dense.finite_entries());
+    }
+
+    #[test]
+    fn compression_saves_space_on_sparse_matrices() {
+        // Many small disconnected chains: every row has at most 4 finite
+        // entries, so K stays tiny while |ND| grows — the §IV-B regime.
+        use gpnm_graph::{DataGraph, LabelInterner};
+        let mut li = LabelInterner::new();
+        let l = li.intern("X");
+        let mut g = DataGraph::new();
+        for _ in 0..50 {
+            let a = g.add_node(l);
+            let b = g.add_node(l);
+            let c = g.add_node(l);
+            let d = g.add_node(l);
+            g.add_edge(a, b).unwrap();
+            g.add_edge(b, c).unwrap();
+            g.add_edge(c, d).unwrap();
+        }
+        let dense = apsp_matrix(&g);
+        let hybrid = HybridMatrix::from_dense_auto(&dense);
+        assert_eq!(hybrid.k(), 4);
+        assert!(
+            hybrid.mem_bytes() < dense.mem_bytes() / 10,
+            "hybrid {} bytes should be far below dense {} bytes",
+            hybrid.mem_bytes(),
+            dense.mem_bytes()
+        );
+        assert_eq!(hybrid.to_dense(), dense);
+    }
+}

@@ -1,0 +1,480 @@
+//! Incremental maintenance of the `SLen` matrix under single updates.
+//!
+//! This is the machinery behind the paper's Algorithm 2 step 1 ("apply the
+//! Dijkstra's algorithm for updating the shortest path lengths between the
+//! affected nodes") and behind DER-II's per-update `Aff_N` sets. Two modes:
+//!
+//! * **probe** — evaluate one update against the *original* graph + matrix
+//!   without mutating either. DER-II probes every `UDi ∈ ΔGD` independently
+//!   (paper Example 8 compares each `SLen_new` against the original `SLen`).
+//! * **commit** — apply the update to the matrix (the graph is mutated by
+//!   the caller) and return the same [`AffDelta`].
+//!
+//! Correctness notes (tested against from-scratch APSP):
+//!
+//! * *Edge insert `(u,v)`*: a shortest path in `G+e` uses `e` at most once
+//!   (shortest paths are simple), so
+//!   `d'(x,y) = min(d(x,y), d(x,u) + 1 + d(v,y))` over *old* distances.
+//! * *Edge delete `(u,v)`*: only sources `x` with `d(x,u) + 1 == d(x,v)`
+//!   can lose a shortest path through `e`; their rows are recomputed by
+//!   BFS. Everyone else's row is provably unchanged.
+//! * *Node insert*: an isolated node changes no existing distance.
+//! * *Node delete*: only sources that could reach the node are affected;
+//!   their rows are recomputed with the node masked out, and the node's own
+//!   row/column go to [`crate::INF`].
+
+use gpnm_graph::{CsrGraph, DataGraph, NodeId};
+
+use crate::aff::AffDelta;
+use crate::apsp::{apsp_matrix, bfs_row};
+use crate::matrix::DistanceMatrix;
+use crate::oracle::DistanceOracle;
+use crate::{sat_add, INF};
+
+/// Owns the `SLen` matrix and repairs it update by update.
+#[derive(Debug, Clone)]
+pub struct IncrementalIndex {
+    matrix: DistanceMatrix,
+    // Scratch reused across repairs to keep the hot path allocation-free.
+    row_buf: Vec<u32>,
+    queue_buf: Vec<NodeId>,
+    vrow_buf: Vec<u32>,
+}
+
+impl IncrementalIndex {
+    /// Build the index from scratch (per-source BFS APSP).
+    pub fn build(graph: &DataGraph) -> Self {
+        let matrix = apsp_matrix(graph);
+        let n = matrix.n();
+        IncrementalIndex {
+            matrix,
+            row_buf: vec![INF; n],
+            queue_buf: Vec::with_capacity(n),
+            vrow_buf: vec![INF; n],
+        }
+    }
+
+    /// Wrap an existing, known-correct matrix (e.g. produced by the
+    /// partitioned builder).
+    pub fn from_matrix(matrix: DistanceMatrix) -> Self {
+        let n = matrix.n();
+        IncrementalIndex {
+            matrix,
+            row_buf: vec![INF; n],
+            queue_buf: Vec::with_capacity(n),
+            vrow_buf: vec![INF; n],
+        }
+    }
+
+    /// The current matrix.
+    #[inline]
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+
+    /// Consume the index, yielding the matrix.
+    pub fn into_matrix(self) -> DistanceMatrix {
+        self.matrix
+    }
+
+    // ==================================================================
+    // Probes (read-only; graph must be in its pre-update state)
+    // ==================================================================
+
+    /// Distance changes if edge `(u, v)` were inserted.
+    pub fn probe_insert_edge(&self, u: NodeId, v: NodeId) -> AffDelta {
+        let mut delta = AffDelta::new();
+        let n = self.matrix.n();
+        let vrow = self.matrix.row(v);
+        for x in 0..n {
+            let x_id = NodeId::from_index(x);
+            let dxu = self.matrix.get(x_id, u);
+            if dxu == INF {
+                continue;
+            }
+            let through = sat_add(dxu, 1);
+            let xrow = self.matrix.row(x_id);
+            for y in 0..n {
+                let cand = sat_add(through, vrow[y]);
+                if cand < xrow[y] {
+                    delta.record(x_id, NodeId::from_index(y), xrow[y], cand);
+                }
+            }
+        }
+        delta
+    }
+
+    /// Distance changes if edge `(u, v)` were deleted. `graph` is the
+    /// *pre-delete* graph (the edge must still be present).
+    pub fn probe_delete_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
+        debug_assert!(graph.has_edge(u, v), "probe_delete_edge on absent edge");
+        let csr = CsrGraph::from_graph(graph);
+        let candidates = self.delete_candidates(u, v);
+        let mut delta = AffDelta::new();
+        for x in candidates {
+            crate::apsp::bfs_row_skipping_edge(
+                &csr,
+                x,
+                (u, v),
+                &mut self.row_buf,
+                &mut self.queue_buf,
+            );
+            diff_row(&self.matrix, x, &self.row_buf, &mut delta);
+        }
+        delta
+    }
+
+    /// Distance changes if node `id` were deleted (with its incident
+    /// edges). `graph` is the pre-delete graph.
+    pub fn probe_delete_node(&mut self, graph: &DataGraph, id: NodeId) -> AffDelta {
+        debug_assert!(graph.contains(id), "probe_delete_node on absent node");
+        let csr = CsrGraph::from_graph(graph);
+        let n = self.matrix.n();
+        let mut delta = AffDelta::new();
+        // The node's own row: every finite entry becomes INF.
+        for y in 0..n {
+            let y_id = NodeId::from_index(y);
+            let old = self.matrix.get(id, y_id);
+            if old != INF {
+                delta.record(id, y_id, old, INF);
+            }
+        }
+        // Sources that could reach `id` may lose paths through it.
+        for x in 0..n {
+            let x_id = NodeId::from_index(x);
+            if x_id == id || self.matrix.get(x_id, id) == INF {
+                continue;
+            }
+            bfs_row_skipping_node(&csr, x_id, id, &mut self.row_buf, &mut self.queue_buf);
+            // Row entries for the deleted node itself become INF.
+            self.row_buf[id.index()] = INF;
+            diff_row(&self.matrix, x_id, &self.row_buf, &mut delta);
+        }
+        delta
+    }
+
+    // ==================================================================
+    // Commits (mutate the matrix; the caller has already mutated the graph)
+    // ==================================================================
+
+    /// Apply an edge insertion `(u, v)` to the matrix.
+    pub fn commit_insert_edge(&mut self, u: NodeId, v: NodeId) -> AffDelta {
+        let mut delta = AffDelta::new();
+        let n = self.matrix.n();
+        // Copy v's row: the relax loop below never changes row v (a path
+        // from v through (u,v) revisits v), but the borrow checker cannot
+        // know that, and a copy keeps the inner loop contiguous.
+        self.vrow_buf.resize(n, INF);
+        self.vrow_buf.copy_from_slice(self.matrix.row(v));
+        let vrow = &self.vrow_buf;
+        for x in 0..n {
+            let x_id = NodeId::from_index(x);
+            let dxu = self.matrix.get(x_id, u);
+            if dxu == INF {
+                continue;
+            }
+            let through = sat_add(dxu, 1);
+            let xrow = self.matrix.row_mut(x_id);
+            for y in 0..n {
+                let cand = sat_add(through, vrow[y]);
+                if cand < xrow[y] {
+                    delta.record(x_id, NodeId::from_index(y), xrow[y], cand);
+                    xrow[y] = cand;
+                }
+            }
+        }
+        delta
+    }
+
+    /// Apply an edge deletion to the matrix. `graph` is the *post-delete*
+    /// graph (the edge is already gone).
+    pub fn commit_delete_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
+        debug_assert!(!graph.has_edge(u, v), "commit_delete_edge before graph mutation");
+        let csr = CsrGraph::from_graph(graph);
+        let candidates = self.delete_candidates(u, v);
+        let mut delta = AffDelta::new();
+        for x in candidates {
+            bfs_row(&csr, x, &mut self.row_buf, &mut self.queue_buf);
+            diff_row(&self.matrix, x, &self.row_buf, &mut delta);
+            self.matrix.set_row(x, &self.row_buf);
+        }
+        delta
+    }
+
+    /// Register a node insertion: grow the matrix to cover the new slot.
+    /// An isolated node changes no existing distance, so the delta is empty.
+    pub fn commit_insert_node(&mut self, new_slot_count: usize) -> AffDelta {
+        self.matrix.grow(new_slot_count);
+        let n = self.matrix.n();
+        self.row_buf.resize(n, INF);
+        self.vrow_buf.resize(n, INF);
+        AffDelta::new()
+    }
+
+    /// Apply a node deletion. `graph` is the post-delete graph.
+    pub fn commit_delete_node(&mut self, graph: &DataGraph, id: NodeId) -> AffDelta {
+        debug_assert!(!graph.contains(id), "commit_delete_node before graph mutation");
+        let csr = CsrGraph::from_graph(graph);
+        let n = self.matrix.n();
+        let mut delta = AffDelta::new();
+        for y in 0..n {
+            let y_id = NodeId::from_index(y);
+            let old = self.matrix.get(id, y_id);
+            if old != INF {
+                delta.record(id, y_id, old, INF);
+            }
+        }
+        let sources: Vec<NodeId> = (0..n)
+            .map(NodeId::from_index)
+            .filter(|&x| x != id && self.matrix.get(x, id) != INF)
+            .collect();
+        for x in sources {
+            // The graph no longer contains `id`, so a plain BFS suffices.
+            bfs_row(&csr, x, &mut self.row_buf, &mut self.queue_buf);
+            diff_row(&self.matrix, x, &self.row_buf, &mut delta);
+            self.matrix.set_row(x, &self.row_buf);
+        }
+        self.matrix.clear_slot(id);
+        delta
+    }
+
+    /// Sources whose shortest path to `v` may run through the edge
+    /// `(u, v)`: exactly those with `d(x,u) + 1 == d(x,v)`. Public so that
+    /// engines with their own row oracle (the §V partitioned index) can
+    /// drive the repair themselves.
+    pub fn delete_candidates(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let n = self.matrix.n();
+        (0..n)
+            .map(NodeId::from_index)
+            .filter(|&x| {
+                let dxu = self.matrix.get(x, u);
+                dxu != INF && sat_add(dxu, 1) == self.matrix.get(x, v)
+            })
+            .collect()
+    }
+
+    /// Sources that could reach `id` (candidates for node-deletion repair),
+    /// excluding `id` itself.
+    pub fn delete_node_candidates(&self, id: NodeId) -> Vec<NodeId> {
+        let n = self.matrix.n();
+        (0..n)
+            .map(NodeId::from_index)
+            .filter(|&x| x != id && self.matrix.get(x, id) != INF)
+            .collect()
+    }
+
+    /// Replace the row of `x` with `new_row`, recording every change into
+    /// `delta`. Used by engines that recompute rows through an external
+    /// oracle (partitioned composition) instead of this index's own BFS.
+    pub fn apply_row(&mut self, x: NodeId, new_row: &[u32], delta: &mut AffDelta) {
+        diff_row(&self.matrix, x, new_row, delta);
+        self.matrix.set_row(x, new_row);
+    }
+
+    /// Clear the row and column of a deleted node, recording the vanished
+    /// finite entries into `delta`. Complements [`Self::apply_row`] for the
+    /// externally-driven node-deletion repair.
+    pub fn clear_slot(&mut self, id: NodeId, delta: &mut AffDelta) {
+        let n = self.matrix.n();
+        for y in 0..n {
+            let y_id = NodeId::from_index(y);
+            let old = self.matrix.get(id, y_id);
+            if old != INF {
+                delta.record(id, y_id, old, INF);
+            }
+            let old_col = self.matrix.get(y_id, id);
+            if old_col != INF && y_id != id {
+                delta.record(y_id, id, old_col, INF);
+            }
+        }
+        self.matrix.clear_slot(id);
+    }
+}
+
+impl DistanceOracle for IncrementalIndex {
+    #[inline(always)]
+    fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        self.matrix.get(u, v)
+    }
+}
+
+/// Record every difference between `matrix`'s row of `x` and `new_row`.
+fn diff_row(matrix: &DistanceMatrix, x: NodeId, new_row: &[u32], delta: &mut AffDelta) {
+    let old_row = matrix.row(x);
+    for (y, (&old, &new)) in old_row.iter().zip(new_row.iter()).enumerate() {
+        if old != new {
+            delta.record(x, NodeId::from_index(y), old, new);
+        }
+    }
+}
+
+/// BFS from `source` pretending `skip` (and its edges) do not exist.
+fn bfs_row_skipping_node(
+    csr: &CsrGraph,
+    source: NodeId,
+    skip: NodeId,
+    row: &mut Vec<u32>,
+    queue: &mut Vec<NodeId>,
+) {
+    row.resize(csr.slot_count(), INF);
+    row.fill(INF);
+    row[source.index()] = 0;
+    queue.clear();
+    queue.push(source);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let du = row[u.index()];
+        for &v in csr.out_neighbors(u) {
+            if v == skip {
+                continue;
+            }
+            if row[v.index()] == INF {
+                row[v.index()] = du + 1;
+                queue.push(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpnm_graph::paper::{fig1, TABLE_V, TABLE_VI};
+
+    fn assert_matches_table(matrix: &DistanceMatrix, table: &[[u32; 8]; 8], what: &str) {
+        for (i, row) in table.iter().enumerate() {
+            for (j, &expected) in row.iter().enumerate() {
+                assert_eq!(
+                    matrix.get(NodeId::from_index(i), NodeId::from_index(j)),
+                    expected,
+                    "{what}[{i}][{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_v_golden_ud1_insert() {
+        // UD1: insert e(SE1, TE2) — paper Example 8, Table V.
+        let mut f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        f.graph.add_edge(f.se1, f.te2).unwrap();
+        let delta = idx.commit_insert_edge(f.se1, f.te2);
+        assert_matches_table(idx.matrix(), &TABLE_V, "SLen_new(UD1)");
+        // Paper Table VII: all eight nodes are affected by UD1.
+        assert_eq!(delta.affected.len(), 8);
+    }
+
+    #[test]
+    fn table_vi_golden_ud2_insert() {
+        // UD2: insert e(DB1, S1) — paper Example 8, Table VI.
+        let mut f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        f.graph.add_edge(f.db1, f.s1).unwrap();
+        let delta = idx.commit_insert_edge(f.db1, f.s1);
+        assert_matches_table(idx.matrix(), &TABLE_VI, "SLen_new(UD2)");
+        // Paper Table VII: affected = {PM1, SE2, S1, TE1, DB1}.
+        let affected: Vec<NodeId> = delta.affected.iter().collect();
+        assert_eq!(affected, vec![f.pm1, f.se2, f.s1, f.te1, f.db1]);
+    }
+
+    #[test]
+    fn probe_insert_matches_commit() {
+        let mut f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        let probe = idx.probe_insert_edge(f.se1, f.te2);
+        f.graph.add_edge(f.se1, f.te2).unwrap();
+        let commit = idx.commit_insert_edge(f.se1, f.te2);
+        let mut p = probe.changed.clone();
+        let mut c = commit.changed.clone();
+        p.sort_unstable();
+        c.sort_unstable();
+        assert_eq!(p, c);
+    }
+
+    #[test]
+    fn insert_then_recompute_agree() {
+        let mut f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        f.graph.add_edge(f.te1, f.db1).unwrap();
+        idx.commit_insert_edge(f.te1, f.db1);
+        assert_eq!(idx.matrix(), &apsp_matrix(&f.graph));
+    }
+
+    #[test]
+    fn delete_then_recompute_agree() {
+        let mut f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        f.graph.remove_edge(f.se1, f.se2).unwrap();
+        idx.commit_delete_edge(&f.graph, f.se1, f.se2);
+        assert_eq!(idx.matrix(), &apsp_matrix(&f.graph));
+    }
+
+    #[test]
+    fn probe_delete_matches_actual() {
+        let mut f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        let probe = idx.probe_delete_edge(&f.graph, f.db1, f.se1);
+        f.graph.remove_edge(f.db1, f.se1).unwrap();
+        let commit = idx.commit_delete_edge(&f.graph, f.db1, f.se1);
+        let mut p = probe.changed.clone();
+        let mut c = commit.changed.clone();
+        p.sort_unstable();
+        c.sort_unstable();
+        assert_eq!(p, c);
+        assert_eq!(idx.matrix(), &apsp_matrix(&f.graph));
+    }
+
+    #[test]
+    fn node_insert_grows_matrix_without_changes() {
+        let mut f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        let label = f.interner.get("SE").unwrap();
+        let new = f.graph.add_node(label);
+        let delta = idx.commit_insert_node(f.graph.slot_count());
+        assert!(delta.is_empty());
+        assert_eq!(idx.matrix().n(), 9);
+        assert_eq!(idx.matrix().get(new, new), 0);
+        assert_eq!(idx.matrix(), &apsp_matrix(&f.graph));
+    }
+
+    #[test]
+    fn node_delete_matches_recompute() {
+        let mut f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        let probe = idx.probe_delete_node(&f.graph, f.se1);
+        f.graph.remove_node(f.se1).unwrap();
+        let commit = idx.commit_delete_node(&f.graph, f.se1);
+        assert_eq!(idx.matrix(), &apsp_matrix(&f.graph));
+        let mut p = probe.changed.clone();
+        let mut c = commit.changed.clone();
+        p.sort_unstable();
+        c.sort_unstable();
+        assert_eq!(p, c, "probe and commit disagree on node deletion");
+        // SE1 is on many shortest paths; deleting it affects everyone who
+        // could reach it.
+        assert!(commit.affected.contains(f.pm2));
+        assert!(commit.affected.contains(f.se1));
+    }
+
+    #[test]
+    fn mixed_sequence_stays_exact() {
+        let mut f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        // insert, delete, node add, edge to it, node delete — then compare.
+        f.graph.add_edge(f.se1, f.te2).unwrap();
+        idx.commit_insert_edge(f.se1, f.te2);
+        f.graph.remove_edge(f.pm1, f.db1).unwrap();
+        idx.commit_delete_edge(&f.graph, f.pm1, f.db1);
+        let label = f.interner.get("TE").unwrap();
+        let n = f.graph.add_node(label);
+        idx.commit_insert_node(f.graph.slot_count());
+        f.graph.add_edge(f.s1, n).unwrap();
+        idx.commit_insert_edge(f.s1, n);
+        f.graph.remove_node(f.te1).unwrap();
+        idx.commit_delete_node(&f.graph, f.te1);
+        assert_eq!(idx.matrix(), &apsp_matrix(&f.graph));
+    }
+}

@@ -1,0 +1,202 @@
+//! Label-pair shortest-path-length ranges — the index at the heart of the
+//! INC-GPNM baseline: "INC-GPNM first builds an index to incrementally
+//! record the shortest path length range between different label types in
+//! GD" (\[13\], recapped in the paper's §II).
+//!
+//! For every ordered label pair `(la, lb)` the index keeps the minimum and
+//! maximum *finite* shortest path length over node pairs `(u, v)` with
+//! `label(u) = la`, `label(v) = lb`. Candidate detection uses it as a
+//! pre-filter: a pattern edge with bound `k` between labels whose range
+//! minimum exceeds `k` can match nothing; one whose range maximum is `≤ k`
+//! is satisfied by every reachable pair.
+
+use gpnm_graph::{Bound, DataGraph, Label, NodeId};
+
+use crate::matrix::DistanceMatrix;
+use crate::INF;
+
+/// Min/max finite distance per ordered label pair.
+#[derive(Debug, Clone)]
+pub struct LabelRangeIndex {
+    labels: usize,
+    /// `(min, max)` per `la * labels + lb`; `(INF, 0)` = no finite pair.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl LabelRangeIndex {
+    /// Build from a graph and its (exact) distance matrix.
+    pub fn build(graph: &DataGraph, matrix: &DistanceMatrix) -> Self {
+        let labels = graph.label_table_len();
+        let mut ranges = vec![(INF, 0u32); labels * labels];
+        for u in graph.nodes() {
+            let lu = graph.label(u).expect("live node").index();
+            let row = matrix.row(u);
+            for v in graph.nodes() {
+                if u == v {
+                    continue;
+                }
+                let d = row[v.index()];
+                if d == INF {
+                    continue;
+                }
+                let lv = graph.label(v).expect("live node").index();
+                let slot = &mut ranges[lu * labels + lv];
+                slot.0 = slot.0.min(d);
+                slot.1 = slot.1.max(d);
+            }
+        }
+        LabelRangeIndex { labels, ranges }
+    }
+
+    /// The `(min, max)` finite distance between `la`-labeled and
+    /// `lb`-labeled nodes, or `None` when no finite pair exists.
+    pub fn range(&self, la: Label, lb: Label) -> Option<(u32, u32)> {
+        if la.index() >= self.labels || lb.index() >= self.labels {
+            return None;
+        }
+        let (min, max) = self.ranges[la.index() * self.labels + lb.index()];
+        (min != INF).then_some((min, max))
+    }
+
+    /// Pre-filter verdict for a pattern edge `la -> lb` with `bound`.
+    pub fn classify(&self, la: Label, lb: Label, bound: Bound) -> RangeVerdict {
+        match self.range(la, lb) {
+            None => RangeVerdict::NoneSatisfy,
+            Some((min, max)) => {
+                if !bound.admits(min) {
+                    RangeVerdict::NoneSatisfy
+                } else if bound.admits(max) {
+                    RangeVerdict::AllReachableSatisfy
+                } else {
+                    RangeVerdict::Mixed
+                }
+            }
+        }
+    }
+
+    /// Cheap maintenance on distance change `(u, v, new)`: widens the
+    /// range monotonically. Deletions (distance increases/losses) require
+    /// a rebuild — exactly the asymmetry \[13\] works around with periodic
+    /// refreshes; [`LabelRangeIndex::build`] is the refresh.
+    pub fn note_decrease(&mut self, graph: &DataGraph, u: NodeId, v: NodeId, new: u32) {
+        let (Some(lu), Some(lv)) = (graph.label(u), graph.label(v)) else {
+            return;
+        };
+        if new == INF || u == v || lu.index() >= self.labels || lv.index() >= self.labels {
+            return;
+        }
+        let slot = &mut self.ranges[lu.index() * self.labels + lv.index()];
+        slot.0 = slot.0.min(new);
+        slot.1 = slot.1.max(new);
+    }
+
+    /// Number of label slots covered.
+    pub fn label_count(&self) -> usize {
+        self.labels
+    }
+}
+
+/// What the range pre-filter can conclude about a bounded label pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeVerdict {
+    /// No node pair of these labels can satisfy the bound.
+    NoneSatisfy,
+    /// Every *reachable* pair satisfies it (unreachable pairs still fail).
+    AllReachableSatisfy,
+    /// Some pairs satisfy, some don't: per-pair checks required.
+    Mixed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp::apsp_matrix;
+    use gpnm_graph::paper::fig1;
+
+    fn index() -> (gpnm_graph::paper::Fig1, LabelRangeIndex) {
+        let f = fig1();
+        let m = apsp_matrix(&f.graph);
+        let idx = LabelRangeIndex::build(&f.graph, &m);
+        (f, idx)
+    }
+
+    #[test]
+    fn ranges_match_table_iii() {
+        let (f, idx) = index();
+        let pm = f.interner.get("PM").unwrap();
+        let se = f.interner.get("SE").unwrap();
+        let te = f.interner.get("TE").unwrap();
+        let s = f.interner.get("S").unwrap();
+        // PM -> SE distances (Table III): {2, 1, 1, 2} => (1, 2).
+        assert_eq!(idx.range(pm, se), Some((1, 2)));
+        // PM -> S: PM1->S1 = 3, PM2->S1 = 2 => (2, 3).
+        assert_eq!(idx.range(pm, s), Some((2, 3)));
+        // S -> PM: all infinite => None... S1 row: PM2 = 3 finite!
+        assert_eq!(idx.range(s, pm), Some((3, 3)));
+        // TE -> TE: TE1->TE2 = INF, TE2->TE1 = 5 => (5, 5).
+        assert_eq!(idx.range(te, te), Some((5, 5)));
+    }
+
+    #[test]
+    fn classify_prefilters_bounds() {
+        let (f, idx) = index();
+        let pm = f.interner.get("PM").unwrap();
+        let se = f.interner.get("SE").unwrap();
+        let te = f.interner.get("TE").unwrap();
+        // Every reachable PM->SE pair is within 3 (range (1,2)).
+        assert_eq!(
+            idx.classify(pm, se, Bound::Hops(3)),
+            RangeVerdict::AllReachableSatisfy
+        );
+        // No PM->TE pair within 1 (min is 2).
+        assert_eq!(idx.classify(pm, te, Bound::Hops(1)), RangeVerdict::NoneSatisfy);
+        // PM->TE within 3: PM1->TE1=2 yes, PM2->TE1=3 yes, TE2 unreachable
+        // => range (2,3), bound 2 => mixed.
+        assert_eq!(idx.classify(pm, te, Bound::Hops(2)), RangeVerdict::Mixed);
+        // Unbounded always admits every finite pair.
+        assert_eq!(
+            idx.classify(pm, te, Bound::Unbounded),
+            RangeVerdict::AllReachableSatisfy
+        );
+    }
+
+    #[test]
+    fn missing_pairs_and_foreign_labels() {
+        let (f, idx) = index();
+        let db = f.interner.get("DB").unwrap();
+        let pm = f.interner.get("PM").unwrap();
+        // Nothing reaches PM1, and PM2 unreachable from DB1? DB1->PM2 = 2.
+        assert_eq!(idx.range(db, pm), Some((2, 2)));
+        assert_eq!(idx.range(pm, gpnm_graph::Label(99)), None);
+        assert_eq!(
+            idx.classify(pm, gpnm_graph::Label(99), Bound::Hops(3)),
+            RangeVerdict::NoneSatisfy
+        );
+    }
+
+    #[test]
+    fn note_decrease_widens_monotonically() {
+        let (f, mut idx) = index();
+        let pm = f.interner.get("PM").unwrap();
+        let te = f.interner.get("TE").unwrap();
+        assert_eq!(idx.range(pm, te), Some((2, 3)));
+        // A new shorter path PM->TE of length 1.
+        idx.note_decrease(&f.graph, f.pm1, f.te1, 1);
+        assert_eq!(idx.range(pm, te), Some((1, 3)));
+        // Infinite "changes" are ignored.
+        idx.note_decrease(&f.graph, f.pm1, f.te2, INF);
+        assert_eq!(idx.range(pm, te), Some((1, 3)));
+    }
+
+    #[test]
+    fn rebuild_after_updates_matches_fresh_build() {
+        let mut f = fig1();
+        f.graph.add_edge(f.se1, f.te2).unwrap();
+        let m = apsp_matrix(&f.graph);
+        let idx = LabelRangeIndex::build(&f.graph, &m);
+        let se = f.interner.get("SE").unwrap();
+        let te = f.interner.get("TE").unwrap();
+        // SE->TE now includes SE1->TE2 = 1 (already had SE2->TE1 = 1).
+        assert_eq!(idx.range(se, te), Some((1, 3)));
+    }
+}

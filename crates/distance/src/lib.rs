@@ -1,0 +1,73 @@
+//! Shortest-path-length (`SLen`) index for UA-GPNM.
+//!
+//! GPNM needs the shortest path length between arbitrary node pairs of the
+//! data graph to check the bounded path lengths of pattern edges (paper
+//! §III). This crate provides:
+//!
+//! * [`DistanceMatrix`] — the dense `SLen` matrix of §IV, built by
+//!   per-source BFS over a [`gpnm_graph::CsrGraph`] snapshot.
+//! * [`HybridMatrix`] — the Bell & Garland "Hybrid" (ELL+COO) compressed
+//!   representation the paper's §IV-B remark proposes for sparse `SLen`
+//!   storage, used by the space-cost experiment.
+//! * [`incremental`] — repair of the matrix under single edge/node updates,
+//!   emitting an [`AffDelta`]: the changed pairs `AFF[u,v] = [a, b]` and the
+//!   affected-node set `Aff_N` that drives DER-II elimination detection.
+//! * [`Partition`] / [`PartitionedIndex`] — the §V label-based partition
+//!   method: per-partition APSP (parallelized with `crossbeam`, the paper's
+//!   "processed distributively"), a bridge graph over inner/outer bridge
+//!   nodes, and exact cross-partition composition.
+//!
+//! The infinity sentinel is [`INF`] (`u32::MAX`); all arithmetic goes
+//! through [`sat_add`] so infinity propagates instead of wrapping.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod aff;
+mod apsp;
+mod dijkstra;
+mod hybrid;
+pub mod incremental;
+mod label_range;
+mod matrix;
+mod oracle;
+mod partition;
+mod partitioned;
+
+pub use aff::AffDelta;
+pub use apsp::{apsp_matrix, bfs_row, bfs_row_skipping_edge, parallel_bfs_rows};
+pub use dijkstra::{dijkstra, dijkstra_multi, WeightedAdj};
+pub use hybrid::HybridMatrix;
+pub use incremental::IncrementalIndex;
+pub use label_range::{LabelRangeIndex, RangeVerdict};
+pub use matrix::DistanceMatrix;
+pub use oracle::DistanceOracle;
+pub use partition::{Partition, PartitionId};
+pub use partitioned::{paper_literal, PartitionedIndex};
+
+/// Infinity: no path. `u32::MAX`, so every finite distance compares below.
+pub const INF: u32 = u32::MAX;
+
+/// Saturating addition that treats [`INF`] as absorbing.
+#[inline(always)]
+pub fn sat_add(a: u32, b: u32) -> u32 {
+    if a == INF || b == INF {
+        INF
+    } else {
+        a.saturating_add(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_add_propagates_infinity() {
+        assert_eq!(sat_add(INF, 0), INF);
+        assert_eq!(sat_add(3, INF), INF);
+        assert_eq!(sat_add(INF, INF), INF);
+        assert_eq!(sat_add(2, 3), 5);
+        assert_eq!(sat_add(u32::MAX - 1, 5), INF, "saturates to INF");
+    }
+}

@@ -1,0 +1,75 @@
+//! The distance-oracle abstraction the matcher is generic over.
+
+use gpnm_graph::{Bound, NodeId};
+
+use crate::hybrid::HybridMatrix;
+use crate::matrix::DistanceMatrix;
+
+/// Anything that can answer "shortest path length from `u` to `v`".
+///
+/// The BGS matcher and the candidate/affected detectors only consume
+/// distances through this trait, so they run unchanged over the dense
+/// matrix, the Hybrid compressed matrix, or the incremental index.
+pub trait DistanceOracle {
+    /// Shortest path length from `u` to `v`; [`crate::INF`] when unreachable.
+    fn distance(&self, u: NodeId, v: NodeId) -> u32;
+
+    /// Whether the `u -> v` distance satisfies `bound`.
+    #[inline]
+    fn within(&self, u: NodeId, v: NodeId, bound: Bound) -> bool {
+        bound.admits(self.distance(u, v))
+    }
+}
+
+impl DistanceOracle for DistanceMatrix {
+    #[inline(always)]
+    fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        self.get(u, v)
+    }
+}
+
+impl DistanceOracle for HybridMatrix {
+    #[inline]
+    fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        self.get(u, v)
+    }
+}
+
+impl<T: DistanceOracle + ?Sized> DistanceOracle for &T {
+    #[inline(always)]
+    fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        (**self).distance(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp::apsp_matrix;
+    use crate::INF;
+    use gpnm_graph::paper::fig1;
+
+    #[test]
+    fn matrix_and_hybrid_agree_through_the_trait() {
+        let f = fig1();
+        let dense = apsp_matrix(&f.graph);
+        let hybrid = HybridMatrix::from_dense_auto(&dense);
+        fn probe<O: DistanceOracle>(o: &O, u: NodeId, v: NodeId) -> u32 {
+            o.distance(u, v)
+        }
+        assert_eq!(probe(&dense, f.pm1, f.se2), 1);
+        assert_eq!(probe(&hybrid, f.pm1, f.se2), 1);
+        assert_eq!(probe(&dense, f.pm1, f.te2), INF);
+        assert_eq!(probe(&hybrid, f.pm1, f.te2), INF);
+    }
+
+    #[test]
+    fn within_respects_bounds() {
+        let f = fig1();
+        let dense = apsp_matrix(&f.graph);
+        assert!(dense.within(f.pm1, f.s1, Bound::Hops(3)));
+        assert!(!dense.within(f.pm1, f.s1, Bound::Hops(2)));
+        assert!(dense.within(f.pm1, f.s1, Bound::Unbounded));
+        assert!(!dense.within(f.pm1, f.te2, Bound::Unbounded));
+    }
+}

@@ -1,0 +1,679 @@
+//! Partition-based shortest path length computation (paper §V-B).
+//!
+//! Two sub-processes, exactly as the paper divides them:
+//!
+//! * **sub-process-1** — distances between nodes of the *same* partition:
+//!   per-partition APSP by BFS restricted to the partition's subgraph
+//!   (Algorithm 4 step 1), then corrections for paths that leave and
+//!   re-enter through bridge nodes (Algorithm 4 steps 2–3).
+//! * **sub-process-2** — distances between nodes of *different* partitions,
+//!   composed through inner/outer bridge nodes (Algorithm 5).
+//!
+//! The literal pseudo-code "recursively combine partitions" is realized
+//! here as a **bridge graph**: a small weighted graph over every node
+//! incident to a cross-partition edge, with cross edges at weight 1 and
+//! intra-partition shortest path lengths as within-partition weights. A
+//! multi-seed Dijkstra over this graph composes exact global distances
+//! (see DESIGN.md §2 item 5 for why this realization is the one Theorem 3
+//! actually needs); [`paper_literal`] keeps the verbatim merge procedure
+//! for the ablation bench.
+//!
+//! Per-partition APSP is embarrassingly parallel; [`PartitionedIndex::build`]
+//! spreads it over `crossbeam` scoped threads — the paper's "processed
+//! distributively based on the partitions".
+
+use gpnm_graph::{DataGraph, NodeId};
+use parking_lot::Mutex;
+
+use crate::dijkstra::{dijkstra_multi, WeightedAdj};
+use crate::matrix::DistanceMatrix;
+use crate::partition::{Partition, PartitionId};
+use crate::{sat_add, INF};
+
+const NO_LOCAL: u32 = u32::MAX;
+
+/// Exact distance index organized around the label-based partition.
+#[derive(Debug, Clone)]
+pub struct PartitionedIndex {
+    partition: Partition,
+    /// Slot -> index within its partition's member list.
+    local_idx: Vec<u32>,
+    /// Per-partition APSP over local indices (restricted to the subgraph).
+    intra: Vec<DistanceMatrix>,
+    /// The bridge universe: every node incident to a cross-partition edge.
+    bridges: Vec<NodeId>,
+    /// Per partition: indices into `bridges` of its bridge members.
+    bridge_of_part: Vec<Vec<u32>>,
+    /// Weighted graph over bridge indices.
+    bridge_graph: WeightedAdj,
+}
+
+impl PartitionedIndex {
+    /// Build the index with per-partition APSP parallelized over `threads`
+    /// (clamped to the number of non-empty partitions; `0` means the
+    /// available parallelism).
+    pub fn build_with_threads(graph: &DataGraph, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        let partition = Partition::by_label(graph);
+        let local_idx = compute_local_idx(graph, &partition);
+        let parts: Vec<PartitionId> = partition.non_empty().collect();
+        let nparts = partition.len();
+
+        let mut intra: Vec<DistanceMatrix> = (0..nparts).map(|_| DistanceMatrix::all_inf(0)).collect();
+        if threads <= 1 || parts.len() <= 1 {
+            for &p in &parts {
+                intra[p.index()] = intra_apsp(graph, &partition, &local_idx, p);
+            }
+        } else {
+            let results: Mutex<Vec<(PartitionId, DistanceMatrix)>> =
+                Mutex::new(Vec::with_capacity(parts.len()));
+            let chunk = parts.len().div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for chunk_parts in parts.chunks(chunk) {
+                    let results = &results;
+                    let partition = &partition;
+                    let local_idx = &local_idx;
+                    scope.spawn(move |_| {
+                        let mut local: Vec<(PartitionId, DistanceMatrix)> =
+                            Vec::with_capacity(chunk_parts.len());
+                        for &p in chunk_parts {
+                            local.push((p, intra_apsp(graph, partition, local_idx, p)));
+                        }
+                        results.lock().extend(local);
+                    });
+                }
+            })
+            .expect("intra-APSP worker panicked");
+            for (p, m) in results.into_inner() {
+                intra[p.index()] = m;
+            }
+        }
+
+        let (bridges, bridge_of_part, bridge_graph) =
+            build_bridge_graph(&partition, &local_idx, &intra);
+        PartitionedIndex {
+            partition,
+            local_idx,
+            intra,
+            bridges,
+            bridge_of_part,
+            bridge_graph,
+        }
+    }
+
+    /// Build with the default degree of parallelism.
+    pub fn build(graph: &DataGraph) -> Self {
+        Self::build_with_threads(graph, 0)
+    }
+
+    /// Build single-threaded (ablation baseline).
+    pub fn build_serial(graph: &DataGraph) -> Self {
+        Self::build_with_threads(graph, 1)
+    }
+
+    /// The underlying partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of bridge nodes.
+    pub fn bridge_count(&self) -> usize {
+        self.bridges.len()
+    }
+
+    /// Exact shortest path lengths from `source` to every slot, composed
+    /// from partition-local distances and the bridge graph. `out` must have
+    /// slot-count length.
+    pub fn compose_row(&self, source: NodeId, out: &mut [u32]) {
+        out.fill(INF);
+        let Some(p) = self.partition.of(source) else {
+            return; // tombstone: unreachable from/to
+        };
+        let src_local = self.local_idx[source.index()] as usize;
+        let intra_p = &self.intra[p.index()];
+
+        // Own-partition distances (sub-process-1 step 1).
+        for (li, &y) in self.partition.members(p).iter().enumerate() {
+            out[y.index()] = intra_p.get(nid(src_local), nid(li));
+        }
+
+        // Reach the bridge universe (sub-process-1 steps 2-3 generalized):
+        // seed every bridge member of P with its intra distance, then relax
+        // across the bridge graph.
+        let seeds: Vec<(usize, u32)> = self.bridge_of_part[p.index()]
+            .iter()
+            .map(|&bi| {
+                let b = self.bridges[bi as usize];
+                let bl = self.local_idx[b.index()] as usize;
+                (bi as usize, intra_p.get(nid(src_local), nid(bl)))
+            })
+            .filter(|&(_, d)| d != INF)
+            .collect();
+        if seeds.is_empty() {
+            return; // OB(P) reachable set is empty: stay inside P (Alg. 5 line 3)
+        }
+        let bridge_dist = dijkstra_multi(&self.bridge_graph, &seeds);
+
+        // Descend from each reachable bridge into its partition
+        // (sub-process-2 step 3).
+        for (bi, &g) in bridge_dist.iter().enumerate() {
+            if g == INF {
+                continue;
+            }
+            let b = self.bridges[bi];
+            let q = self.partition.of(b).expect("bridge node is live");
+            let intra_q = &self.intra[q.index()];
+            let bl = self.local_idx[b.index()] as usize;
+            for (li, &y) in self.partition.members(q).iter().enumerate() {
+                let cand = sat_add(g, intra_q.get(nid(bl), nid(li)));
+                if cand < out[y.index()] {
+                    out[y.index()] = cand;
+                }
+            }
+        }
+    }
+
+    /// Materialize the full `SLen` matrix, composing rows in parallel.
+    pub fn build_matrix(&self, graph: &DataGraph) -> DistanceMatrix {
+        self.build_matrix_with_threads(graph, 0)
+    }
+
+    /// Materialize the full matrix single-threaded (ablation baseline).
+    pub fn build_matrix_serial(&self, graph: &DataGraph) -> DistanceMatrix {
+        self.build_matrix_with_threads(graph, 1)
+    }
+
+    /// Materialize with an explicit thread count (`0` = available
+    /// parallelism).
+    pub fn build_matrix_with_threads(&self, graph: &DataGraph, threads: usize) -> DistanceMatrix {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        let n = graph.slot_count();
+        let mut matrix = DistanceMatrix::all_inf(n);
+        if n == 0 {
+            return matrix;
+        }
+        if threads <= 1 {
+            for source in graph.nodes() {
+                // Rows of tombstones stay INF; compose_row handles the rest.
+                let row_start = source.index() * n;
+                let storage = matrix.as_mut_slice();
+                self.compose_row(source, &mut storage[row_start..row_start + n]);
+            }
+            return matrix;
+        }
+        let rows_per_chunk = n.div_ceil(threads).max(1);
+        let storage = matrix.as_mut_slice();
+        crossbeam::thread::scope(|scope| {
+            for (chunk_idx, chunk) in storage.chunks_mut(rows_per_chunk * n).enumerate() {
+                let first_row = chunk_idx * rows_per_chunk;
+                scope.spawn(move |_| {
+                    for (off, row) in chunk.chunks_mut(n).enumerate() {
+                        let slot = NodeId::from_index(first_row + off);
+                        if graph.contains(slot) {
+                            self.compose_row(slot, row);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("row-composition worker panicked");
+        matrix
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance under graph updates (graph already mutated by caller)
+    // ------------------------------------------------------------------
+
+    /// Repair after inserting edge `(u, v)`.
+    pub fn note_insert_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) {
+        let pu = self.partition.of(u);
+        let pv = self.partition.of(v);
+        if pu.is_some() && pu == pv {
+            let p = pu.expect("checked");
+            self.refresh_partition(graph, p);
+            self.rebuild_bridge_graph();
+        } else {
+            // Cross-partition edge: bridge sets changed.
+            self.rebuild_partition_preserving_intra(graph);
+        }
+    }
+
+    /// Repair after deleting edge `(u, v)`.
+    pub fn note_delete_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) {
+        // Identical dichotomy to insertion.
+        self.note_insert_edge(graph, u, v);
+    }
+
+    /// Repair after inserting an (isolated) node.
+    pub fn note_insert_node(&mut self, graph: &DataGraph, id: NodeId) {
+        debug_assert!(graph.contains(id));
+        // Fresh ids are maximal, so the new member lands at the end of its
+        // partition's sorted member list and existing local indices hold;
+        // a full partition rebuild keeps the code path simple, after which
+        // only the touched partition's intra matrix needs growing.
+        let label = graph.label(id).expect("live node");
+        self.partition = Partition::by_label(graph);
+        self.local_idx = compute_local_idx(graph, &self.partition);
+        let p = PartitionId(label.0);
+        let len = self.partition.members(p).len();
+        if p.index() >= self.intra.len() {
+            self.intra
+                .resize_with(p.index() + 1, || DistanceMatrix::all_inf(0));
+            self.bridge_of_part.resize_with(p.index() + 1, Vec::new);
+        }
+        if self.intra[p.index()].n() + 1 == len {
+            // The isolated newcomer sits at the end of the member list:
+            // grow in place (new row/col INF, diagonal 0).
+            self.intra[p.index()].grow(len);
+        } else {
+            self.intra[p.index()] = intra_apsp(graph, &self.partition, &self.local_idx, p);
+        }
+        self.rebuild_bridge_graph();
+    }
+
+    /// Repair after deleting node `id` (edges already detached).
+    pub fn note_delete_node(&mut self, graph: &DataGraph, id: NodeId, former: PartitionId) {
+        debug_assert!(!graph.contains(id));
+        self.partition = Partition::by_label(graph);
+        self.local_idx = compute_local_idx(graph, &self.partition);
+        // Local indices after the removed member shift down: recompute the
+        // partition's intra matrix outright.
+        if former.index() < self.intra.len() {
+            self.intra[former.index()] =
+                intra_apsp(graph, &self.partition, &self.local_idx, former);
+        }
+        self.rebuild_bridge_graph();
+    }
+
+    /// Recompute one partition's intra-APSP (after an in-partition change).
+    fn refresh_partition(&mut self, graph: &DataGraph, p: PartitionId) {
+        self.intra[p.index()] = intra_apsp(graph, &self.partition, &self.local_idx, p);
+    }
+
+    /// Rebuild bridge sets *and* graph (cross-edge set changed), keeping
+    /// intra matrices (edge updates never change membership).
+    fn rebuild_partition_preserving_intra(&mut self, graph: &DataGraph) {
+        self.partition = Partition::by_label(graph);
+        self.local_idx = compute_local_idx(graph, &self.partition);
+        self.rebuild_bridge_graph();
+    }
+
+    fn rebuild_bridge_graph(&mut self) {
+        let (bridges, bridge_of_part, bridge_graph) =
+            build_bridge_graph(&self.partition, &self.local_idx, &self.intra);
+        self.bridges = bridges;
+        self.bridge_of_part = bridge_of_part;
+        self.bridge_graph = bridge_graph;
+    }
+}
+
+#[inline(always)]
+fn nid(local: usize) -> NodeId {
+    NodeId::from_index(local)
+}
+
+fn compute_local_idx(graph: &DataGraph, partition: &Partition) -> Vec<u32> {
+    let mut local_idx = vec![NO_LOCAL; graph.slot_count()];
+    for p in partition.non_empty() {
+        for (li, &node) in partition.members(p).iter().enumerate() {
+            local_idx[node.index()] = li as u32;
+        }
+    }
+    local_idx
+}
+
+/// BFS APSP restricted to one partition's subgraph, over local indices.
+fn intra_apsp(
+    graph: &DataGraph,
+    partition: &Partition,
+    local_idx: &[u32],
+    p: PartitionId,
+) -> DistanceMatrix {
+    let members = partition.members(p);
+    let k = members.len();
+    let mut m = DistanceMatrix::all_inf(k);
+    let mut queue: Vec<NodeId> = Vec::with_capacity(k);
+    let mut dist: Vec<u32> = vec![INF; k];
+    for (si, &s) in members.iter().enumerate() {
+        dist.fill(INF);
+        dist[si] = 0;
+        queue.clear();
+        queue.push(s);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let du = dist[local_idx[u.index()] as usize];
+            for &v in graph.out_neighbors(u) {
+                if partition.of(v) != Some(p) {
+                    continue; // stay inside the partition
+                }
+                let vl = local_idx[v.index()] as usize;
+                if dist[vl] == INF {
+                    dist[vl] = du + 1;
+                    queue.push(v);
+                }
+            }
+        }
+        m.set_row(nid(si), &dist);
+    }
+    m
+}
+
+/// Assemble the bridge universe and weighted bridge graph.
+fn build_bridge_graph(
+    partition: &Partition,
+    local_idx: &[u32],
+    intra: &[DistanceMatrix],
+) -> (Vec<NodeId>, Vec<Vec<u32>>, WeightedAdj) {
+    let bridges = partition.bridge_nodes();
+    let mut bridge_idx = std::collections::HashMap::with_capacity(bridges.len());
+    for (i, &b) in bridges.iter().enumerate() {
+        bridge_idx.insert(b, i as u32);
+    }
+    let mut bridge_of_part: Vec<Vec<u32>> = vec![Vec::new(); partition.len()];
+    for (i, &b) in bridges.iter().enumerate() {
+        let p = partition.of(b).expect("bridge node is live");
+        bridge_of_part[p.index()].push(i as u32);
+    }
+    let mut graph = WeightedAdj::new(bridges.len());
+    // Cross-partition edges at weight 1.
+    for &(u, v) in partition.cross_edges() {
+        graph.add_edge(bridge_idx[&u] as usize, bridge_idx[&v] as usize, 1);
+    }
+    // Same-partition bridge pairs at intra-distance weight.
+    for p in partition.non_empty() {
+        let list = &bridge_of_part[p.index()];
+        let m = &intra[p.index()];
+        for &bi in list {
+            let b = bridges[bi as usize];
+            let bl = local_idx[b.index()] as usize;
+            for &ci in list {
+                if bi == ci {
+                    continue;
+                }
+                let c = bridges[ci as usize];
+                let cl = local_idx[c.index()] as usize;
+                let d = m.get(nid(bl), nid(cl));
+                if d != INF {
+                    graph.add_edge(bi as usize, ci as usize, d);
+                }
+            }
+        }
+    }
+    (bridges, bridge_of_part, graph)
+}
+
+/// The verbatim Algorithm 4/5 merge procedure, kept for the ablation bench
+/// and the Figure 4 golden tests.
+pub mod paper_literal {
+    use super::*;
+
+    /// Algorithm 4 steps 2–3: starting from `start`, combine partition `Pj`
+    /// into the working set whenever one of `OB(Pj)` belongs to the set,
+    /// recursively until no partition can be combined.
+    pub fn combined_partitions(partition: &Partition, start: PartitionId) -> Vec<PartitionId> {
+        let mut in_set = vec![false; partition.len()];
+        in_set[start.index()] = true;
+        let mut combined = vec![start];
+        loop {
+            let mut grew = false;
+            // Candidate partitions: reachable via an outer bridge node of the
+            // current set.
+            for p in partition.non_empty() {
+                if in_set[p.index()] {
+                    continue;
+                }
+                let touches_set = combined.iter().any(|&s| {
+                    partition
+                        .outer_bridges(s)
+                        .iter()
+                        .any(|&ob| partition.of(ob) == Some(p))
+                });
+                if !touches_set {
+                    continue;
+                }
+                // "if one of the outer bridge nodes in Pj belongs to Pi"
+                let feeds_back = partition
+                    .outer_bridges(p)
+                    .iter()
+                    .any(|&ob| partition.of(ob).is_some_and(|q| in_set[q.index()]));
+                if feeds_back {
+                    in_set[p.index()] = true;
+                    combined.push(p);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        combined
+    }
+
+    /// Sub-process-1: intra-partition distances for members of `p`, BFS'd
+    /// inside the union of [`combined_partitions`]. Returns the matrix over
+    /// `partition.members(p)` in member order.
+    pub fn sub_process_1(
+        graph: &DataGraph,
+        partition: &Partition,
+        p: PartitionId,
+    ) -> DistanceMatrix {
+        let combined = combined_partitions(partition, p);
+        let mut allowed = vec![false; partition.len()];
+        for q in &combined {
+            allowed[q.index()] = true;
+        }
+        let members = partition.members(p);
+        let mut m = DistanceMatrix::all_inf(members.len());
+        let mut dist = vec![INF; graph.slot_count()];
+        let mut queue = Vec::new();
+        for (si, &s) in members.iter().enumerate() {
+            dist.fill(INF);
+            dist[s.index()] = 0;
+            queue.clear();
+            queue.push(s);
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &v in graph.out_neighbors(u) {
+                    let in_union = partition
+                        .of(v)
+                        .is_some_and(|q| allowed[q.index()]);
+                    if in_union && dist[v.index()] == INF {
+                        dist[v.index()] = dist[u.index()] + 1;
+                        queue.push(v);
+                    }
+                }
+            }
+            for (ti, &t) in members.iter().enumerate() {
+                m.set(nid(si), nid(ti), dist[t.index()]);
+            }
+        }
+        m
+    }
+
+    /// Sub-process-2 (Algorithm 5): distances from members of `p` to
+    /// members of `q` composed through inner/outer bridge pairs:
+    /// `SPD(x, y) = SPD_P(x, a) + 1 + SPD_Q(t, y)` over cross edges
+    /// `(a, t)` with `a ∈ p`, `t ∈ q`.
+    pub fn sub_process_2(
+        graph: &DataGraph,
+        partition: &Partition,
+        p: PartitionId,
+        q: PartitionId,
+    ) -> DistanceMatrix {
+        let mp = sub_process_1(graph, partition, p);
+        let mq = sub_process_1(graph, partition, q);
+        let p_members = partition.members(p);
+        let q_members = partition.members(q);
+        let local_p: std::collections::HashMap<NodeId, usize> =
+            p_members.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let local_q: std::collections::HashMap<NodeId, usize> =
+            q_members.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut out = DistanceMatrix::all_inf(0);
+        // DistanceMatrix is square; emulate the rectangular |P| x |Q| block
+        // with a |max| square and read only the block (tests slice it).
+        let dim = p_members.len().max(q_members.len());
+        out.grow(dim);
+        for i in 0..dim {
+            out.set(nid(i), nid(i), INF); // not a true diagonal: clear it
+        }
+        for &(a, t) in partition.cross_edges() {
+            let (Some(&ai), Some(&ti)) = (local_p.get(&a), local_q.get(&t)) else {
+                continue; // not a P -> Q cross edge
+            };
+            for (xi, _x) in p_members.iter().enumerate() {
+                let d_xa = mp.get(nid(xi), nid(ai));
+                if d_xa == INF {
+                    continue;
+                }
+                for (yi, _y) in q_members.iter().enumerate() {
+                    let cand = sat_add(sat_add(d_xa, 1), mq.get(nid(ti), nid(yi)));
+                    if cand < out.get(nid(xi), nid(yi)) {
+                        out.set(nid(xi), nid(yi), cand);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp::apsp_matrix;
+    use gpnm_graph::paper::{fig1, fig4, TABLE_IX, TABLE_VIII};
+
+    #[test]
+    fn composed_rows_match_flat_apsp_on_fig1() {
+        let f = fig1();
+        let idx = PartitionedIndex::build_serial(&f.graph);
+        let flat = apsp_matrix(&f.graph);
+        let composed = idx.build_matrix_serial(&f.graph);
+        assert_eq!(composed, flat);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let f = fig1();
+        let idx = PartitionedIndex::build(&f.graph);
+        let serial = idx.build_matrix_serial(&f.graph);
+        let parallel = idx.build_matrix_with_threads(&f.graph, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn table_viii_golden_via_exact_composition() {
+        // Table VIII is P_SE's matrix *after combining with P_PM*: exactly
+        // the exact composed distances restricted to SE members.
+        let f = fig4();
+        let idx = PartitionedIndex::build_serial(&f.graph);
+        let mut row = vec![INF; f.graph.slot_count()];
+        for (i, &si) in f.se.iter().enumerate() {
+            idx.compose_row(si, &mut row);
+            for (j, &sj) in f.se.iter().enumerate() {
+                assert_eq!(row[sj.index()], TABLE_VIII[i][j], "P_SE[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn table_ix_golden_via_exact_composition() {
+        let f = fig4();
+        let idx = PartitionedIndex::build_serial(&f.graph);
+        let mut row = vec![INF; f.graph.slot_count()];
+        for (i, &si) in f.se.iter().enumerate() {
+            idx.compose_row(si, &mut row);
+            for (j, &tj) in f.te.iter().enumerate() {
+                assert_eq!(row[tj.index()], TABLE_IX[i][j], "P_SE->P_TE[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn table_viii_golden_via_paper_literal_merge() {
+        let f = fig4();
+        let partition = Partition::by_label(&f.graph);
+        let p_se = partition.of(f.se[0]).unwrap();
+        // Algorithm 4 combines P_SE with P_PM (whose outer bridge SE4 is in
+        // P_SE) but not with P_TE (no outer bridges).
+        let combined = paper_literal::combined_partitions(&partition, p_se);
+        let p_pm = partition.of(f.pm1).unwrap();
+        assert_eq!(combined.len(), 2);
+        assert!(combined.contains(&p_pm));
+        let m = paper_literal::sub_process_1(&f.graph, &partition, p_se);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    m.get(NodeId::from_index(i), NodeId::from_index(j)),
+                    TABLE_VIII[i][j],
+                    "literal P_SE[{i}][{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_ix_golden_via_paper_literal_composition() {
+        let f = fig4();
+        let partition = Partition::by_label(&f.graph);
+        let p_se = partition.of(f.se[0]).unwrap();
+        let p_te = partition.of(f.te[0]).unwrap();
+        let m = paper_literal::sub_process_2(&f.graph, &partition, p_se, p_te);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert_eq!(
+                    m.get(NodeId::from_index(i), NodeId::from_index(j)),
+                    TABLE_IX[i][j],
+                    "literal P_SE->P_TE[{i}][{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maintenance_tracks_edge_updates() {
+        let mut f = fig1();
+        let mut idx = PartitionedIndex::build_serial(&f.graph);
+        // Same-partition edge insert (PM1 -> PM2): refresh partition.
+        f.graph.add_edge(f.pm1, f.pm2).unwrap();
+        idx.note_insert_edge(&f.graph, f.pm1, f.pm2);
+        assert_eq!(idx.build_matrix_serial(&f.graph), apsp_matrix(&f.graph));
+        // Cross-partition edge insert (SE1 -> TE2): bridge rebuild.
+        f.graph.add_edge(f.se1, f.te2).unwrap();
+        idx.note_insert_edge(&f.graph, f.se1, f.te2);
+        assert_eq!(idx.build_matrix_serial(&f.graph), apsp_matrix(&f.graph));
+        // Cross-partition delete.
+        f.graph.remove_edge(f.se1, f.te2).unwrap();
+        idx.note_delete_edge(&f.graph, f.se1, f.te2);
+        assert_eq!(idx.build_matrix_serial(&f.graph), apsp_matrix(&f.graph));
+    }
+
+    #[test]
+    fn maintenance_tracks_node_updates() {
+        let mut f = fig1();
+        let mut idx = PartitionedIndex::build_serial(&f.graph);
+        let se = f.interner.get("SE").unwrap();
+        let new = f.graph.add_node(se);
+        idx.note_insert_node(&f.graph, new);
+        assert_eq!(idx.build_matrix_serial(&f.graph), apsp_matrix(&f.graph));
+        f.graph.add_edge(new, f.te2).unwrap();
+        idx.note_insert_edge(&f.graph, new, f.te2);
+        assert_eq!(idx.build_matrix_serial(&f.graph), apsp_matrix(&f.graph));
+        let former = idx.partition().of(f.se1).unwrap();
+        f.graph.remove_node(f.se1).unwrap();
+        idx.note_delete_node(&f.graph, f.se1, former);
+        assert_eq!(idx.build_matrix_serial(&f.graph), apsp_matrix(&f.graph));
+    }
+}

@@ -1,0 +1,644 @@
+//! The GPNM engine: owns the graphs, the `SLen` index and the current
+//! result; answers initial and subsequent queries under any strategy.
+
+use std::time::Instant;
+
+use gpnm_distance::{
+    parallel_bfs_rows, AffDelta, DistanceMatrix, IncrementalIndex, PartitionedIndex, INF,
+};
+use gpnm_graph::{DataGraph, GraphError, NodeId, NodeSet, PatternGraph};
+use gpnm_matcher::{match_graph, repair, MatchResult, MatchSemantics, RepairPlan};
+use gpnm_updates::{
+    candidates_for, cross_eliminates, reduce_batch, Candidates, DataUpdate, EhTree,
+    EliminationGraph, PatternUpdate, Update, UpdateBatch, UpdateEffect,
+};
+
+use crate::plan_builder::{plan_for_data_update, plan_for_pattern_update};
+use crate::stats::ExecStats;
+use crate::strategy::Strategy;
+
+/// Which single-graph/cross-graph eliminations a strategy detects.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ElimScope {
+    /// EH-GPNM \[14\]: Type II among data updates only.
+    DataOnly,
+    /// UA-GPNM: Types I + II + III.
+    Full,
+}
+
+/// How `SLen` rows are recomputed after deletions.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RepairMode {
+    /// Serial per-row BFS on the full graph (INC/EH/NoPar baselines).
+    Dense,
+    /// Compose rows from partition-local distances through the bridge
+    /// graph. Wins when label locality keeps the bridge universe small
+    /// (`|B| ≪ |ND|`); degenerates badly otherwise.
+    Compose,
+    /// The §V "processed distributively" reading: recompute the affected
+    /// rows with BFS fanned out across threads. Wins whenever a deletion
+    /// invalidates many rows, regardless of bridge density.
+    ParallelBfs,
+}
+
+/// A GPNM query engine over one data graph and one pattern graph.
+///
+/// The engine keeps the `SLen` matrix exact across updates, so any number
+/// of subsequent queries can be chained; each [`GpnmEngine::subsequent_query`]
+/// advances the graphs to their post-batch state.
+#[derive(Debug, Clone)]
+pub struct GpnmEngine {
+    graph: DataGraph,
+    pattern: PatternGraph,
+    semantics: MatchSemantics,
+    index: IncrementalIndex,
+    partitioned: Option<PartitionedIndex>,
+    partition_dirty: bool,
+    result: MatchResult,
+    queried: bool,
+    row_scratch: Vec<u32>,
+}
+
+impl GpnmEngine {
+    /// Build an engine; the `SLen` index is constructed eagerly (per-source
+    /// BFS), the partition index lazily (see
+    /// [`GpnmEngine::prepare_partition`]).
+    pub fn new(graph: DataGraph, pattern: PatternGraph, semantics: MatchSemantics) -> Self {
+        let index = IncrementalIndex::build(&graph);
+        let n = graph.slot_count();
+        let result = MatchResult::for_pattern(&pattern);
+        GpnmEngine {
+            graph,
+            pattern,
+            semantics,
+            index,
+            partitioned: None,
+            partition_dirty: true,
+            result,
+            queried: false,
+            row_scratch: vec![INF; n],
+        }
+    }
+
+    /// The current data graph.
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// The current pattern graph.
+    pub fn pattern(&self) -> &PatternGraph {
+        &self.pattern
+    }
+
+    /// The current `SLen` matrix (always exact for the current graph).
+    pub fn slen(&self) -> &DistanceMatrix {
+        self.index.matrix()
+    }
+
+    /// The active match semantics.
+    pub fn semantics(&self) -> MatchSemantics {
+        self.semantics
+    }
+
+    /// The most recent query result (IQuery after
+    /// [`GpnmEngine::initial_query`], SQuery after
+    /// [`GpnmEngine::subsequent_query`]).
+    pub fn result(&self) -> &MatchResult {
+        &self.result
+    }
+
+    /// Build (or refresh) the §V partitioned index so a following
+    /// `UA-GPNM` query doesn't pay construction inside its timed path.
+    pub fn prepare_partition(&mut self) {
+        if self.partition_dirty || self.partitioned.is_none() {
+            self.partitioned = Some(PartitionedIndex::build(&self.graph));
+            self.partition_dirty = false;
+        }
+    }
+
+    /// Compute `IQuery` — the batch GPNM of the current graphs.
+    pub fn initial_query(&mut self) -> &MatchResult {
+        self.result = match_graph(&self.pattern, &self.graph, &self.index, self.semantics);
+        self.queried = true;
+        &self.result
+    }
+
+    /// From-scratch GPNM of the *current* state without touching the
+    /// engine — the correctness oracle used by the test-suite.
+    pub fn scratch_query(&self) -> MatchResult {
+        match_graph(&self.pattern, &self.graph, &self.index, self.semantics)
+    }
+
+    /// Answer `SQuery` after `batch`, using `strategy`.
+    ///
+    /// On success the engine's graphs, `SLen` and result reflect the
+    /// post-batch state. An invalid batch (duplicate edge, missing node,
+    /// …) fails *before* any mutation.
+    pub fn subsequent_query(
+        &mut self,
+        batch: &UpdateBatch,
+        strategy: Strategy,
+    ) -> Result<ExecStats, GraphError> {
+        batch.validate(&self.graph, &self.pattern)?;
+        if !self.queried {
+            self.initial_query();
+        }
+        let start = Instant::now();
+        let mut stats = match strategy {
+            Strategy::Scratch => self.run_scratch(batch),
+            Strategy::IncGpnm => self.run_inc(batch),
+            Strategy::EhGpnm => self.run_eliminative(batch, ElimScope::DataOnly, RepairMode::Dense),
+            Strategy::UaGpnmNoPar => {
+                self.run_eliminative(batch, ElimScope::Full, RepairMode::Dense)
+            }
+            Strategy::UaGpnm => {
+                self.prepare_partition();
+                // Adaptive §V realization: composing through bridge nodes
+                // only pays off when few nodes sit on cross-partition
+                // edges; on bridge-dense graphs the partition's win is the
+                // distributed (multi-threaded) row recomputation instead.
+                let bridges = self
+                    .partitioned
+                    .as_ref()
+                    .expect("partition prepared")
+                    .bridge_count();
+                let mode = if bridges * 8 <= self.graph.slot_count() {
+                    RepairMode::Compose
+                } else {
+                    RepairMode::ParallelBfs
+                };
+                self.run_eliminative(batch, ElimScope::Full, mode)
+            }
+        };
+        if strategy != Strategy::UaGpnm {
+            self.partition_dirty = true;
+        }
+        stats.total_time = start.elapsed();
+        Ok(stats)
+    }
+
+    // ==================================================================
+    // Strategy: from scratch
+    // ==================================================================
+
+    fn run_scratch(&mut self, batch: &UpdateBatch) -> ExecStats {
+        let mut stats = ExecStats {
+            updates_submitted: batch.len(),
+            updates_after_reduction: batch.len(),
+            ..Default::default()
+        };
+        let t = Instant::now();
+        batch
+            .apply_all(&mut self.graph, &mut self.pattern)
+            .expect("batch validated");
+        self.index = IncrementalIndex::build(&self.graph);
+        self.row_scratch.resize(self.graph.slot_count(), INF);
+        stats.slen_time = t.elapsed();
+        let t = Instant::now();
+        self.result = match_graph(&self.pattern, &self.graph, &self.index, self.semantics);
+        stats.repair_time = t.elapsed();
+        stats.repair_calls = 1;
+        stats
+    }
+
+    // ==================================================================
+    // Strategy: INC-GPNM — one incremental pass per update
+    // ==================================================================
+
+    fn run_inc(&mut self, batch: &UpdateBatch) -> ExecStats {
+        let mut stats = ExecStats {
+            updates_submitted: batch.len(),
+            updates_after_reduction: batch.len(),
+            ..Default::default()
+        };
+        // Pattern updates first (they act on the pattern only), each with
+        // its own detect + repair.
+        for u in batch.updates() {
+            let Update::Pattern(pu) = u else { continue };
+            let t = Instant::now();
+            let can = candidates_for(&self.pattern, &self.graph, &self.index, &self.result, pu);
+            let plan =
+                plan_for_pattern_update(pu, &can, &self.pattern, self.pattern.slot_count());
+            stats.detect_time += t.elapsed();
+            self.apply_pattern_update(pu);
+            let t = Instant::now();
+            repair(
+                &self.pattern,
+                &self.graph,
+                &self.index,
+                self.semantics,
+                &mut self.result,
+                &plan,
+            );
+            stats.repair_time += t.elapsed();
+            stats.repair_calls += 1;
+        }
+        // Data updates, strictly one at a time: commit SLen, then repair.
+        for u in batch.updates() {
+            let Update::Data(du) = u else { continue };
+            let t = Instant::now();
+            let (delta, created) = self.commit_data(du, RepairMode::Dense);
+            stats.slen_time += t.elapsed();
+            stats.slen_changes += delta.len();
+            let t = Instant::now();
+            let plan = plan_for_data_update(
+                du,
+                &delta,
+                &self.pattern,
+                &self.graph,
+                &self.result,
+                created,
+            );
+            stats.detect_time += t.elapsed();
+            let t = Instant::now();
+            repair(
+                &self.pattern,
+                &self.graph,
+                &self.index,
+                self.semantics,
+                &mut self.result,
+                &plan,
+            );
+            stats.repair_time += t.elapsed();
+            stats.repair_calls += 1;
+        }
+        stats
+    }
+
+    // ==================================================================
+    // Strategies: EH-GPNM / UA-GPNM(-NoPar) — eliminate, then repair
+    // ==================================================================
+
+    fn run_eliminative(
+        &mut self,
+        batch: &UpdateBatch,
+        scope: ElimScope,
+        mode: RepairMode,
+    ) -> ExecStats {
+        let mut stats = ExecStats {
+            updates_submitted: batch.len(),
+            ..Default::default()
+        };
+
+        // ---- net-effect reduction (the §I-B cancellation pre-pass) ----
+        let t = Instant::now();
+        let reduced = match scope {
+            ElimScope::Full => reduce_batch(&self.graph, &self.pattern, batch),
+            ElimScope::DataOnly => {
+                // EH-GPNM reduces data updates only; pattern updates pass
+                // through untouched.
+                let data_only = UpdateBatch::from_updates(
+                    batch
+                        .updates()
+                        .iter()
+                        .filter(|u| !u.is_pattern())
+                        .copied()
+                        .collect(),
+                );
+                let reduced_data = reduce_batch(&self.graph, &self.pattern, &data_only);
+                let mut all: Vec<Update> = batch
+                    .updates()
+                    .iter()
+                    .filter(|u| u.is_pattern())
+                    .copied()
+                    .collect();
+                all.extend(reduced_data.updates().iter().copied());
+                UpdateBatch::from_updates(all)
+            }
+        };
+        stats.updates_after_reduction = reduced.len();
+        stats.reduce_time = t.elapsed();
+
+        // ---- phase A: pattern updates — DER-I against the base SLen ----
+        struct PatternEffect {
+            update: PatternUpdate,
+            can: Candidates,
+            plan: RepairPlan,
+            insertion: bool,
+        }
+        let mut pattern_effects: Vec<PatternEffect> = Vec::new();
+        for u in reduced.updates() {
+            let Update::Pattern(pu) = u else { continue };
+            let t = Instant::now();
+            let can = candidates_for(&self.pattern, &self.graph, &self.index, &self.result, pu);
+            let plan =
+                plan_for_pattern_update(pu, &can, &self.pattern, self.pattern.slot_count());
+            stats.detect_time += t.elapsed();
+            self.apply_pattern_update(pu);
+            pattern_effects.push(PatternEffect {
+                update: *pu,
+                can,
+                plan,
+                insertion: matches!(
+                    pu,
+                    PatternUpdate::InsertEdge { .. } | PatternUpdate::InsertNode { .. }
+                ),
+            });
+        }
+
+        // ---- phase B: data updates — commit SLen, keep Aff_N (DER-II) ----
+        struct DataEffect {
+            update: DataUpdate,
+            affected: NodeSet,
+            plan: RepairPlan,
+            insertion: bool,
+        }
+        let mut data_effects: Vec<DataEffect> = Vec::new();
+        for u in reduced.updates() {
+            let Update::Data(du) = u else { continue };
+            let t = Instant::now();
+            let (delta, created) = self.commit_data(du, mode);
+            stats.slen_time += t.elapsed();
+            stats.slen_changes += delta.len();
+            let t = Instant::now();
+            let plan = plan_for_data_update(
+                du,
+                &delta,
+                &self.pattern,
+                &self.graph,
+                &self.result,
+                created,
+            );
+            stats.detect_time += t.elapsed();
+            data_effects.push(DataEffect {
+                update: *du,
+                affected: delta.affected,
+                plan,
+                insertion: matches!(
+                    du,
+                    DataUpdate::InsertEdge { .. } | DataUpdate::InsertNode { .. }
+                ),
+            });
+        }
+
+        // ---- detection: assemble effects, find relations, build tree ----
+        let t = Instant::now();
+        let mut effects: Vec<UpdateEffect> = Vec::new();
+        match scope {
+            ElimScope::Full => {
+                for (i, pe) in pattern_effects.iter().enumerate() {
+                    effects.push(UpdateEffect {
+                        index: i,
+                        update: Update::Pattern(pe.update),
+                        coverage: pe.can.can_n(),
+                        insertion: pe.insertion,
+                        cross_eliminates: Vec::new(),
+                    });
+                }
+                let base = pattern_effects.len();
+                for (j, de) in data_effects.iter().enumerate() {
+                    // DER-III: which pattern inserts does this data update
+                    // make a no-op? (checked against the final SLen)
+                    let cross: Vec<usize> = pattern_effects
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, pe)| {
+                            let aff = AffDelta {
+                                changed: Vec::new(),
+                                affected: de.affected.clone(),
+                            };
+                            cross_eliminates(&pe.update, &pe.can, &aff, &self.index, &self.result)
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    effects.push(UpdateEffect {
+                        index: base + j,
+                        update: Update::Data(de.update),
+                        coverage: de.affected.clone(),
+                        insertion: de.insertion,
+                        cross_eliminates: cross,
+                    });
+                }
+            }
+            ElimScope::DataOnly => {
+                // EH-GPNM: only data effects participate in elimination.
+                for (j, de) in data_effects.iter().enumerate() {
+                    effects.push(UpdateEffect {
+                        index: j,
+                        update: Update::Data(de.update),
+                        coverage: de.affected.clone(),
+                        insertion: de.insertion,
+                        cross_eliminates: Vec::new(),
+                    });
+                }
+            }
+        }
+        let relations = EliminationGraph::detect(&effects);
+        stats.detect_time += t.elapsed();
+
+        let t = Instant::now();
+        let tree = EhTree::build(&effects, &relations);
+        stats.tree_time = t.elapsed();
+        stats.eliminated = tree.eliminated_count();
+
+        // ---- repair: one pass per surviving update ----
+        // Addition sources come from *every* update (eliminated included):
+        // coverage containment guarantees the eliminated update's verify
+        // set is covered by its eliminator, but addition sources are
+        // pattern-node-level and must be unioned explicitly (DESIGN.md §2).
+        let t = Instant::now();
+        let mut all_additions = RepairPlan::new();
+        for pe in &pattern_effects {
+            for &p in &pe.plan.addition_sources {
+                if !all_additions.addition_sources.contains(&p) {
+                    all_additions.addition_sources.push(p);
+                }
+            }
+        }
+        for de in &data_effects {
+            for &p in &de.plan.addition_sources {
+                if !all_additions.addition_sources.contains(&p) {
+                    all_additions.addition_sources.push(p);
+                }
+            }
+        }
+
+        // Survivor verify-plans, in EH-Tree root order.
+        let mut survivor_plans: Vec<&RepairPlan> = Vec::new();
+        match scope {
+            ElimScope::Full => {
+                for &root in tree.roots() {
+                    let plan = if root < pattern_effects.len() {
+                        &pattern_effects[root].plan
+                    } else {
+                        &data_effects[root - pattern_effects.len()].plan
+                    };
+                    survivor_plans.push(plan);
+                }
+            }
+            ElimScope::DataOnly => {
+                // Every pattern update survives; data survivors from the tree.
+                for pe in &pattern_effects {
+                    survivor_plans.push(&pe.plan);
+                }
+                for &root in tree.roots() {
+                    survivor_plans.push(&data_effects[root].plan);
+                }
+            }
+        }
+
+        let mut first = true;
+        for plan in survivor_plans {
+            let mut call_plan = RepairPlan {
+                verify: plan.verify.clone(),
+                addition_sources: Vec::new(),
+            };
+            if first {
+                call_plan
+                    .addition_sources
+                    .clone_from(&all_additions.addition_sources);
+                first = false;
+            }
+            repair(
+                &self.pattern,
+                &self.graph,
+                &self.index,
+                self.semantics,
+                &mut self.result,
+                &call_plan,
+            );
+            stats.repair_calls += 1;
+        }
+        if first && !all_additions.addition_sources.is_empty() {
+            // No survivors (empty reduced batch) but additions pending —
+            // cannot happen with a non-empty tree, guarded for safety.
+            repair(
+                &self.pattern,
+                &self.graph,
+                &self.index,
+                self.semantics,
+                &mut self.result,
+                &all_additions,
+            );
+            stats.repair_calls += 1;
+        }
+        stats.repair_time = t.elapsed();
+        stats
+    }
+
+    // ==================================================================
+    // Update application primitives
+    // ==================================================================
+
+    fn apply_pattern_update(&mut self, update: &PatternUpdate) {
+        match *update {
+            PatternUpdate::InsertEdge { from, to, bound } => {
+                self.pattern
+                    .add_edge(from, to, bound)
+                    .expect("batch validated");
+            }
+            PatternUpdate::DeleteEdge { from, to } => {
+                self.pattern.remove_edge(from, to).expect("batch validated");
+            }
+            PatternUpdate::InsertNode { label } => {
+                self.pattern.add_node(label);
+            }
+            PatternUpdate::DeleteNode { node } => {
+                self.pattern.remove_node(node).expect("batch validated");
+            }
+        }
+    }
+
+    /// Apply one data update to the graph and repair `SLen`, routing row
+    /// recomputation per `mode`.
+    fn commit_data(&mut self, update: &DataUpdate, mode: RepairMode) -> (AffDelta, Option<NodeId>) {
+        match *update {
+            DataUpdate::InsertEdge { from, to } => {
+                self.graph.add_edge(from, to).expect("batch validated");
+                if mode == RepairMode::Compose {
+                    let part = self
+                        .partitioned
+                        .as_mut()
+                        .expect("partition prepared for UA-GPNM");
+                    part.note_insert_edge(&self.graph, from, to);
+                }
+                (self.index.commit_insert_edge(from, to), None)
+            }
+            DataUpdate::DeleteEdge { from, to } => {
+                let candidates = self.index.delete_candidates(from, to);
+                self.graph.remove_edge(from, to).expect("batch validated");
+                match mode {
+                    RepairMode::Compose => {
+                        let part = self
+                            .partitioned
+                            .as_mut()
+                            .expect("partition prepared for UA-GPNM");
+                        part.note_delete_edge(&self.graph, from, to);
+                        let mut delta = AffDelta::new();
+                        self.row_scratch.resize(self.graph.slot_count(), INF);
+                        for x in candidates {
+                            part.compose_row(x, &mut self.row_scratch);
+                            self.index.apply_row(x, &self.row_scratch, &mut delta);
+                        }
+                        (delta, None)
+                    }
+                    RepairMode::ParallelBfs => {
+                        let mut delta = AffDelta::new();
+                        for (x, row) in parallel_bfs_rows(&self.graph, &candidates, 0) {
+                            self.index.apply_row(x, &row, &mut delta);
+                        }
+                        (delta, None)
+                    }
+                    RepairMode::Dense => {
+                        (self.index.commit_delete_edge(&self.graph, from, to), None)
+                    }
+                }
+            }
+            DataUpdate::InsertNode { label } => {
+                let id = self.graph.add_node(label);
+                let delta = self.index.commit_insert_node(self.graph.slot_count());
+                self.row_scratch.resize(self.graph.slot_count(), INF);
+                if mode == RepairMode::Compose {
+                    let part = self
+                        .partitioned
+                        .as_mut()
+                        .expect("partition prepared for UA-GPNM");
+                    part.note_insert_node(&self.graph, id);
+                }
+                (delta, Some(id))
+            }
+            DataUpdate::DeleteNode { node } => {
+                let sources = self.index.delete_node_candidates(node);
+                match mode {
+                    RepairMode::Compose => {
+                        let part_ref = self
+                            .partitioned
+                            .as_ref()
+                            .expect("partition prepared for UA-GPNM");
+                        let former = part_ref
+                            .partition()
+                            .of(node)
+                            .expect("deleting a live node");
+                        self.graph.remove_node(node).expect("batch validated");
+                        let part = self
+                            .partitioned
+                            .as_mut()
+                            .expect("partition prepared for UA-GPNM");
+                        part.note_delete_node(&self.graph, node, former);
+                        let mut delta = AffDelta::new();
+                        self.row_scratch.resize(self.graph.slot_count(), INF);
+                        for x in sources {
+                            part.compose_row(x, &mut self.row_scratch);
+                            self.index.apply_row(x, &self.row_scratch, &mut delta);
+                        }
+                        self.index.clear_slot(node, &mut delta);
+                        (delta, None)
+                    }
+                    RepairMode::ParallelBfs => {
+                        self.graph.remove_node(node).expect("batch validated");
+                        let mut delta = AffDelta::new();
+                        for (x, row) in parallel_bfs_rows(&self.graph, &sources, 0) {
+                            self.index.apply_row(x, &row, &mut delta);
+                        }
+                        self.index.clear_slot(node, &mut delta);
+                        (delta, None)
+                    }
+                    RepairMode::Dense => {
+                        self.graph.remove_node(node).expect("batch validated");
+                        (self.index.commit_delete_node(&self.graph, node), None)
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Strategy selection for subsequent queries.
+
+/// Which algorithm answers the subsequent query. See the crate docs for
+/// the capability matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Recompute everything from scratch (correctness baseline).
+    Scratch,
+    /// INC-GPNM \[13\]: one incremental pass per update, no elimination
+    /// analysis.
+    IncGpnm,
+    /// EH-GPNM \[14\]: single-graph eliminations among *data* updates only;
+    /// every pattern update still gets its own pass.
+    EhGpnm,
+    /// UA-GPNM without the §V graph partition (ablation in the paper's
+    /// evaluation).
+    UaGpnmNoPar,
+    /// The paper's full method: all three elimination types, EH-Tree, and
+    /// partitioned `SLen` maintenance.
+    UaGpnm,
+}
+
+impl Strategy {
+    /// All strategies, in the paper's fastest-to-slowest expected order.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::UaGpnm,
+        Strategy::UaGpnmNoPar,
+        Strategy::EhGpnm,
+        Strategy::IncGpnm,
+        Strategy::Scratch,
+    ];
+
+    /// The four strategies the paper's evaluation compares (no Scratch).
+    pub const PAPER: [Strategy; 4] = [
+        Strategy::UaGpnm,
+        Strategy::UaGpnmNoPar,
+        Strategy::EhGpnm,
+        Strategy::IncGpnm,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Scratch => "Scratch",
+            Strategy::IncGpnm => "INC-GPNM",
+            Strategy::EhGpnm => "EH-GPNM",
+            Strategy::UaGpnmNoPar => "UA-GPNM-NoPar",
+            Strategy::UaGpnm => "UA-GPNM",
+        }
+    }
+
+    /// Whether this strategy detects any elimination relationships.
+    pub fn eliminates(&self) -> bool {
+        matches!(
+            self,
+            Strategy::EhGpnm | Strategy::UaGpnmNoPar | Strategy::UaGpnm
+        )
+    }
+
+    /// Whether this strategy uses the §V label-based partition.
+    pub fn partitioned(&self) -> bool {
+        matches!(self, Strategy::UaGpnm)
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_figures() {
+        assert_eq!(Strategy::UaGpnm.name(), "UA-GPNM");
+        assert_eq!(Strategy::UaGpnmNoPar.name(), "UA-GPNM-NoPar");
+        assert_eq!(Strategy::EhGpnm.name(), "EH-GPNM");
+        assert_eq!(Strategy::IncGpnm.name(), "INC-GPNM");
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(Strategy::UaGpnm.partitioned());
+        assert!(!Strategy::UaGpnmNoPar.partitioned());
+        assert!(Strategy::EhGpnm.eliminates());
+        assert!(!Strategy::IncGpnm.eliminates());
+        assert_eq!(Strategy::ALL.len(), 5);
+        assert_eq!(Strategy::PAPER.len(), 4);
+    }
+}

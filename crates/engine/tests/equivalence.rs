@@ -1,0 +1,325 @@
+//! Cross-strategy equivalence: every strategy must produce the same SQuery
+//! as from-scratch recomputation — the load-bearing invariant of the whole
+//! reproduction (DESIGN.md §7).
+
+use gpnm_engine::{GpnmEngine, Strategy};
+use gpnm_graph::paper::fig1;
+use gpnm_graph::{Bound, DataGraph, Label, LabelInterner, NodeId, PatternGraph};
+use gpnm_matcher::MatchSemantics;
+use gpnm_updates::{DataUpdate, PatternUpdate, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random labeled digraph for equivalence fuzzing.
+fn random_graph(rng: &mut StdRng, nodes: usize, edges: usize, labels: usize) -> (DataGraph, LabelInterner) {
+    let mut interner = LabelInterner::new();
+    let label_ids: Vec<Label> = (0..labels)
+        .map(|i| interner.intern(&format!("L{i}")))
+        .collect();
+    let mut g = DataGraph::new();
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|_| g.add_node(label_ids[rng.gen_range(0..labels)]))
+        .collect();
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < edges && attempts < edges * 20 {
+        attempts += 1;
+        let u = ids[rng.gen_range(0..nodes)];
+        let v = ids[rng.gen_range(0..nodes)];
+        if u != v && g.add_edge(u, v).is_ok() {
+            added += 1;
+        }
+    }
+    (g, interner)
+}
+
+/// Random small pattern over the same label alphabet.
+fn random_pattern(rng: &mut StdRng, interner: &mut LabelInterner, labels: usize) -> PatternGraph {
+    let n = rng.gen_range(3..=5);
+    let mut p = PatternGraph::new();
+    let nodes: Vec<_> = (0..n)
+        .map(|_| {
+            let l = interner
+                .get(&format!("L{}", rng.gen_range(0..labels)))
+                .expect("label interned");
+            p.add_node(l)
+        })
+        .collect();
+    let edges = rng.gen_range(2..=n + 1);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < edges && attempts < 50 {
+        attempts += 1;
+        let a = nodes[rng.gen_range(0..n)];
+        let b = nodes[rng.gen_range(0..n)];
+        if a != b && p.add_edge(a, b, Bound::Hops(rng.gen_range(1..=3))).is_ok() {
+            added += 1;
+        }
+    }
+    p
+}
+
+/// Random valid batch against the current graphs (applies to clones to
+/// track validity while generating).
+fn random_batch(
+    rng: &mut StdRng,
+    graph: &DataGraph,
+    pattern: &PatternGraph,
+    interner: &LabelInterner,
+    len: usize,
+) -> UpdateBatch {
+    let mut g = graph.clone();
+    let mut p = pattern.clone();
+    let mut batch = UpdateBatch::new();
+    for _ in 0..len {
+        let choice = rng.gen_range(0..100);
+        let live: Vec<NodeId> = g.nodes().collect();
+        if choice < 40 && live.len() >= 2 {
+            // data edge insert
+            let u = live[rng.gen_range(0..live.len())];
+            let v = live[rng.gen_range(0..live.len())];
+            if u != v && g.add_edge(u, v).is_ok() {
+                batch.push(DataUpdate::InsertEdge { from: u, to: v });
+            }
+        } else if choice < 65 {
+            // data edge delete
+            let edges: Vec<_> = g.edges().collect();
+            if !edges.is_empty() {
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                g.remove_edge(u, v).expect("edge just listed");
+                batch.push(DataUpdate::DeleteEdge { from: u, to: v });
+            }
+        } else if choice < 72 {
+            // data node insert
+            let l = Label(rng.gen_range(0..interner.len() as u32));
+            g.add_node(l);
+            batch.push(DataUpdate::InsertNode { label: l });
+        } else if choice < 78 && live.len() > 3 {
+            // data node delete
+            let v = live[rng.gen_range(0..live.len())];
+            g.remove_node(v).expect("node just listed");
+            batch.push(DataUpdate::DeleteNode { node: v });
+        } else if choice < 88 {
+            // pattern edge insert
+            let pn: Vec<_> = p.nodes().collect();
+            if pn.len() >= 2 {
+                let a = pn[rng.gen_range(0..pn.len())];
+                let b = pn[rng.gen_range(0..pn.len())];
+                let bound = Bound::Hops(rng.gen_range(1..=4));
+                if a != b && p.add_edge(a, b, bound).is_ok() {
+                    batch.push(PatternUpdate::InsertEdge { from: a, to: b, bound });
+                }
+            }
+        } else if choice < 96 {
+            // pattern edge delete
+            let pe: Vec<_> = p.edges().collect();
+            if !pe.is_empty() {
+                let e = pe[rng.gen_range(0..pe.len())];
+                p.remove_edge(e.from, e.to).expect("edge just listed");
+                batch.push(PatternUpdate::DeleteEdge { from: e.from, to: e.to });
+            }
+        } else if choice < 98 {
+            // pattern node insert
+            let l = Label(rng.gen_range(0..interner.len() as u32));
+            p.add_node(l);
+            batch.push(PatternUpdate::InsertNode { label: l });
+        } else {
+            // pattern node delete (keep at least two pattern nodes)
+            let pn: Vec<_> = p.nodes().collect();
+            if pn.len() > 2 {
+                let node = pn[rng.gen_range(0..pn.len())];
+                p.remove_node(node).expect("node just listed");
+                batch.push(PatternUpdate::DeleteNode { node });
+            }
+        }
+    }
+    batch
+}
+
+fn assert_all_strategies_agree(
+    graph: &DataGraph,
+    pattern: &PatternGraph,
+    batch: &UpdateBatch,
+    semantics: MatchSemantics,
+    seed_info: &str,
+) {
+    // Reference: apply the batch and recompute from scratch.
+    let mut reference = GpnmEngine::new(graph.clone(), pattern.clone(), semantics);
+    reference.initial_query();
+    reference
+        .subsequent_query(batch, Strategy::Scratch)
+        .expect("valid batch");
+    let expected = reference.result().clone();
+
+    for strategy in [
+        Strategy::IncGpnm,
+        Strategy::EhGpnm,
+        Strategy::UaGpnmNoPar,
+        Strategy::UaGpnm,
+    ] {
+        let mut engine = GpnmEngine::new(graph.clone(), pattern.clone(), semantics);
+        engine.initial_query();
+        let stats = engine
+            .subsequent_query(batch, strategy)
+            .expect("valid batch");
+        assert_eq!(
+            engine.result(),
+            &expected,
+            "{strategy} disagrees with Scratch ({seed_info}, semantics {semantics:?}, stats: {})",
+            stats.summary()
+        );
+        // The SLen matrix must stay exact too.
+        let rebuilt = gpnm_distance::apsp_matrix(engine.graph());
+        assert_eq!(
+            engine.slen(),
+            &rebuilt,
+            "{strategy} left a stale SLen ({seed_info})"
+        );
+    }
+}
+
+#[test]
+fn paper_example_2_all_strategies() {
+    let f = fig1();
+    let mut batch = UpdateBatch::new();
+    batch.push(PatternUpdate::InsertEdge {
+        from: f.p_pm,
+        to: f.p_te,
+        bound: Bound::Hops(2),
+    });
+    batch.push(PatternUpdate::InsertEdge {
+        from: f.p_s,
+        to: f.p_te,
+        bound: Bound::Hops(4),
+    });
+    batch.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
+    batch.push(DataUpdate::InsertEdge { from: f.db1, to: f.s1 });
+    for semantics in [MatchSemantics::Simulation, MatchSemantics::DualSimulation] {
+        assert_all_strategies_agree(&f.graph, &f.pattern, &batch, semantics, "example2");
+    }
+}
+
+#[test]
+fn paper_example_2_squery_equals_iquery() {
+    // The elimination story of Example 2: the four updates cancel out and
+    // SQuery == IQuery (under the successor-only semantics of Table I).
+    let f = fig1();
+    let mut engine = GpnmEngine::new(f.graph.clone(), f.pattern.clone(), MatchSemantics::Simulation);
+    let iquery = engine.initial_query().clone();
+    let mut batch = UpdateBatch::new();
+    batch.push(PatternUpdate::InsertEdge {
+        from: f.p_pm,
+        to: f.p_te,
+        bound: Bound::Hops(2),
+    });
+    batch.push(PatternUpdate::InsertEdge {
+        from: f.p_s,
+        to: f.p_te,
+        bound: Bound::Hops(4),
+    });
+    batch.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
+    batch.push(DataUpdate::InsertEdge { from: f.db1, to: f.s1 });
+    let stats = engine
+        .subsequent_query(&batch, Strategy::UaGpnm)
+        .expect("valid batch");
+    assert_eq!(engine.result(), &iquery, "SQuery == IQuery per Example 2");
+    assert!(
+        stats.eliminated >= 2,
+        "UD2, UP1, UP2 should be eliminated (got {})",
+        stats.eliminated
+    );
+}
+
+#[test]
+fn randomized_equivalence_simulation() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for round in 0..30 {
+        let labels = rng.gen_range(2..6);
+        let nodes = rng.gen_range(8..40);
+        let edges = rng.gen_range(nodes / 2..nodes * 3);
+        let (graph, mut interner) = random_graph(&mut rng, nodes, edges, labels);
+        let pattern = random_pattern(&mut rng, &mut interner, labels);
+        let batch_len = rng.gen_range(1..12);
+        let batch = random_batch(&mut rng, &graph, &pattern, &interner, batch_len);
+        assert_all_strategies_agree(
+            &graph,
+            &pattern,
+            &batch,
+            MatchSemantics::Simulation,
+            &format!("round {round}"),
+        );
+    }
+}
+
+#[test]
+fn randomized_equivalence_dual() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for round in 0..30 {
+        let labels = rng.gen_range(2..6);
+        let nodes = rng.gen_range(8..40);
+        let edges = rng.gen_range(nodes / 2..nodes * 3);
+        let (graph, mut interner) = random_graph(&mut rng, nodes, edges, labels);
+        let pattern = random_pattern(&mut rng, &mut interner, labels);
+        let batch_len = rng.gen_range(1..12);
+        let batch = random_batch(&mut rng, &graph, &pattern, &interner, batch_len);
+        assert_all_strategies_agree(
+            &graph,
+            &pattern,
+            &batch,
+            MatchSemantics::DualSimulation,
+            &format!("round {round}"),
+        );
+    }
+}
+
+#[test]
+fn chained_subsequent_queries_stay_exact() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let (graph, mut interner) = random_graph(&mut rng, 25, 60, 4);
+    let pattern = random_pattern(&mut rng, &mut interner, 4);
+    let mut engine = GpnmEngine::new(graph, pattern, MatchSemantics::Simulation);
+    engine.initial_query();
+    for round in 0..8 {
+        let batch_len = rng.gen_range(1..8);
+        let batch = random_batch(&mut rng, engine.graph(), engine.pattern(), &interner, batch_len);
+        let strategy = [Strategy::UaGpnm, Strategy::EhGpnm, Strategy::IncGpnm][round % 3];
+        engine.subsequent_query(&batch, strategy).expect("valid");
+        assert_eq!(
+            engine.result(),
+            &engine.scratch_query(),
+            "chained round {round} with {strategy} diverged"
+        );
+    }
+}
+
+#[test]
+fn invalid_batch_leaves_engine_untouched() {
+    let f = fig1();
+    let mut engine = GpnmEngine::new(f.graph.clone(), f.pattern.clone(), MatchSemantics::Simulation);
+    engine.initial_query();
+    let before_result = engine.result().clone();
+    let before_edges = engine.graph().edge_count();
+    let mut batch = UpdateBatch::new();
+    batch.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 }); // fine
+    batch.push(DataUpdate::InsertEdge { from: f.pm1, to: f.se2 }); // duplicate!
+    let err = engine.subsequent_query(&batch, Strategy::UaGpnm);
+    assert!(err.is_err());
+    assert_eq!(engine.graph().edge_count(), before_edges, "no partial apply");
+    assert_eq!(engine.result(), &before_result);
+}
+
+#[test]
+fn empty_batch_is_a_cheap_noop() {
+    let f = fig1();
+    let mut engine = GpnmEngine::new(f.graph.clone(), f.pattern.clone(), MatchSemantics::Simulation);
+    let iq = engine.initial_query().clone();
+    for strategy in Strategy::ALL {
+        let stats = engine
+            .subsequent_query(&UpdateBatch::new(), strategy)
+            .expect("empty batch is valid");
+        assert_eq!(engine.result(), &iq, "{strategy} changed an unchanged graph");
+        if strategy != Strategy::Scratch {
+            assert_eq!(stats.slen_changes, 0);
+        }
+    }
+}

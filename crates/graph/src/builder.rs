@@ -1,0 +1,205 @@
+//! Fluent builders for data and pattern graphs keyed by human-readable
+//! names, used by tests, examples and the paper fixtures.
+
+use std::collections::HashMap;
+
+use crate::data_graph::DataGraph;
+use crate::ids::{NodeId, PatternNodeId};
+use crate::label::LabelInterner;
+use crate::pattern::{Bound, PatternGraph};
+use crate::Result;
+
+/// Builds a [`DataGraph`] from `(name, label)` node declarations and
+/// `(name, name)` edges.
+///
+/// ```
+/// use gpnm_graph::DataGraphBuilder;
+/// let (graph, interner, names) = DataGraphBuilder::new()
+///     .node("PM1", "PM")
+///     .node("SE1", "SE")
+///     .edge("PM1", "SE1")
+///     .build()
+///     .unwrap();
+/// assert_eq!(graph.node_count(), 2);
+/// assert!(graph.has_edge(names["PM1"], names["SE1"]));
+/// # let _ = interner;
+/// ```
+#[derive(Debug, Default)]
+pub struct DataGraphBuilder {
+    nodes: Vec<(String, String)>,
+    edges: Vec<(String, String)>,
+}
+
+impl DataGraphBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a node `name` with label `label`.
+    pub fn node(mut self, name: &str, label: &str) -> Self {
+        self.nodes.push((name.to_owned(), label.to_owned()));
+        self
+    }
+
+    /// Declare an edge between two previously (or later) declared nodes.
+    pub fn edge(mut self, from: &str, to: &str) -> Self {
+        self.edges.push((from.to_owned(), to.to_owned()));
+        self
+    }
+
+    /// Materialize the graph. Unknown edge endpoints panic (builder misuse
+    /// is a programming error in fixtures); graph-level violations
+    /// (duplicates, self-loops) surface as [`crate::GraphError`].
+    pub fn build(self) -> Result<(DataGraph, LabelInterner, HashMap<String, NodeId>)> {
+        self.build_with_interner(LabelInterner::new())
+    }
+
+    /// Like [`DataGraphBuilder::build`] but reusing an existing interner so
+    /// the graph shares label ids with a pattern.
+    pub fn build_with_interner(
+        self,
+        mut interner: LabelInterner,
+    ) -> Result<(DataGraph, LabelInterner, HashMap<String, NodeId>)> {
+        let mut graph = DataGraph::with_capacity(self.nodes.len());
+        let mut names = HashMap::with_capacity(self.nodes.len());
+        for (name, label) in &self.nodes {
+            let l = interner.intern(label);
+            let id = graph.add_node(l);
+            names.insert(name.clone(), id);
+        }
+        for (from, to) in &self.edges {
+            let u = *names
+                .get(from)
+                .unwrap_or_else(|| panic!("undeclared node {from:?} in edge list"));
+            let v = *names
+                .get(to)
+                .unwrap_or_else(|| panic!("undeclared node {to:?} in edge list"));
+            graph.add_edge(u, v)?;
+        }
+        Ok((graph, interner, names))
+    }
+}
+
+/// Builds a [`PatternGraph`] with named nodes and bounded edges.
+#[derive(Debug, Default)]
+pub struct PatternGraphBuilder {
+    nodes: Vec<(String, String)>,
+    edges: Vec<(String, String, Bound)>,
+}
+
+impl PatternGraphBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a pattern node `name` with label `label`. The name is
+    /// typically the label itself — pattern nodes in the paper are referred
+    /// to by label.
+    pub fn node(mut self, name: &str, label: &str) -> Self {
+        self.nodes.push((name.to_owned(), label.to_owned()));
+        self
+    }
+
+    /// Declare a bounded edge `from -> to` with `k` hops.
+    pub fn edge(mut self, from: &str, to: &str, k: u32) -> Self {
+        self.edges.push((from.to_owned(), to.to_owned(), Bound::Hops(k)));
+        self
+    }
+
+    /// Declare an unbounded (`*`) edge.
+    pub fn edge_unbounded(mut self, from: &str, to: &str) -> Self {
+        self.edges
+            .push((from.to_owned(), to.to_owned(), Bound::Unbounded));
+        self
+    }
+
+    /// Materialize the pattern against an existing interner (shared with the
+    /// data graph it will be matched on).
+    pub fn build_with_interner(
+        self,
+        mut interner: LabelInterner,
+    ) -> Result<(PatternGraph, LabelInterner, HashMap<String, PatternNodeId>)> {
+        let mut pattern = PatternGraph::new();
+        let mut names = HashMap::with_capacity(self.nodes.len());
+        for (name, label) in &self.nodes {
+            let l = interner.intern(label);
+            let id = pattern.add_node(l);
+            names.insert(name.clone(), id);
+        }
+        for (from, to, bound) in &self.edges {
+            let u = *names
+                .get(from)
+                .unwrap_or_else(|| panic!("undeclared pattern node {from:?}"));
+            let v = *names
+                .get(to)
+                .unwrap_or_else(|| panic!("undeclared pattern node {to:?}"));
+            pattern.add_edge(u, v, *bound)?;
+        }
+        Ok((pattern, interner, names))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_builder_wires_names_to_ids() {
+        let (g, li, names) = DataGraphBuilder::new()
+            .node("a", "X")
+            .node("b", "Y")
+            .node("c", "X")
+            .edge("a", "b")
+            .edge("b", "c")
+            .build()
+            .unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let x = li.get("X").unwrap();
+        assert_eq!(g.nodes_with_label(x).len(), 2);
+        assert!(g.has_edge(names["a"], names["b"]));
+    }
+
+    #[test]
+    fn pattern_builder_shares_interner() {
+        let (_, li, _) = DataGraphBuilder::new().node("a", "PM").build().unwrap();
+        let (p, li2, names) = PatternGraphBuilder::new()
+            .node("PM", "PM")
+            .node("SE", "SE")
+            .edge("PM", "SE", 3)
+            .build_with_interner(li)
+            .unwrap();
+        assert_eq!(p.label(names["PM"]), li2.get("PM"));
+        assert_eq!(p.bound(names["PM"], names["SE"]), Some(Bound::Hops(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared node")]
+    fn unknown_edge_endpoint_panics() {
+        let _ = DataGraphBuilder::new().node("a", "X").edge("a", "zzz").build();
+    }
+
+    #[test]
+    fn duplicate_edge_surfaces_graph_error() {
+        let result = DataGraphBuilder::new()
+            .node("a", "X")
+            .node("b", "X")
+            .edge("a", "b")
+            .edge("a", "b")
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unbounded_edges_supported() {
+        let (p, _, names) = PatternGraphBuilder::new()
+            .node("A", "A")
+            .node("B", "B")
+            .edge_unbounded("A", "B")
+            .build_with_interner(LabelInterner::new())
+            .unwrap();
+        assert_eq!(p.bound(names["A"], names["B"]), Some(Bound::Unbounded));
+    }
+}

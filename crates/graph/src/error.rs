@@ -1,0 +1,76 @@
+//! Error type shared by all graph mutations.
+
+use std::fmt;
+
+use crate::ids::{NodeId, PatternNodeId};
+
+/// Errors raised by graph construction and mutation.
+///
+/// Mutations are all-or-nothing: when a method returns an error the graph is
+/// unchanged. This matters for the update engine, which probes speculative
+/// updates and must be able to treat a failure as a no-op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The referenced data-graph node does not exist (never created, or
+    /// deleted).
+    MissingNode(NodeId),
+    /// The referenced pattern node does not exist.
+    MissingPatternNode(PatternNodeId),
+    /// The edge to insert already exists (graphs are simple digraphs).
+    DuplicateEdge(NodeId, NodeId),
+    /// The pattern edge to insert already exists.
+    DuplicatePatternEdge(PatternNodeId, PatternNodeId),
+    /// The edge to delete does not exist.
+    MissingEdge(NodeId, NodeId),
+    /// The pattern edge to delete does not exist.
+    MissingPatternEdge(PatternNodeId, PatternNodeId),
+    /// Self-loops are rejected: a bounded path length from a node to itself
+    /// is trivially 0 and BGS semantics for loops degenerate.
+    SelfLoop,
+    /// A bounded path length of zero hops was supplied; bounds must be a
+    /// positive integer `k` or `*` (paper §III-A).
+    ZeroBound,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::MissingNode(n) => write!(f, "data node {n:?} does not exist"),
+            GraphError::MissingPatternNode(n) => write!(f, "pattern node {n:?} does not exist"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "edge {u:?}->{v:?} already exists"),
+            GraphError::DuplicatePatternEdge(u, v) => {
+                write!(f, "pattern edge {u:?}->{v:?} already exists")
+            }
+            GraphError::MissingEdge(u, v) => write!(f, "edge {u:?}->{v:?} does not exist"),
+            GraphError::MissingPatternEdge(u, v) => {
+                write!(f, "pattern edge {u:?}->{v:?} does not exist")
+            }
+            GraphError::SelfLoop => write!(f, "self-loops are not permitted"),
+            GraphError::ZeroBound => write!(f, "bounded path length must be >= 1 or unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::DuplicateEdge(NodeId(1), NodeId(2));
+        assert!(e.to_string().contains("already exists"));
+        let e = GraphError::MissingPatternNode(PatternNodeId(4));
+        assert!(e.to_string().contains("pattern node"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(GraphError::SelfLoop, GraphError::SelfLoop);
+        assert_ne!(
+            GraphError::MissingNode(NodeId(0)),
+            GraphError::MissingNode(NodeId(1))
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Strongly-typed node identifiers.
+//!
+//! Data-graph and pattern-graph node ids are deliberately distinct types so
+//! the matcher cannot confuse the two id spaces. Both are thin `u32`
+//! newtypes: the paper's largest evaluation graph (LiveJournal, 4M nodes)
+//! fits comfortably, and 4-byte ids halve the footprint of the adjacency
+//! and distance structures relative to `usize`.
+
+use std::fmt;
+
+/// Identifier of a node in a [`crate::DataGraph`].
+///
+/// Ids are slot indices: they are dense, start at zero and are *never*
+/// reused after deletion (the slot is tombstoned instead), so downstream
+/// indices keyed by `NodeId` survive deletions without remapping.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a node in a [`crate::PatternGraph`].
+///
+/// Pattern graphs are tiny (6–10 nodes in the paper's evaluation), but get
+/// their own id type to keep the two id spaces apart at compile time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternNodeId(pub u32);
+
+impl NodeId {
+    /// The slot index as a `usize`, for indexing into slot-aligned storage.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a slot index. Panics in debug builds on overflow.
+    #[inline(always)]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index overflows u32");
+        NodeId(index as u32)
+    }
+}
+
+impl PatternNodeId {
+    /// The slot index as a `usize`.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a slot index.
+    #[inline(always)]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "pattern node index overflows u32");
+        PatternNodeId(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for PatternNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PatternNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for PatternNodeId {
+    fn from(v: u32) -> Self {
+        PatternNodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, NodeId(42));
+    }
+
+    #[test]
+    fn pattern_id_round_trips_through_index() {
+        let id = PatternNodeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id, PatternNodeId(7));
+    }
+
+    #[test]
+    fn debug_formats_are_distinct() {
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", PatternNodeId(3)), "p3");
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(NodeId(9).to_string(), "9");
+        assert_eq!(PatternNodeId(9).to_string(), "9");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(PatternNodeId(0) < PatternNodeId(10));
+    }
+}

@@ -1,0 +1,160 @@
+//! Node labels and label interning.
+//!
+//! Every data-graph node and pattern-graph node carries exactly one label
+//! (the paper's `f_a`/`f_v` restricted to the attribute BGS actually
+//! consults — the job title in the running example). Labels are interned to
+//! `u32` so hot paths compare integers; the [`LabelInterner`] maps back to
+//! the human-readable name for rendering.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned node label.
+///
+/// Equality of labels is equality of the interned ids; two labels from
+/// *different* interners are not comparable in any meaningful way, which is
+/// fine because a data graph and the patterns queried against it share one
+/// interner.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The interned id as a `usize`, for indexing label-keyed tables.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw interned id.
+    #[inline(always)]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "label index overflows u32");
+        Label(index as u32)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between label names and interned [`Label`] ids.
+///
+/// Interning is append-only: ids are dense and stable for the lifetime of
+/// the interner, so label-keyed `Vec`s never need remapping.
+#[derive(Debug, Clone, Default)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    ids: HashMap<String, Label>,
+}
+
+impl LabelInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = Label::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an already-interned label by name.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of an interned label, if the id came from this interner.
+    pub fn name(&self, label: Label) -> Option<&str> {
+        self.names.get(label.index()).map(String::as_str)
+    }
+
+    /// Name of `label`, or `"?<id>"` for foreign ids (rendering fallback).
+    pub fn name_or_placeholder(&self, label: Label) -> String {
+        match self.name(label) {
+            Some(n) => n.to_owned(),
+            None => format!("?{}", label.0),
+        }
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(label, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label::from_index(i), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("PM");
+        let b = interner.intern("PM");
+        assert_eq!(a, b);
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_dense_ids() {
+        let mut interner = LabelInterner::new();
+        let pm = interner.intern("PM");
+        let se = interner.intern("SE");
+        let te = interner.intern("TE");
+        assert_eq!(pm, Label(0));
+        assert_eq!(se, Label(1));
+        assert_eq!(te, Label(2));
+    }
+
+    #[test]
+    fn name_round_trip() {
+        let mut interner = LabelInterner::new();
+        let db = interner.intern("DB");
+        assert_eq!(interner.name(db), Some("DB"));
+        assert_eq!(interner.get("DB"), Some(db));
+        assert_eq!(interner.get("S"), None);
+    }
+
+    #[test]
+    fn placeholder_for_foreign_label() {
+        let interner = LabelInterner::new();
+        assert_eq!(interner.name_or_placeholder(Label(5)), "?5");
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut interner = LabelInterner::new();
+        interner.intern("A");
+        interner.intern("B");
+        let collected: Vec<_> = interner.iter().map(|(l, n)| (l.0, n.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "A".to_owned()), (1, "B".to_owned())]);
+    }
+
+    #[test]
+    fn empty_interner_reports_empty() {
+        let interner = LabelInterner::new();
+        assert!(interner.is_empty());
+        assert_eq!(interner.len(), 0);
+    }
+}

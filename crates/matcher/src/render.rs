@@ -1,0 +1,65 @@
+//! Rendering of match results in the paper's Table I layout.
+
+use gpnm_graph::{LabelInterner, NodeId, PatternGraph};
+
+use crate::result::MatchResult;
+
+/// Render `result` as a two-column text table:
+/// `Nodes in GP | Matching nodes in GD` (paper Table I).
+///
+/// `node_name` maps data nodes to display names (e.g. `PM1`); pattern nodes
+/// are displayed by label via `interner`.
+pub fn render_match_table(
+    pattern: &PatternGraph,
+    result: &MatchResult,
+    interner: &LabelInterner,
+    mut node_name: impl FnMut(NodeId) -> String,
+) -> String {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for u in pattern.nodes() {
+        let label = pattern.label(u).expect("live pattern node");
+        let name = interner.name_or_placeholder(label);
+        let matches: Vec<String> = result.matches_of(u).map(&mut node_name).collect();
+        rows.push((name, matches.join(", ")));
+    }
+    let left_width = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .max()
+        .unwrap_or(0)
+        .max("Nodes in GP".len());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<left_width$} | Matching nodes in GD\n",
+        "Nodes in GP"
+    ));
+    out.push_str(&format!("{:-<left_width$}-+----------------------\n", ""));
+    for (l, r) in rows {
+        out.push_str(&format!("{l:<left_width$} | {r}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{match_graph, MatchSemantics};
+    use gpnm_distance::apsp_matrix;
+    use gpnm_graph::paper::fig1;
+
+    #[test]
+    fn renders_table_i() {
+        let f = fig1();
+        let slen = apsp_matrix(&f.graph);
+        let m = match_graph(&f.pattern, &f.graph, &slen, MatchSemantics::Simulation);
+        let reverse: std::collections::HashMap<_, _> =
+            f.names.iter().map(|(k, &v)| (v, k.clone())).collect();
+        let table = render_match_table(&f.pattern, &m, &f.interner, |n| reverse[&n].clone());
+        assert!(table.contains("Nodes in GP"));
+        assert!(table.contains("| PM1, PM2"));
+        assert!(table.contains("| SE1, SE2"));
+        assert!(table.contains("| S1"));
+        assert!(table.contains("| TE1, TE2"));
+        assert_eq!(table.lines().count(), 6, "header + rule + 4 rows");
+    }
+}

@@ -1,0 +1,184 @@
+//! The GPNM result: one node set per pattern node.
+
+use gpnm_graph::{NodeId, NodeSet, PatternGraph, PatternNodeId};
+
+/// Per-pattern-node match sets — the paper's `N_pi` for every `pi ∈ GP`
+/// (Table I is one of these, rendered).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MatchResult {
+    /// Indexed by pattern slot; tombstoned pattern slots keep empty sets.
+    sets: Vec<NodeSet>,
+}
+
+impl MatchResult {
+    /// An empty result sized for `pattern`.
+    pub fn for_pattern(pattern: &PatternGraph) -> Self {
+        MatchResult {
+            sets: vec![NodeSet::new(); pattern.slot_count()],
+        }
+    }
+
+    /// Number of pattern slots covered.
+    pub fn slot_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Grow to cover `slots` pattern slots (pattern node insertions).
+    pub fn grow(&mut self, slots: usize) {
+        if slots > self.sets.len() {
+            self.sets.resize_with(slots, NodeSet::new);
+        }
+    }
+
+    /// The match set of pattern node `p`.
+    #[inline]
+    pub fn set(&self, p: PatternNodeId) -> &NodeSet {
+        &self.sets[p.index()]
+    }
+
+    /// Mutable match set of pattern node `p`.
+    #[inline]
+    pub fn set_mut(&mut self, p: PatternNodeId) -> &mut NodeSet {
+        &mut self.sets[p.index()]
+    }
+
+    /// Whether data node `v` matches pattern node `p`.
+    #[inline]
+    pub fn contains(&self, p: PatternNodeId, v: NodeId) -> bool {
+        self.sets.get(p.index()).is_some_and(|s| s.contains(v))
+    }
+
+    /// Ascending iterator over the matchers of `p`. Empty for slots beyond
+    /// the result's width (e.g. pattern nodes created after the query this
+    /// result answered — the DER-I cascade probes those).
+    pub fn matches_of(&self, p: PatternNodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.sets.get(p.index()).into_iter().flat_map(NodeSet::iter)
+    }
+
+    /// Total number of `(pattern node, data node)` match pairs.
+    pub fn total_matches(&self) -> usize {
+        self.sets.iter().map(NodeSet::len).sum()
+    }
+
+    /// Clear every set (used when some live pattern node has no match:
+    /// `GP ⋠ GD` means the whole result is empty — §III-B).
+    pub fn clear_all(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+
+    /// Whether every set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(NodeSet::is_empty)
+    }
+
+    /// Symmetric difference against `other` as
+    /// `(pattern node, data node, added)` triples — the basis of SQuery
+    /// vs IQuery reporting.
+    pub fn diff<'a>(
+        &'a self,
+        other: &'a MatchResult,
+    ) -> impl Iterator<Item = (PatternNodeId, NodeId, bool)> + 'a {
+        let slots = self.sets.len().max(other.sets.len());
+        (0..slots).flat_map(move |i| {
+            let p = PatternNodeId::from_index(i);
+            let empty = NodeSet::new();
+            let a = self.sets.get(i).unwrap_or(&empty).clone();
+            let b = other.sets.get(i).unwrap_or(&empty).clone();
+            let removed: Vec<_> = a
+                .iter()
+                .filter(|&v| !b.contains(v))
+                .map(move |v| (p, v, false))
+                .collect();
+            let added: Vec<_> = b
+                .iter()
+                .filter(|&v| !a.contains(v))
+                .map(move |v| (p, v, true))
+                .collect();
+            removed.into_iter().chain(added)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpnm_graph::{LabelInterner, PatternGraph};
+
+    fn pattern2() -> PatternGraph {
+        let mut li = LabelInterner::new();
+        let a = li.intern("A");
+        let b = li.intern("B");
+        let mut p = PatternGraph::new();
+        p.add_node(a);
+        p.add_node(b);
+        p
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let p = pattern2();
+        let mut r = MatchResult::for_pattern(&p);
+        r.set_mut(PatternNodeId(0)).insert(NodeId(7));
+        assert!(r.contains(PatternNodeId(0), NodeId(7)));
+        assert!(!r.contains(PatternNodeId(1), NodeId(7)));
+        assert_eq!(r.total_matches(), 1);
+        assert_eq!(
+            r.matches_of(PatternNodeId(0)).collect::<Vec<_>>(),
+            vec![NodeId(7)]
+        );
+    }
+
+    #[test]
+    fn clear_all_empties_everything() {
+        let p = pattern2();
+        let mut r = MatchResult::for_pattern(&p);
+        r.set_mut(PatternNodeId(0)).insert(NodeId(1));
+        r.set_mut(PatternNodeId(1)).insert(NodeId(2));
+        r.clear_all();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn diff_reports_adds_and_removes() {
+        let p = pattern2();
+        let mut a = MatchResult::for_pattern(&p);
+        let mut b = MatchResult::for_pattern(&p);
+        a.set_mut(PatternNodeId(0)).insert(NodeId(1));
+        b.set_mut(PatternNodeId(0)).insert(NodeId(2));
+        let mut d: Vec<_> = a.diff(&b).collect();
+        d.sort_by_key(|&(p, v, add)| (p, v, add));
+        assert_eq!(
+            d,
+            vec![
+                (PatternNodeId(0), NodeId(1), false),
+                (PatternNodeId(0), NodeId(2), true)
+            ]
+        );
+    }
+
+    #[test]
+    fn grow_extends_slots() {
+        let p = pattern2();
+        let mut r = MatchResult::for_pattern(&p);
+        assert_eq!(r.slot_count(), 2);
+        r.grow(5);
+        assert_eq!(r.slot_count(), 5);
+        assert!(r.set(PatternNodeId(4)).is_empty());
+        r.grow(3); // never shrinks
+        assert_eq!(r.slot_count(), 5);
+    }
+
+    #[test]
+    fn diff_handles_dimension_mismatch() {
+        let p = pattern2();
+        let mut a = MatchResult::for_pattern(&p);
+        a.set_mut(PatternNodeId(1)).insert(NodeId(3));
+        let mut b = a.clone();
+        b.grow(3);
+        b.set_mut(PatternNodeId(2)).insert(NodeId(9));
+        let d: Vec<_> = a.diff(&b).collect();
+        assert_eq!(d, vec![(PatternNodeId(2), NodeId(9), true)]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Which direction(s) of pattern edges constrain a match.
+
+/// The two readings of "node appears in a matching subgraph" (DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatchSemantics {
+    /// Successor-only bounded graph simulation, exactly as defined by
+    /// Fan et al. [4]: a matcher of `u` needs a partner for every
+    /// *outgoing* pattern edge `(u, u')`. Reproduces the paper's Table I.
+    #[default]
+    Simulation,
+    /// Dual bounded simulation: a matcher additionally needs a partner for
+    /// every *incoming* pattern edge `(w, u)`. This is the reading under
+    /// which the paper's candidate-set examples (Example 7) are exact.
+    DualSimulation,
+}
+
+impl MatchSemantics {
+    /// Whether incoming pattern edges constrain membership.
+    #[inline(always)]
+    pub fn checks_predecessors(self) -> bool {
+        matches!(self, MatchSemantics::DualSimulation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_simulation() {
+        assert_eq!(MatchSemantics::default(), MatchSemantics::Simulation);
+        assert!(!MatchSemantics::Simulation.checks_predecessors());
+        assert!(MatchSemantics::DualSimulation.checks_predecessors());
+    }
+}

@@ -1,0 +1,136 @@
+//! DER-II: affected nodes of data updates (paper Algorithm 2).
+//!
+//! The heavy lifting lives in [`gpnm_distance::IncrementalIndex`]; this
+//! module adapts it to the update enum. Each probe evaluates one update
+//! against the *current* graph + `SLen` without mutating either, exactly
+//! as Example 8 derives Tables V–VII from Table III.
+
+use gpnm_distance::{AffDelta, IncrementalIndex};
+use gpnm_graph::DataGraph;
+
+use crate::update::DataUpdate;
+
+/// `Aff_N(update)` and the changed pairs, probed read-only.
+///
+/// Returns `None` when the update is invalid against the current graph
+/// (missing endpoint, duplicate edge, …) — the caller decides whether to
+/// skip or error.
+pub fn affected_for(
+    graph: &DataGraph,
+    index: &mut IncrementalIndex,
+    update: &DataUpdate,
+) -> Option<AffDelta> {
+    match *update {
+        DataUpdate::InsertEdge { from, to } => {
+            if !graph.contains(from) || !graph.contains(to) || graph.has_edge(from, to) {
+                return None;
+            }
+            Some(index.probe_insert_edge(from, to))
+        }
+        DataUpdate::DeleteEdge { from, to } => {
+            if !graph.has_edge(from, to) {
+                return None;
+            }
+            Some(index.probe_delete_edge(graph, from, to))
+        }
+        // An isolated newcomer changes no distances (§IV-B analysis carries
+        // over): empty delta.
+        DataUpdate::InsertNode { .. } => Some(AffDelta::new()),
+        DataUpdate::DeleteNode { node } => {
+            if !graph.contains(node) {
+                return None;
+            }
+            Some(index.probe_delete_node(graph, node))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpnm_graph::paper::fig1;
+    use gpnm_graph::NodeId;
+
+    #[test]
+    fn table_vii_golden() {
+        // Aff_N(UD1) = all eight nodes; Aff_N(UD2) = {PM1, SE2, S1, TE1, DB1}.
+        let f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        let ud1 = affected_for(
+            &f.graph,
+            &mut idx,
+            &DataUpdate::InsertEdge { from: f.se1, to: f.te2 },
+        )
+        .unwrap();
+        assert_eq!(ud1.affected.len(), 8, "paper Table VII row UD1");
+        let ud2 = affected_for(
+            &f.graph,
+            &mut idx,
+            &DataUpdate::InsertEdge { from: f.db1, to: f.s1 },
+        )
+        .unwrap();
+        let got: Vec<NodeId> = ud2.affected.iter().collect();
+        assert_eq!(
+            got,
+            vec![f.pm1, f.se2, f.s1, f.te1, f.db1],
+            "paper Table VII row UD2"
+        );
+        // Probing twice must not have mutated the index.
+        assert_eq!(idx.matrix(), &gpnm_distance::apsp_matrix(&f.graph));
+    }
+
+    #[test]
+    fn type_ii_elimination_of_example_8() {
+        // Aff_N(UD1) ⊇ Aff_N(UD2) => UD1 eliminates UD2.
+        let f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        let ud1 = affected_for(
+            &f.graph,
+            &mut idx,
+            &DataUpdate::InsertEdge { from: f.se1, to: f.te2 },
+        )
+        .unwrap();
+        let ud2 = affected_for(
+            &f.graph,
+            &mut idx,
+            &DataUpdate::InsertEdge { from: f.db1, to: f.s1 },
+        )
+        .unwrap();
+        assert!(ud1.affected.is_superset_of(&ud2.affected));
+        assert!(!ud2.affected.is_superset_of(&ud1.affected));
+    }
+
+    #[test]
+    fn invalid_updates_probe_to_none() {
+        let f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        assert!(affected_for(
+            &f.graph,
+            &mut idx,
+            &DataUpdate::InsertEdge { from: f.pm1, to: f.se2 }, // duplicate
+        )
+        .is_none());
+        assert!(affected_for(
+            &f.graph,
+            &mut idx,
+            &DataUpdate::DeleteEdge { from: f.pm1, to: f.te2 }, // absent
+        )
+        .is_none());
+        assert!(affected_for(
+            &f.graph,
+            &mut idx,
+            &DataUpdate::DeleteNode { node: NodeId(99) },
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn node_insert_probe_is_empty() {
+        let f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        let se = f.interner.get("SE").unwrap();
+        let delta = affected_for(&f.graph, &mut idx, &DataUpdate::InsertNode { label: se })
+            .unwrap();
+        assert!(delta.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Ordered batches of updates with apply support.
+
+use gpnm_graph::{DataGraph, GraphError, NodeId, PatternGraph, PatternNodeId};
+
+use crate::update::{DataUpdate, PatternUpdate, Update};
+
+/// What applying one update produced — enough to report and to predict ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppliedUpdate {
+    /// An edge changed (either graph).
+    Edge,
+    /// A data node was created with this id.
+    CreatedData(NodeId),
+    /// A pattern node was created with this id.
+    CreatedPattern(PatternNodeId),
+    /// A data node was removed.
+    RemovedData(NodeId),
+    /// A pattern node was removed.
+    RemovedPattern(PatternNodeId),
+}
+
+/// An ordered sequence of updates — the `ΔG(ΔGP, ΔGD)` of the experiments.
+///
+/// Order matters: later updates may reference nodes created earlier
+/// (created ids are deterministic: the next free slot).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateBatch {
+    updates: Vec<Update>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a list.
+    pub fn from_updates(updates: Vec<Update>) -> Self {
+        UpdateBatch { updates }
+    }
+
+    /// Append an update.
+    pub fn push(&mut self, u: impl Into<Update>) {
+        self.updates.push(u.into());
+    }
+
+    /// All updates in order.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Number of updates (`|ΔG|`).
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Number of pattern updates (`|ΔGP|`).
+    pub fn pattern_len(&self) -> usize {
+        self.updates.iter().filter(|u| u.is_pattern()).count()
+    }
+
+    /// Number of data updates (`|ΔGD|`).
+    pub fn data_len(&self) -> usize {
+        self.len() - self.pattern_len()
+    }
+
+    /// Apply the whole batch to both graphs, in order. Fails fast on the
+    /// first invalid update, leaving the graphs in the partially-updated
+    /// state (callers that need atomicity validate on clones first).
+    pub fn apply_all(
+        &self,
+        graph: &mut DataGraph,
+        pattern: &mut PatternGraph,
+    ) -> Result<Vec<AppliedUpdate>, GraphError> {
+        let mut applied = Vec::with_capacity(self.updates.len());
+        for u in &self.updates {
+            applied.push(match u {
+                Update::Data(d) => apply_data(d, graph)?,
+                Update::Pattern(p) => apply_pattern(p, pattern)?,
+            });
+        }
+        Ok(applied)
+    }
+
+    /// Validate the batch against clones of the graphs without touching the
+    /// originals. Returns the first error, if any.
+    pub fn validate(&self, graph: &DataGraph, pattern: &PatternGraph) -> Result<(), GraphError> {
+        let mut g = graph.clone();
+        let mut p = pattern.clone();
+        self.apply_all(&mut g, &mut p).map(|_| ())
+    }
+}
+
+/// Apply one data update.
+pub(crate) fn apply_data(
+    update: &DataUpdate,
+    graph: &mut DataGraph,
+) -> Result<AppliedUpdate, GraphError> {
+    match *update {
+        DataUpdate::InsertEdge { from, to } => {
+            graph.add_edge(from, to)?;
+            Ok(AppliedUpdate::Edge)
+        }
+        DataUpdate::DeleteEdge { from, to } => {
+            graph.remove_edge(from, to)?;
+            Ok(AppliedUpdate::Edge)
+        }
+        DataUpdate::InsertNode { label } => Ok(AppliedUpdate::CreatedData(graph.add_node(label))),
+        DataUpdate::DeleteNode { node } => {
+            graph.remove_node(node)?;
+            Ok(AppliedUpdate::RemovedData(node))
+        }
+    }
+}
+
+/// Apply one pattern update.
+pub(crate) fn apply_pattern(
+    update: &PatternUpdate,
+    pattern: &mut PatternGraph,
+) -> Result<AppliedUpdate, GraphError> {
+    match *update {
+        PatternUpdate::InsertEdge { from, to, bound } => {
+            pattern.add_edge(from, to, bound)?;
+            Ok(AppliedUpdate::Edge)
+        }
+        PatternUpdate::DeleteEdge { from, to } => {
+            pattern.remove_edge(from, to)?;
+            Ok(AppliedUpdate::Edge)
+        }
+        PatternUpdate::InsertNode { label } => {
+            Ok(AppliedUpdate::CreatedPattern(pattern.add_node(label)))
+        }
+        PatternUpdate::DeleteNode { node } => {
+            pattern.remove_node(node)?;
+            Ok(AppliedUpdate::RemovedPattern(node))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpnm_graph::paper::fig1;
+    use gpnm_graph::Bound;
+
+    #[test]
+    fn apply_example2_batch() {
+        // Example 6: UP1, UP2, UD1, UD2.
+        let mut f = fig1();
+        let mut batch = UpdateBatch::new();
+        batch.push(PatternUpdate::InsertEdge {
+            from: f.p_pm,
+            to: f.p_te,
+            bound: Bound::Hops(2),
+        });
+        batch.push(PatternUpdate::InsertEdge {
+            from: f.p_s,
+            to: f.p_te,
+            bound: Bound::Hops(4),
+        });
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        batch.push(DataUpdate::InsertEdge {
+            from: f.db1,
+            to: f.s1,
+        });
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.pattern_len(), 2);
+        assert_eq!(batch.data_len(), 2);
+        batch.validate(&f.graph, &f.pattern).unwrap();
+        batch.apply_all(&mut f.graph, &mut f.pattern).unwrap();
+        assert!(f.graph.has_edge(f.se1, f.te2));
+        assert!(f.graph.has_edge(f.db1, f.s1));
+        assert_eq!(f.pattern.bound(f.p_pm, f.p_te), Some(Bound::Hops(2)));
+        assert_eq!(f.pattern.bound(f.p_s, f.p_te), Some(Bound::Hops(4)));
+    }
+
+    #[test]
+    fn batch_can_reference_created_nodes() {
+        let mut f = fig1();
+        let se = f.interner.get("SE").unwrap();
+        // The id the insert will produce is the next slot.
+        let predicted = NodeId::from_index(f.graph.slot_count());
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertNode { label: se });
+        batch.push(DataUpdate::InsertEdge {
+            from: predicted,
+            to: f.te1,
+        });
+        let applied = batch.apply_all(&mut f.graph, &mut f.pattern).unwrap();
+        assert_eq!(applied[0], AppliedUpdate::CreatedData(predicted));
+        assert!(f.graph.has_edge(predicted, f.te1));
+    }
+
+    #[test]
+    fn invalid_update_fails_fast() {
+        let mut f = fig1();
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertEdge {
+            from: f.pm1,
+            to: f.se2, // already exists
+        });
+        assert!(batch.validate(&f.graph, &f.pattern).is_err());
+        let err = batch.apply_all(&mut f.graph, &mut f.pattern);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn validate_leaves_originals_untouched() {
+        let f = fig1();
+        let se = f.interner.get("SE").unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertNode { label: se });
+        let before_nodes = f.graph.node_count();
+        batch.validate(&f.graph, &f.pattern).unwrap();
+        assert_eq!(f.graph.node_count(), before_nodes);
+    }
+}

@@ -1,0 +1,239 @@
+//! The pairwise elimination relations among a batch's updates.
+
+use gpnm_graph::NodeSet;
+
+use crate::update::Update;
+
+/// Which §IV-A relation type a pair falls under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelationKind {
+    /// Type I: single-graph, pattern (`UPa ⊒ UPb`).
+    SingleGraphPattern,
+    /// Type II: single-graph, data (`UDa ⊵ UDb`).
+    SingleGraphData,
+    /// Type III: cross-graph (`UDa ⇔ UPb`, recorded with the data update
+    /// as eliminator — see DESIGN.md §2 on why the larger coverage side
+    /// must parent).
+    CrossGraph,
+}
+
+/// `eliminator` covers (and therefore eliminates) `eliminated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Relation {
+    /// Batch index of the eliminating update.
+    pub eliminator: usize,
+    /// Batch index of the eliminated update.
+    pub eliminated: usize,
+    /// Relation type.
+    pub kind: RelationKind,
+}
+
+/// The per-update detection artifacts the relations are computed from.
+#[derive(Debug, Clone)]
+pub struct UpdateEffect {
+    /// Position in the batch.
+    pub index: usize,
+    /// The update itself.
+    pub update: Update,
+    /// `Can_N` (pattern updates) or `Aff_N` (data updates).
+    pub coverage: NodeSet,
+    /// Whether this is an insertion-polarity update (Algorithm 1 only
+    /// compares like-polarity pattern updates).
+    pub insertion: bool,
+    /// Pre-verified Type III eliminations: batch indices of pattern
+    /// updates this (data) update cross-eliminates.
+    pub cross_eliminates: Vec<usize>,
+}
+
+/// All pairwise elimination relations of a batch.
+#[derive(Debug, Clone, Default)]
+pub struct EliminationGraph {
+    relations: Vec<Relation>,
+    n: usize,
+}
+
+impl EliminationGraph {
+    /// Detect every Type I/II/III relation among `effects`.
+    ///
+    /// Ties (equal coverage both ways) are broken towards the earlier batch
+    /// index so the relation stays acyclic, which the EH-Tree construction
+    /// relies on.
+    pub fn detect(effects: &[UpdateEffect]) -> Self {
+        let mut relations = Vec::new();
+        for a in effects {
+            for b in effects {
+                if a.index == b.index {
+                    continue;
+                }
+                match (a.update.is_pattern(), b.update.is_pattern()) {
+                    // Type I: like-polarity pattern updates.
+                    (true, true) => {
+                        if a.insertion == b.insertion && covers(a, b) {
+                            relations.push(Relation {
+                                eliminator: a.index,
+                                eliminated: b.index,
+                                kind: RelationKind::SingleGraphPattern,
+                            });
+                        }
+                    }
+                    // Type II: data updates.
+                    (false, false) => {
+                        if covers(a, b) {
+                            relations.push(Relation {
+                                eliminator: a.index,
+                                eliminated: b.index,
+                                kind: RelationKind::SingleGraphData,
+                            });
+                        }
+                    }
+                    // Type III: data eliminates pattern (pre-verified).
+                    (false, true) => {
+                        if a.cross_eliminates.contains(&b.index) {
+                            relations.push(Relation {
+                                eliminator: a.index,
+                                eliminated: b.index,
+                                kind: RelationKind::CrossGraph,
+                            });
+                        }
+                    }
+                    (true, false) => {}
+                }
+            }
+        }
+        EliminationGraph {
+            relations,
+            n: effects.len(),
+        }
+    }
+
+    /// All detected relations.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Number of updates covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no updates were analyzed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The eliminators of update `i`.
+    pub fn eliminators_of(&self, i: usize) -> impl Iterator<Item = &Relation> + '_ {
+        self.relations.iter().filter(move |r| r.eliminated == i)
+    }
+}
+
+/// Strict coverage with index tie-break: `a` covers `b` iff
+/// `coverage(a) ⊇ coverage(b)` and, when the sets are equal, `a` comes
+/// first in the batch.
+fn covers(a: &UpdateEffect, b: &UpdateEffect) -> bool {
+    if !a.coverage.is_superset_of(&b.coverage) {
+        return false;
+    }
+    if b.coverage.is_superset_of(&a.coverage) {
+        // Equal sets: earlier index wins to keep the relation acyclic.
+        a.index < b.index
+    } else {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{DataUpdate, PatternUpdate};
+    use gpnm_graph::{Bound, NodeId, PatternNodeId};
+
+    fn effect(index: usize, update: Update, ids: &[u32], insertion: bool) -> UpdateEffect {
+        UpdateEffect {
+            index,
+            update,
+            coverage: ids.iter().map(|&i| NodeId(i)).collect(),
+            insertion,
+            cross_eliminates: Vec::new(),
+        }
+    }
+
+    fn up(i: u32) -> Update {
+        Update::Pattern(PatternUpdate::InsertEdge {
+            from: PatternNodeId(0),
+            to: PatternNodeId(i),
+            bound: Bound::Hops(2),
+        })
+    }
+
+    fn ud(i: u32) -> Update {
+        Update::Data(DataUpdate::InsertEdge {
+            from: NodeId(0),
+            to: NodeId(i),
+        })
+    }
+
+    #[test]
+    fn type_i_requires_like_polarity() {
+        let a = effect(0, up(1), &[1, 2, 3], true);
+        let b = effect(1, up(2), &[1, 2], true);
+        let c = UpdateEffect {
+            insertion: false,
+            ..effect(2, Update::Pattern(PatternUpdate::DeleteEdge {
+                from: PatternNodeId(0),
+                to: PatternNodeId(3),
+            }), &[1], false)
+        };
+        let g = EliminationGraph::detect(&[a, b, c]);
+        let rels = g.relations();
+        assert!(rels.iter().any(|r| r.eliminator == 0
+            && r.eliminated == 1
+            && r.kind == RelationKind::SingleGraphPattern));
+        // Insert (0) covers delete's set {1} but polarity differs: no Type I.
+        assert!(!rels.iter().any(|r| r.eliminated == 2));
+    }
+
+    #[test]
+    fn type_ii_between_data_updates() {
+        let a = effect(0, ud(1), &[1, 2, 3, 4], true);
+        let b = effect(1, ud(2), &[2, 3], false);
+        let g = EliminationGraph::detect(&[a, b]);
+        assert_eq!(g.relations().len(), 1);
+        assert_eq!(g.relations()[0].kind, RelationKind::SingleGraphData);
+        assert_eq!(g.relations()[0].eliminator, 0);
+    }
+
+    #[test]
+    fn equal_coverage_breaks_toward_earlier_index() {
+        let a = effect(0, ud(1), &[5, 6], true);
+        let b = effect(1, ud(2), &[5, 6], true);
+        let g = EliminationGraph::detect(&[a, b]);
+        assert_eq!(g.relations().len(), 1, "exactly one direction");
+        assert_eq!(g.relations()[0].eliminator, 0);
+        assert_eq!(g.relations()[0].eliminated, 1);
+    }
+
+    #[test]
+    fn type_iii_uses_preverified_list() {
+        let mut d = effect(0, ud(1), &[1, 2, 3], true);
+        d.cross_eliminates.push(1);
+        let p = effect(1, up(1), &[1, 2], true);
+        let g = EliminationGraph::detect(&[d, p]);
+        assert!(g
+            .relations()
+            .iter()
+            .any(|r| r.kind == RelationKind::CrossGraph && r.eliminator == 0 && r.eliminated == 1));
+        // Pattern updates never eliminate data updates.
+        assert!(!g.relations().iter().any(|r| r.eliminated == 0));
+    }
+
+    #[test]
+    fn eliminators_of_lists_parents() {
+        let a = effect(0, ud(1), &[1, 2, 3], true);
+        let b = effect(1, ud(2), &[1, 2], true);
+        let c = effect(2, ud(3), &[1], true);
+        let g = EliminationGraph::detect(&[a, b, c]);
+        let elim_c: Vec<usize> = g.eliminators_of(2).map(|r| r.eliminator).collect();
+        assert_eq!(elim_c, vec![0, 1]);
+    }
+}

@@ -1,0 +1,5 @@
+//! Seeded generators: social graphs, pattern graphs, update batches.
+
+pub mod pattern_gen;
+pub mod social;
+pub mod update_gen;

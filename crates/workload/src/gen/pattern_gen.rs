@@ -1,0 +1,174 @@
+//! socnetv-style random pattern generator (paper §VII-A).
+//!
+//! "controlled by 3 parameters: (1) the number of nodes, (2) the number of
+//! edges, and (3) the bounded path length on each edge. [...] they are set
+//! between 6 and 10 [...] the bounded path length on each edge [is]
+//! randomly set from 1 to 3."
+
+use gpnm_graph::{Bound, Label, LabelInterner, PatternGraph, PatternNodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Pattern generator parameters.
+#[derive(Debug, Clone)]
+pub struct PatternConfig {
+    /// Number of pattern nodes (paper: 6–10).
+    pub nodes: usize,
+    /// Number of pattern edges (paper: 6–10).
+    pub edges: usize,
+    /// Inclusive bound range (paper: 1–3).
+    pub bound_range: (u32, u32),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PatternConfig {
+    fn default() -> Self {
+        PatternConfig {
+            nodes: 6,
+            edges: 6,
+            bound_range: (1, 3),
+            seed: 13,
+        }
+    }
+}
+
+/// Generate a weakly-connected random pattern whose labels are drawn from
+/// `interner` (so every pattern node has a non-empty candidate set in
+/// graphs over the same alphabet). Panics if the interner is empty.
+pub fn generate_pattern(config: &PatternConfig, interner: &LabelInterner) -> PatternGraph {
+    assert!(config.nodes >= 2, "patterns need at least two nodes");
+    assert!(!interner.is_empty(), "label alphabet must be non-empty");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let labels: Vec<Label> = interner.iter().map(|(l, _)| l).collect();
+    let mut pattern = PatternGraph::new();
+    let nodes: Vec<PatternNodeId> = (0..config.nodes)
+        .map(|_| pattern.add_node(labels[rng.gen_range(0..labels.len())]))
+        .collect();
+
+    let mut bound = || {
+        let (lo, hi) = config.bound_range;
+        Bound::Hops(rng.gen_range(lo..=hi))
+    };
+
+    // Spanning backbone first (weak connectivity), then random extra edges
+    // up to the requested count.
+    let mut rng2 = StdRng::seed_from_u64(config.seed ^ 0x5EED);
+    for i in 1..config.nodes {
+        let j = rng2.gen_range(0..i);
+        let (from, to) = if rng2.gen_bool(0.5) {
+            (nodes[j], nodes[i])
+        } else {
+            (nodes[i], nodes[j])
+        };
+        pattern
+            .add_edge(from, to, bound())
+            .expect("backbone edges are fresh");
+    }
+    let mut attempts = 0;
+    while pattern.edge_count() < config.edges && attempts < config.edges * 30 {
+        attempts += 1;
+        let a = nodes[rng2.gen_range(0..config.nodes)];
+        let b = nodes[rng2.gen_range(0..config.nodes)];
+        if a != b {
+            let _ = pattern.add_edge(a, b, bound());
+        }
+    }
+    pattern
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabet(n: usize) -> LabelInterner {
+        let mut li = LabelInterner::new();
+        for i in 0..n {
+            li.intern(&format!("L{i}"));
+        }
+        li
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let li = alphabet(10);
+        for (n, e) in [(6, 6), (8, 8), (10, 10)] {
+            let p = generate_pattern(
+                &PatternConfig {
+                    nodes: n,
+                    edges: e,
+                    seed: 3,
+                    ..Default::default()
+                },
+                &li,
+            );
+            assert_eq!(p.node_count(), n);
+            assert_eq!(p.edge_count(), e);
+        }
+    }
+
+    #[test]
+    fn bounds_stay_in_range() {
+        let li = alphabet(5);
+        let p = generate_pattern(
+            &PatternConfig {
+                nodes: 10,
+                edges: 10,
+                bound_range: (1, 3),
+                seed: 17,
+            },
+            &li,
+        );
+        for e in p.edges() {
+            match e.bound {
+                Bound::Hops(k) => assert!((1..=3).contains(&k)),
+                Bound::Unbounded => panic!("generator never emits *"),
+            }
+        }
+    }
+
+    #[test]
+    fn weakly_connected() {
+        let li = alphabet(4);
+        let p = generate_pattern(
+            &PatternConfig {
+                nodes: 9,
+                edges: 9,
+                seed: 23,
+                ..Default::default()
+            },
+            &li,
+        );
+        // Union-find over undirected reachability.
+        let mut parent: Vec<usize> = (0..p.slot_count()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for e in p.edges() {
+            let (a, b) = (find(&mut parent, e.from.index()), find(&mut parent, e.to.index()));
+            parent[a] = b;
+        }
+        let root = find(&mut parent, 0);
+        for i in 1..p.slot_count() {
+            assert_eq!(find(&mut parent, i), root, "node {i} disconnected");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let li = alphabet(6);
+        let cfg = PatternConfig {
+            nodes: 7,
+            edges: 8,
+            seed: 31,
+            ..Default::default()
+        };
+        let a = generate_pattern(&cfg, &li);
+        let b = generate_pattern(&cfg, &li);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+}

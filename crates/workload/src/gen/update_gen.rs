@@ -1,0 +1,250 @@
+//! The §VII-A update protocol.
+//!
+//! "In each experiment, we removed `mG` edges and `mG` nodes from `GD`; at
+//! the same time, we also inserted `nG` new edges and `nG` new nodes into
+//! `GD` [...] we removed `mP` nodes and `nP` edges from `GP`, and add `nP`
+//! new nodes and `nP` new edges into `GP`."
+
+use gpnm_graph::{Bound, DataGraph, Label, LabelInterner, NodeId, PatternGraph};
+use gpnm_updates::{DataUpdate, PatternUpdate, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How many updates of each kind a batch contains.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateProtocol {
+    /// Data-edge deletions (`mG` edges).
+    pub data_edge_deletes: usize,
+    /// Data-node deletions (`mG` nodes).
+    pub data_node_deletes: usize,
+    /// Data-edge insertions (`nG` edges).
+    pub data_edge_inserts: usize,
+    /// Data-node insertions (`nG` nodes).
+    pub data_node_inserts: usize,
+    /// Pattern-edge deletions (`nP`).
+    pub pattern_edge_deletes: usize,
+    /// Pattern-node deletions (`mP`).
+    pub pattern_node_deletes: usize,
+    /// Pattern-edge insertions (`nP`).
+    pub pattern_edge_inserts: usize,
+    /// Pattern-node insertions (`nP`).
+    pub pattern_node_inserts: usize,
+}
+
+impl UpdateProtocol {
+    /// The paper's ΔG axis label `(p, d)` — `p` pattern updates and `d`
+    /// data updates — split evenly across the four kinds on each side
+    /// (remainders go to edge insertions, the most common real-world
+    /// update).
+    pub fn from_scale(pattern_updates: usize, data_updates: usize) -> Self {
+        let dq = data_updates / 4;
+        let dr = data_updates % 4;
+        let pq = pattern_updates / 4;
+        let pr = pattern_updates % 4;
+        UpdateProtocol {
+            data_edge_deletes: dq,
+            data_node_deletes: dq,
+            data_edge_inserts: dq + dr,
+            data_node_inserts: dq,
+            pattern_edge_deletes: pq,
+            pattern_node_deletes: pq,
+            pattern_edge_inserts: pq + pr,
+            pattern_node_inserts: pq,
+        }
+    }
+
+    /// Total updates (`|ΔG|`).
+    pub fn total(&self) -> usize {
+        self.data_edge_deletes
+            + self.data_node_deletes
+            + self.data_edge_inserts
+            + self.data_node_inserts
+            + self.pattern_edge_deletes
+            + self.pattern_node_deletes
+            + self.pattern_edge_inserts
+            + self.pattern_node_inserts
+    }
+}
+
+/// Generate a valid batch realizing `protocol` against the current graphs.
+///
+/// The generator tracks graph state on clones so every emitted update is
+/// applicable in order; pattern-node deletions keep at least two pattern
+/// nodes alive. New data nodes receive labels uniformly from `interner`;
+/// new edges connect uniform random pairs (an inserted node may receive
+/// edges — the insert-node/insert-edge counts interact naturally).
+pub fn generate_batch(
+    graph: &DataGraph,
+    pattern: &PatternGraph,
+    interner: &LabelInterner,
+    protocol: &UpdateProtocol,
+    seed: u64,
+) -> UpdateBatch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = graph.clone();
+    let mut p = pattern.clone();
+    let mut batch = UpdateBatch::new();
+    let labels: Vec<Label> = interner.iter().map(|(l, _)| l).collect();
+
+    // Deletions first (they target pre-existing structure), then
+    // insertions — mirroring "removed ... at the same time inserted".
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    for _ in 0..protocol.data_edge_deletes {
+        if edges.is_empty() {
+            break;
+        }
+        let pick = rng.gen_range(0..edges.len());
+        let (u, v) = edges.swap_remove(pick);
+        if g.remove_edge(u, v).is_ok() {
+            batch.push(DataUpdate::DeleteEdge { from: u, to: v });
+        }
+    }
+    for _ in 0..protocol.data_node_deletes {
+        let live: Vec<NodeId> = g.nodes().collect();
+        if live.len() <= 2 {
+            break;
+        }
+        let v = live[rng.gen_range(0..live.len())];
+        if g.remove_node(v).is_ok() {
+            batch.push(DataUpdate::DeleteNode { node: v });
+            edges.retain(|&(a, b)| a != v && b != v);
+        }
+    }
+    for _ in 0..protocol.data_node_inserts {
+        let label = labels[rng.gen_range(0..labels.len())];
+        g.add_node(label);
+        batch.push(DataUpdate::InsertNode { label });
+    }
+    let live: Vec<NodeId> = g.nodes().collect();
+    let mut attempts = 0;
+    let mut inserted = 0;
+    while inserted < protocol.data_edge_inserts && attempts < protocol.data_edge_inserts * 30 {
+        attempts += 1;
+        let u = live[rng.gen_range(0..live.len())];
+        let v = live[rng.gen_range(0..live.len())];
+        if u != v && g.add_edge(u, v).is_ok() {
+            batch.push(DataUpdate::InsertEdge { from: u, to: v });
+            inserted += 1;
+        }
+    }
+
+    // Pattern side.
+    for _ in 0..protocol.pattern_edge_deletes {
+        let pe: Vec<_> = p.edges().collect();
+        if pe.is_empty() {
+            break;
+        }
+        let e = pe[rng.gen_range(0..pe.len())];
+        if p.remove_edge(e.from, e.to).is_ok() {
+            batch.push(PatternUpdate::DeleteEdge { from: e.from, to: e.to });
+        }
+    }
+    for _ in 0..protocol.pattern_node_deletes {
+        let pn: Vec<_> = p.nodes().collect();
+        if pn.len() <= 2 {
+            break;
+        }
+        let node = pn[rng.gen_range(0..pn.len())];
+        if p.remove_node(node).is_ok() {
+            batch.push(PatternUpdate::DeleteNode { node });
+        }
+    }
+    for _ in 0..protocol.pattern_node_inserts {
+        let label = labels[rng.gen_range(0..labels.len())];
+        p.add_node(label);
+        batch.push(PatternUpdate::InsertNode { label });
+    }
+    let mut attempts = 0;
+    let mut inserted = 0;
+    while inserted < protocol.pattern_edge_inserts && attempts < 200 {
+        attempts += 1;
+        let pn: Vec<_> = p.nodes().collect();
+        if pn.len() < 2 {
+            break;
+        }
+        let a = pn[rng.gen_range(0..pn.len())];
+        let b = pn[rng.gen_range(0..pn.len())];
+        let bound = Bound::Hops(rng.gen_range(1..=3));
+        if a != b && p.add_edge(a, b, bound).is_ok() {
+            batch.push(PatternUpdate::InsertEdge { from: a, to: b, bound });
+            inserted += 1;
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::pattern_gen::{generate_pattern, PatternConfig};
+    use crate::gen::social::{generate_social_graph, SocialGraphConfig};
+
+    fn setup() -> (DataGraph, PatternGraph, LabelInterner) {
+        let (g, li) = generate_social_graph(&SocialGraphConfig {
+            nodes: 150,
+            edges: 700,
+            labels: 10,
+            communities: 10,
+            seed: 2,
+            ..Default::default()
+        });
+        let p = generate_pattern(
+            &PatternConfig {
+                nodes: 6,
+                edges: 6,
+                seed: 4,
+                ..Default::default()
+            },
+            &li,
+        );
+        (g, p, li)
+    }
+
+    #[test]
+    fn from_scale_splits_evenly() {
+        let proto = UpdateProtocol::from_scale(10, 1000);
+        assert_eq!(proto.total(), 1010);
+        assert_eq!(proto.data_edge_deletes, 250);
+        assert_eq!(proto.data_edge_inserts, 250);
+        assert_eq!(proto.pattern_edge_inserts, 4, "2 + remainder 2");
+        assert_eq!(proto.pattern_node_deletes, 2);
+    }
+
+    #[test]
+    fn generated_batch_is_valid_and_sized() {
+        let (g, p, li) = setup();
+        let proto = UpdateProtocol::from_scale(8, 40);
+        let batch = generate_batch(&g, &p, &li, &proto, 77);
+        assert!(batch.validate(&g, &p).is_ok());
+        // Counts can fall slightly short on tiny graphs but not exceed.
+        assert!(batch.len() <= proto.total());
+        assert!(batch.len() >= proto.total() - 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (g, p, li) = setup();
+        let proto = UpdateProtocol::from_scale(6, 20);
+        let a = generate_batch(&g, &p, &li, &proto, 5);
+        let b = generate_batch(&g, &p, &li, &proto, 5);
+        assert_eq!(a, b);
+        let c = generate_batch(&g, &p, &li, &proto, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pattern_keeps_minimum_nodes() {
+        let (g, _, li) = setup();
+        // A 2-node pattern must never lose its nodes.
+        let mut tiny = PatternGraph::new();
+        let l0 = li.get("L0").unwrap();
+        tiny.add_node(l0);
+        tiny.add_node(l0);
+        let proto = UpdateProtocol {
+            pattern_node_deletes: 5,
+            ..Default::default()
+        };
+        let batch = generate_batch(&g, &tiny, &li, &proto, 1);
+        assert!(batch.is_empty(), "refuses to shrink below 2 pattern nodes");
+    }
+}

@@ -1,0 +1,281 @@
+//! Paper-format rendering of experiment results (Tables XI–XIV, the
+//! Figure 5–9 series).
+
+use std::time::Duration;
+
+use gpnm_engine::Strategy;
+
+use crate::experiment::CellResult;
+
+fn fmt_dur(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+fn mean(results: &[&CellResult]) -> Duration {
+    if results.is_empty() {
+        return Duration::ZERO;
+    }
+    results.iter().map(|c| c.avg_time).sum::<Duration>() / results.len() as u32
+}
+
+/// Table XI: average query processing time per dataset × method.
+/// `results` may span several datasets.
+pub fn table_xi(results: &[CellResult]) -> String {
+    let mut datasets: Vec<_> = results.iter().map(|c| c.dataset).collect();
+    datasets.dedup();
+    let mut out = String::from(
+        "| Dataset | UA-GPNM | UA-GPNM-NoPar | EH-GPNM | INC-GPNM |\n|---|---|---|---|---|\n",
+    );
+    let order = [
+        Strategy::UaGpnm,
+        Strategy::UaGpnmNoPar,
+        Strategy::EhGpnm,
+        Strategy::IncGpnm,
+    ];
+    for d in datasets {
+        out.push_str(&format!("| {} |", d.name()));
+        for s in order {
+            let picked: Vec<&CellResult> = results
+                .iter()
+                .filter(|c| c.dataset == d && c.strategy == s)
+                .collect();
+            out.push_str(&format!(" {} |", fmt_dur(mean(&picked))));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table XII: percentage reduction of UA-GPNM vs the three baselines,
+/// per dataset.
+pub fn table_xii(results: &[CellResult]) -> String {
+    let mut datasets: Vec<_> = results.iter().map(|c| c.dataset).collect();
+    datasets.dedup();
+    let mut out = String::from(
+        "| Dataset | vs INC-GPNM | vs EH-GPNM | vs UA-GPNM-NoPar |\n|---|---|---|---|\n",
+    );
+    for d in datasets {
+        let per = |s: Strategy| {
+            let picked: Vec<&CellResult> = results
+                .iter()
+                .filter(|c| c.dataset == d && c.strategy == s)
+                .collect();
+            mean(&picked).as_secs_f64()
+        };
+        let ua = per(Strategy::UaGpnm);
+        let line = |other: f64| {
+            if other == 0.0 {
+                "n/a".to_owned()
+            } else {
+                format!("{:.2}% less", (1.0 - ua / other) * 100.0)
+            }
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            d.name(),
+            line(per(Strategy::IncGpnm)),
+            line(per(Strategy::EhGpnm)),
+            line(per(Strategy::UaGpnmNoPar)),
+        ));
+    }
+    out
+}
+
+/// Table XIII: average query time grouped by ΔG scale.
+pub fn table_xiii(results: &[CellResult]) -> String {
+    let mut scales: Vec<_> = results.iter().map(|c| c.delta_scale).collect();
+    scales.sort_unstable();
+    scales.dedup();
+    let order = [
+        Strategy::UaGpnm,
+        Strategy::UaGpnmNoPar,
+        Strategy::EhGpnm,
+        Strategy::IncGpnm,
+    ];
+    let mut out = String::from(
+        "| Scale of ΔG | UA-GPNM | UA-GPNM-NoPar | EH-GPNM | INC-GPNM |\n|---|---|---|---|---|\n",
+    );
+    for scale in scales {
+        out.push_str(&format!("| ({}, {}) |", scale.0, scale.1));
+        for s in order {
+            let picked: Vec<&CellResult> = results
+                .iter()
+                .filter(|c| c.delta_scale == scale && c.strategy == s)
+                .collect();
+            out.push_str(&format!(" {} |", fmt_dur(mean(&picked))));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table XIV: percentage reduction of UA-GPNM by ΔG scale.
+pub fn table_xiv(results: &[CellResult]) -> String {
+    let mut scales: Vec<_> = results.iter().map(|c| c.delta_scale).collect();
+    scales.sort_unstable();
+    scales.dedup();
+    let mut out = String::from(
+        "| Scale of ΔG | vs INC-GPNM | vs EH-GPNM | vs UA-GPNM-NoPar |\n|---|---|---|---|\n",
+    );
+    for scale in scales {
+        let per = |s: Strategy| {
+            let picked: Vec<&CellResult> = results
+                .iter()
+                .filter(|c| c.delta_scale == scale && c.strategy == s)
+                .collect();
+            mean(&picked).as_secs_f64()
+        };
+        let ua = per(Strategy::UaGpnm);
+        let line = |other: f64| {
+            if other == 0.0 {
+                "n/a".to_owned()
+            } else {
+                format!("{:.2}% less", (1.0 - ua / other) * 100.0)
+            }
+        };
+        out.push_str(&format!(
+            "| ({}, {}) | {} | {} | {} |\n",
+            scale.0,
+            scale.1,
+            line(per(Strategy::IncGpnm)),
+            line(per(Strategy::EhGpnm)),
+            line(per(Strategy::UaGpnmNoPar)),
+        ));
+    }
+    out
+}
+
+/// One Figure 5–9 panel: for a fixed pattern size, the per-method series
+/// over ΔG scales (the paper plots one panel per pattern size).
+pub fn figure_series(results: &[CellResult], pattern_size: (usize, usize)) -> String {
+    let mut scales: Vec<_> = results
+        .iter()
+        .filter(|c| c.pattern_size == pattern_size)
+        .map(|c| c.delta_scale)
+        .collect();
+    scales.sort_unstable();
+    scales.dedup();
+    let order = [
+        Strategy::UaGpnm,
+        Strategy::UaGpnmNoPar,
+        Strategy::EhGpnm,
+        Strategy::IncGpnm,
+    ];
+    let mut out = format!(
+        "The size of pattern graph = ({}, {})\n",
+        pattern_size.0, pattern_size.1
+    );
+    out.push_str("method          ");
+    for s in &scales {
+        out.push_str(&format!(" ({},{})", s.0, s.1));
+    }
+    out.push('\n');
+    for s in order {
+        out.push_str(&format!("{:<16}", s.name()));
+        for &scale in &scales {
+            let picked: Vec<&CellResult> = results
+                .iter()
+                .filter(|c| {
+                    c.pattern_size == pattern_size
+                        && c.delta_scale == scale
+                        && c.strategy == s
+                })
+                .collect();
+            out.push_str(&format!(" {:>9.4}", mean(&picked).as_secs_f64()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV export of raw cells for external plotting.
+pub fn to_csv(results: &[CellResult]) -> String {
+    let mut out = String::from(
+        "dataset,pattern_nodes,pattern_edges,delta_p,delta_d,strategy,avg_seconds,avg_eliminated,avg_repair_calls,runs\n",
+    );
+    for c in results {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.6},{:.2},{:.2},{}\n",
+            c.dataset.name(),
+            c.pattern_size.0,
+            c.pattern_size.1,
+            c.delta_scale.0,
+            c.delta_scale.1,
+            c.strategy.name(),
+            c.avg_time.as_secs_f64(),
+            c.avg_eliminated,
+            c.avg_repair_calls,
+            c.runs
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+
+    fn cell(
+        strategy: Strategy,
+        scale: (usize, usize),
+        ps: (usize, usize),
+        ms: u64,
+    ) -> CellResult {
+        CellResult {
+            dataset: Dataset::EmailEuCore,
+            pattern_size: ps,
+            delta_scale: scale,
+            strategy,
+            avg_time: Duration::from_millis(ms),
+            avg_eliminated: 1.0,
+            avg_repair_calls: 2.0,
+            runs: 1,
+        }
+    }
+
+    fn sample() -> Vec<CellResult> {
+        vec![
+            cell(Strategy::UaGpnm, (6, 200), (6, 6), 10),
+            cell(Strategy::UaGpnmNoPar, (6, 200), (6, 6), 14),
+            cell(Strategy::EhGpnm, (6, 200), (6, 6), 20),
+            cell(Strategy::IncGpnm, (6, 200), (6, 6), 40),
+        ]
+    }
+
+    #[test]
+    fn table_xi_lists_dataset_row() {
+        let t = table_xi(&sample());
+        assert!(t.contains("email-EU-core"));
+        assert!(t.contains("0.010s"));
+        assert!(t.contains("0.040s"));
+    }
+
+    #[test]
+    fn table_xii_computes_percent_reduction() {
+        let t = table_xii(&sample());
+        assert!(t.contains("75.00% less"), "10ms vs 40ms => 75%: {t}");
+        assert!(t.contains("50.00% less"), "10ms vs 20ms => 50%");
+    }
+
+    #[test]
+    fn table_xiii_groups_by_scale() {
+        let t = table_xiii(&sample());
+        assert!(t.contains("(6, 200)"));
+    }
+
+    #[test]
+    fn figure_series_renders_all_methods() {
+        let f = figure_series(&sample(), (6, 6));
+        assert!(f.contains("UA-GPNM"));
+        assert!(f.contains("INC-GPNM"));
+        assert!(f.contains("(6,200)"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let c = to_csv(&sample());
+        assert_eq!(c.lines().count(), 5);
+        assert!(c.starts_with("dataset,"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Plain-text update traces: record a generated workload once, replay it
+//! anywhere.
+//!
+//! The experiment protocol generates batches from seeds, which reproduces
+//! within this codebase but not across implementations. A trace pins the
+//! exact update sequence in a diff-friendly line format, so a workload can
+//! be attached to a bug report or replayed against the real SNAP graphs:
+//!
+//! ```text
+//! # ua-gpnm update trace v1
+//! +DE 3 17        # insert data edge 3 -> 17
+//! -DE 3 17        # delete data edge
+//! +DN L7          # insert data node with label name L7
+//! -DN 42          # delete data node 42
+//! +PE 0 2 3       # insert pattern edge p0 -> p2, bound 3
+//! +PE 0 2 *       # ... unbounded
+//! -PE 0 2         # delete pattern edge
+//! +PN L1          # insert pattern node
+//! -PN 4           # delete pattern node p4
+//! ```
+
+use gpnm_graph::{Bound, LabelInterner, NodeId, PatternNodeId};
+use gpnm_updates::{DataUpdate, PatternUpdate, Update, UpdateBatch};
+
+/// Serialize a batch to the trace format. Labels are written by name via
+/// `interner` (names must not contain whitespace).
+pub fn write_trace(batch: &UpdateBatch, interner: &LabelInterner) -> String {
+    let mut out = String::from("# ua-gpnm update trace v1\n");
+    for u in batch.updates() {
+        let line = match *u {
+            Update::Data(DataUpdate::InsertEdge { from, to }) => {
+                format!("+DE {from} {to}")
+            }
+            Update::Data(DataUpdate::DeleteEdge { from, to }) => {
+                format!("-DE {from} {to}")
+            }
+            Update::Data(DataUpdate::InsertNode { label }) => {
+                format!("+DN {}", interner.name_or_placeholder(label))
+            }
+            Update::Data(DataUpdate::DeleteNode { node }) => format!("-DN {node}"),
+            Update::Pattern(PatternUpdate::InsertEdge { from, to, bound }) => {
+                format!("+PE {from} {to} {bound}")
+            }
+            Update::Pattern(PatternUpdate::DeleteEdge { from, to }) => {
+                format!("-PE {from} {to}")
+            }
+            Update::Pattern(PatternUpdate::InsertNode { label }) => {
+                format!("+PN {}", interner.name_or_placeholder(label))
+            }
+            Update::Pattern(PatternUpdate::DeleteNode { node }) => format!("-PN {node}"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse error with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parse a trace produced by [`write_trace`]. Unknown label names are
+/// interned on the fly (mutating `interner`), so traces can introduce
+/// labels the base graph has not seen yet.
+pub fn read_trace(text: &str, interner: &mut LabelInterner) -> Result<UpdateBatch, TraceError> {
+    let mut updates = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = parts.collect();
+        let err = |message: String| TraceError {
+            line: line_no,
+            message,
+        };
+        let parse_u32 = |s: &str, what: &str| -> Result<u32, TraceError> {
+            s.parse::<u32>()
+                .map_err(|e| err(format!("bad {what} {s:?}: {e}")))
+        };
+        let update: Update = match op {
+            "+DE" | "-DE" => {
+                let [a, b] = rest.as_slice() else {
+                    return Err(err(format!("{op} expects two node ids")));
+                };
+                let from = NodeId(parse_u32(a, "node id")?);
+                let to = NodeId(parse_u32(b, "node id")?);
+                if op == "+DE" {
+                    DataUpdate::InsertEdge { from, to }.into()
+                } else {
+                    DataUpdate::DeleteEdge { from, to }.into()
+                }
+            }
+            "+DN" => {
+                let [name] = rest.as_slice() else {
+                    return Err(err("+DN expects a label name".to_owned()));
+                };
+                DataUpdate::InsertNode {
+                    label: interner.intern(name),
+                }
+                .into()
+            }
+            "-DN" => {
+                let [a] = rest.as_slice() else {
+                    return Err(err("-DN expects a node id".to_owned()));
+                };
+                DataUpdate::DeleteNode {
+                    node: NodeId(parse_u32(a, "node id")?),
+                }
+                .into()
+            }
+            "+PE" => {
+                let [a, b, k] = rest.as_slice() else {
+                    return Err(err("+PE expects two pattern ids and a bound".to_owned()));
+                };
+                let bound = if *k == "*" {
+                    Bound::Unbounded
+                } else {
+                    Bound::Hops(parse_u32(k, "bound")?)
+                };
+                PatternUpdate::InsertEdge {
+                    from: PatternNodeId(parse_u32(a, "pattern id")?),
+                    to: PatternNodeId(parse_u32(b, "pattern id")?),
+                    bound,
+                }
+                .into()
+            }
+            "-PE" => {
+                let [a, b] = rest.as_slice() else {
+                    return Err(err("-PE expects two pattern ids".to_owned()));
+                };
+                PatternUpdate::DeleteEdge {
+                    from: PatternNodeId(parse_u32(a, "pattern id")?),
+                    to: PatternNodeId(parse_u32(b, "pattern id")?),
+                }
+                .into()
+            }
+            "+PN" => {
+                let [name] = rest.as_slice() else {
+                    return Err(err("+PN expects a label name".to_owned()));
+                };
+                PatternUpdate::InsertNode {
+                    label: interner.intern(name),
+                }
+                .into()
+            }
+            "-PN" => {
+                let [a] = rest.as_slice() else {
+                    return Err(err("-PN expects a pattern id".to_owned()));
+                };
+                PatternUpdate::DeleteNode {
+                    node: PatternNodeId(parse_u32(a, "pattern id")?),
+                }
+                .into()
+            }
+            other => return Err(err(format!("unknown op {other:?}"))),
+        };
+        updates.push(update);
+    }
+    Ok(UpdateBatch::from_updates(updates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::pattern_gen::{generate_pattern, PatternConfig};
+    use crate::gen::social::{generate_social_graph, SocialGraphConfig};
+    use crate::gen::update_gen::{generate_batch, UpdateProtocol};
+
+    #[test]
+    fn round_trips_generated_batches() {
+        let (g, mut li) = generate_social_graph(&SocialGraphConfig {
+            nodes: 120,
+            edges: 500,
+            labels: 8,
+            communities: 8,
+            seed: 9,
+            ..Default::default()
+        });
+        let p = generate_pattern(
+            &PatternConfig {
+                nodes: 6,
+                edges: 6,
+                bound_range: (1, 3),
+                seed: 9,
+            },
+            &li,
+        );
+        let proto = UpdateProtocol::from_scale(8, 32);
+        let batch = generate_batch(&g, &p, &li, &proto, 77);
+        let text = write_trace(&batch, &li);
+        let parsed = read_trace(&text, &mut li).expect("own output parses");
+        assert_eq!(parsed, batch);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let mut li = LabelInterner::new();
+        let text = "# header\n\n+DE 1 2  # trailing comment\n   \n-DN 3\n";
+        let batch = read_trace(text, &mut li).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(
+            batch.updates()[0],
+            Update::Data(DataUpdate::InsertEdge { from: NodeId(1), to: NodeId(2) })
+        );
+    }
+
+    #[test]
+    fn unbounded_pattern_edges_round_trip() {
+        let mut li = LabelInterner::new();
+        let text = "+PE 0 1 *\n+PE 1 2 3\n";
+        let batch = read_trace(text, &mut li).unwrap();
+        assert_eq!(
+            batch.updates()[0],
+            Update::Pattern(PatternUpdate::InsertEdge {
+                from: PatternNodeId(0),
+                to: PatternNodeId(1),
+                bound: Bound::Unbounded
+            })
+        );
+        let li2 = LabelInterner::new();
+        assert_eq!(write_trace(&batch, &li2), "# ua-gpnm update trace v1\n+PE 0 1 *\n+PE 1 2 3\n");
+    }
+
+    #[test]
+    fn new_labels_are_interned() {
+        let mut li = LabelInterner::new();
+        let batch = read_trace("+DN Engineer\n+PN Engineer\n", &mut li).unwrap();
+        assert_eq!(li.len(), 1);
+        let label = li.get("Engineer").unwrap();
+        assert_eq!(
+            batch.updates()[0],
+            Update::Data(DataUpdate::InsertNode { label })
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut li = LabelInterner::new();
+        let err = read_trace("+DE 1 2\nbogus 4\n", &mut li).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown op"));
+        let err = read_trace("+DE 1\n", &mut li).unwrap_err();
+        assert!(err.message.contains("two node ids"));
+        let err = read_trace("+PE 0 1 x\n", &mut li).unwrap_err();
+        assert!(err.message.contains("bad bound"));
+    }
+}

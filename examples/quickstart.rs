@@ -1,0 +1,80 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Builds the Figure 1 data/pattern graphs, answers the initial GPNM query
+//! (Table I), then applies the four updates of Example 2 (UP1, UP2, UD1,
+//! UD2) through UA-GPNM and shows that the elimination analysis leaves the
+//! result untouched — the paper's headline observation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::collections::HashMap;
+
+use ua_gpnm::graph::paper::fig1;
+use ua_gpnm::matcher::render_match_table;
+use ua_gpnm::prelude::*;
+
+fn main() {
+    let fig = fig1();
+    let reverse: HashMap<NodeId, String> =
+        fig.names.iter().map(|(k, &v)| (v, k.clone())).collect();
+
+    // ------------------------------------------------------------------
+    // IQuery: the initial node matching (paper Table I).
+    // ------------------------------------------------------------------
+    let mut engine = GpnmEngine::new(
+        fig.graph.clone(),
+        fig.pattern.clone(),
+        MatchSemantics::Simulation,
+    );
+    engine.initial_query();
+    println!("== IQuery (paper Table I) ==");
+    println!(
+        "{}",
+        render_match_table(engine.pattern(), engine.result(), &fig.interner, |n| {
+            reverse[&n].clone()
+        })
+    );
+
+    // ------------------------------------------------------------------
+    // Example 2: two pattern updates + two data updates.
+    // ------------------------------------------------------------------
+    let mut batch = UpdateBatch::new();
+    batch.push(PatternUpdate::InsertEdge {
+        from: fig.p_pm,
+        to: fig.p_te,
+        bound: Bound::Hops(2),
+    }); // UP1
+    batch.push(PatternUpdate::InsertEdge {
+        from: fig.p_s,
+        to: fig.p_te,
+        bound: Bound::Hops(4),
+    }); // UP2
+    batch.push(DataUpdate::InsertEdge {
+        from: fig.se1,
+        to: fig.te2,
+    }); // UD1
+    batch.push(DataUpdate::InsertEdge {
+        from: fig.db1,
+        to: fig.s1,
+    }); // UD2
+
+    let stats = engine
+        .subsequent_query(&batch, Strategy::UaGpnm)
+        .expect("the Example 2 batch is valid");
+
+    println!("== SQuery after UP1, UP2, UD1, UD2 (UA-GPNM) ==");
+    println!(
+        "{}",
+        render_match_table(engine.pattern(), engine.result(), &fig.interner, |n| {
+            reverse[&n].clone()
+        })
+    );
+    println!("{}", stats.summary());
+    println!(
+        "\n{} of the {} updates were eliminated before any repair ran —",
+        stats.eliminated, stats.updates_submitted
+    );
+    println!("exactly the paper's Example 2/9 story: UD1 covers UD2 (Type II),");
+    println!("UP1 covers UP2 (Type I), and UD1 makes UP1 a no-op (Type III),");
+    println!("so the subsequent result equals the initial one.");
+}

@@ -1,0 +1,173 @@
+//! `gpnm` — command-line GPNM over SNAP-style edge lists.
+//!
+//! ```text
+//! gpnm match  <edge-list> [--labels N] [--pattern-nodes N] [--seed S]
+//! gpnm bench  <edge-list> [--labels N] [--updates N] [--seed S]
+//! gpnm demo
+//! ```
+//!
+//! `match` loads a whitespace edge list (labels assigned per DESIGN.md §5,
+//! since SNAP graphs are unlabeled), generates a random pattern and prints
+//! the match table. `bench` additionally generates an update batch and
+//! compares all four strategies. `demo` runs the paper's Figure 1 example.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ua_gpnm::matcher::render_match_table;
+use ua_gpnm::prelude::*;
+use ua_gpnm::workload::{
+    datasets::from_edge_list, generate_batch, generate_pattern, PatternConfig, UpdateProtocol,
+};
+
+struct Args {
+    labels: usize,
+    pattern_nodes: usize,
+    updates: usize,
+    seed: u64,
+}
+
+fn parse_flags(rest: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        labels: 30,
+        pattern_nodes: 6,
+        updates: 40,
+        seed: 7,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<usize>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--labels" => args.labels = take("--labels")?,
+            "--pattern-nodes" => args.pattern_nodes = take("--pattern-nodes")?,
+            "--updates" => args.updates = take("--updates")?,
+            "--seed" => args.seed = take("--seed")? as u64,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load(path: &str, args: &Args) -> Result<(DataGraph, LabelInterner), String> {
+    let path = PathBuf::from(path);
+    from_edge_list(&path, args.labels, args.seed)
+        .map_err(|e| format!("cannot load {}: {e}", path.display()))
+}
+
+fn cmd_match(path: &str, args: &Args) -> Result<(), String> {
+    let (graph, interner) = load(path, args)?;
+    eprintln!(
+        "loaded {} nodes / {} edges; building SLen index ...",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let pattern = generate_pattern(
+        &PatternConfig {
+            nodes: args.pattern_nodes,
+            edges: args.pattern_nodes,
+            bound_range: (1, 3),
+            seed: args.seed,
+        },
+        &interner,
+    );
+    let mut engine = GpnmEngine::new(graph, pattern, MatchSemantics::Simulation);
+    engine.initial_query();
+    println!(
+        "{}",
+        render_match_table(engine.pattern(), engine.result(), &interner, |n| n
+            .to_string())
+    );
+    Ok(())
+}
+
+fn cmd_bench(path: &str, args: &Args) -> Result<(), String> {
+    let (graph, interner) = load(path, args)?;
+    let pattern = generate_pattern(
+        &PatternConfig {
+            nodes: args.pattern_nodes,
+            edges: args.pattern_nodes,
+            bound_range: (1, 3),
+            seed: args.seed,
+        },
+        &interner,
+    );
+    let mut base = GpnmEngine::new(graph, pattern, MatchSemantics::Simulation);
+    base.initial_query();
+    let protocol = UpdateProtocol::from_scale(args.pattern_nodes, args.updates);
+    let batch = generate_batch(base.graph(), base.pattern(), &interner, &protocol, args.seed);
+    println!("batch: {} updates", batch.len());
+    println!(
+        "{:<15} {:>14} {:>11} {:>8}",
+        "strategy", "query time", "eliminated", "repairs"
+    );
+    for strategy in Strategy::PAPER {
+        let mut engine = base.clone();
+        if strategy.partitioned() {
+            engine.prepare_partition();
+        }
+        let stats = engine
+            .subsequent_query(&batch, strategy)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{:<15} {:>14?} {:>11} {:>8}",
+            strategy.name(),
+            stats.total_time,
+            stats.eliminated,
+            stats.repair_calls
+        );
+    }
+    Ok(())
+}
+
+fn cmd_demo() {
+    let fig = ua_gpnm::graph::paper::fig1();
+    let reverse: std::collections::HashMap<NodeId, String> =
+        fig.names.iter().map(|(k, &v)| (v, k.clone())).collect();
+    let mut engine = GpnmEngine::new(fig.graph, fig.pattern, MatchSemantics::Simulation);
+    engine.initial_query();
+    println!(
+        "{}",
+        render_match_table(engine.pattern(), engine.result(), &fig.interner, |n| {
+            reverse[&n].clone()
+        })
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.split_first() {
+        Some((cmd, _rest)) if cmd == "demo" => {
+            cmd_demo();
+            Ok(())
+        }
+        Some((cmd, rest)) if cmd == "match" && !rest.is_empty() => {
+            match parse_flags(&rest[1..]) {
+                Ok(args) => cmd_match(&rest[0], &args),
+                Err(e) => Err(e),
+            }
+        }
+        Some((cmd, rest)) if cmd == "bench" && !rest.is_empty() => {
+            match parse_flags(&rest[1..]) {
+                Ok(args) => cmd_bench(&rest[0], &args),
+                Err(e) => Err(e),
+            }
+        }
+        _ => Err(
+            "usage: gpnm demo | gpnm match <edge-list> [flags] | gpnm bench <edge-list> [flags]\n\
+             flags: --labels N --pattern-nodes N --updates N --seed S"
+                .to_owned(),
+        ),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # ua-gpnm — Updates-Aware Graph Pattern based Node Matching
+//!
+//! A faithful, production-quality Rust reproduction of
+//! *"Updates-Aware Graph Pattern based Node Matching"* (Sun, Liu, Wang,
+//! Zhou — ICDE 2020). GPNM finds, for every node of a small pattern graph,
+//! the set of data-graph nodes participating in a bounded-graph-simulation
+//! match; UA-GPNM answers the query *after a batch of updates* to both
+//! graphs without re-running one incremental pass per update, by detecting
+//! **elimination relationships** among the updates and indexing them in an
+//! **EH-Tree**.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — dynamic labeled digraphs, pattern graphs, CSR snapshots.
+//! * [`distance`] — dense/hybrid all-pairs shortest-path-length (`SLen`)
+//!   matrices, incremental repair, label-based partitioned computation.
+//! * [`matcher`] — the BGS fixpoint matcher and incremental match repair.
+//! * [`updates`] — update model, DER-I/II/III elimination detection,
+//!   EH-Tree.
+//! * [`engine`] — end-to-end strategies: `UA-GPNM` and the `INC-GPNM`,
+//!   `EH-GPNM`, `UA-GPNM-NoPar` baselines.
+//! * [`workload`] — synthetic SNAP stand-ins and the paper's experiment
+//!   protocol.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ua_gpnm::prelude::*;
+//!
+//! // The paper's Figure 1 running example.
+//! let fig = ua_gpnm::graph::paper::fig1();
+//! let mut engine = GpnmEngine::new(fig.graph, fig.pattern, MatchSemantics::Simulation);
+//! let iquery = engine.initial_query();
+//! // PM matches PM1 and PM2 (paper Table I / Example 5).
+//! let pms: Vec<_> = iquery.matches_of(fig.p_pm).collect();
+//! assert_eq!(pms, vec![fig.pm1, fig.pm2]);
+//! ```
+
+pub use gpnm_distance as distance;
+pub use gpnm_engine as engine;
+pub use gpnm_graph as graph;
+pub use gpnm_matcher as matcher;
+pub use gpnm_updates as updates;
+pub use gpnm_workload as workload;
+
+/// Convenience re-exports covering the common API surface.
+pub mod prelude {
+    pub use gpnm_engine::{ExecStats, GpnmEngine, Strategy};
+    pub use gpnm_graph::{
+        Bound, DataGraph, DataGraphBuilder, GraphError, Label, LabelInterner, NodeId,
+        PatternGraph, PatternGraphBuilder, PatternNodeId,
+    };
+    pub use gpnm_matcher::{MatchResult, MatchSemantics};
+    pub use gpnm_updates::{DataUpdate, PatternUpdate, Update, UpdateBatch};
+}

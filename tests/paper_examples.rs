@@ -1,0 +1,190 @@
+//! End-to-end golden tests of every concrete number the paper publishes
+//! for its running example, exercised through the public facade.
+//!
+//! Per-crate unit tests assert the same tables at module level; this file
+//! is the single place a reviewer can read top-to-bottom against the
+//! paper (Tables I, III–IX, Figure 3, Examples 2/7/8/9/10).
+
+use ua_gpnm::distance::{apsp_matrix, IncrementalIndex, PartitionedIndex, INF};
+use ua_gpnm::graph::paper::{
+    fig1, fig4, TABLE_III, TABLE_IX, TABLE_V, TABLE_VI, TABLE_VIII,
+};
+use ua_gpnm::matcher::match_graph;
+use ua_gpnm::prelude::*;
+use ua_gpnm::updates::{affected_for, candidates_for};
+
+#[test]
+fn table_i_node_matching_results() {
+    let f = fig1();
+    let slen = apsp_matrix(&f.graph);
+    let m = match_graph(&f.pattern, &f.graph, &slen, MatchSemantics::Simulation);
+    assert_eq!(m.matches_of(f.p_pm).collect::<Vec<_>>(), vec![f.pm1, f.pm2]);
+    assert_eq!(m.matches_of(f.p_se).collect::<Vec<_>>(), vec![f.se1, f.se2]);
+    assert_eq!(m.matches_of(f.p_s).collect::<Vec<_>>(), vec![f.s1]);
+    assert_eq!(m.matches_of(f.p_te).collect::<Vec<_>>(), vec![f.te1, f.te2]);
+}
+
+#[test]
+fn table_iii_slen_matrix() {
+    let f = fig1();
+    let m = apsp_matrix(&f.graph);
+    for (i, row) in TABLE_III.iter().enumerate() {
+        for (j, &expected) in row.iter().enumerate() {
+            assert_eq!(
+                m.get(NodeId(i as u32), NodeId(j as u32)),
+                expected,
+                "Table III [{i}][{j}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn table_iv_candidate_sets() {
+    let f = fig1();
+    let slen = apsp_matrix(&f.graph);
+    let iq = match_graph(&f.pattern, &f.graph, &slen, MatchSemantics::Simulation);
+    let up1 = PatternUpdate::InsertEdge {
+        from: f.p_pm,
+        to: f.p_te,
+        bound: Bound::Hops(2),
+    };
+    let c1 = candidates_for(&f.pattern, &f.graph, &slen, &iq, &up1);
+    assert_eq!(c1.can_rn.iter().collect::<Vec<_>>(), vec![f.pm2, f.te2]);
+    let up2 = PatternUpdate::InsertEdge {
+        from: f.p_s,
+        to: f.p_te,
+        bound: Bound::Hops(4),
+    };
+    let c2 = candidates_for(&f.pattern, &f.graph, &slen, &iq, &up2);
+    assert_eq!(c2.can_rn.iter().collect::<Vec<_>>(), vec![f.te2]);
+    // Type I: Can(UP1) ⊇ Can(UP2) => UP1 eliminates UP2.
+    assert!(c1.can_rn.is_superset_of(&c2.can_rn));
+}
+
+#[test]
+fn tables_v_vi_vii_incremental_slen() {
+    // UD1 = insert e(SE1, TE2); UD2 = insert e(DB1, S1), each against the
+    // original graph, exactly as Example 8 presents them.
+    let f = fig1();
+    let mut idx = IncrementalIndex::build(&f.graph);
+
+    let ud1 = affected_for(
+        &f.graph,
+        &mut idx,
+        &DataUpdate::InsertEdge { from: f.se1, to: f.te2 },
+    )
+    .expect("UD1 is valid");
+    // Table VII row 1: all eight nodes affected.
+    assert_eq!(ud1.affected.len(), 8);
+
+    let ud2 = affected_for(
+        &f.graph,
+        &mut idx,
+        &DataUpdate::InsertEdge { from: f.db1, to: f.s1 },
+    )
+    .expect("UD2 is valid");
+    // Table VII row 2.
+    assert_eq!(
+        ud2.affected.iter().collect::<Vec<_>>(),
+        vec![f.pm1, f.se2, f.s1, f.te1, f.db1]
+    );
+    // Type II: Aff(UD1) ⊇ Aff(UD2) => UD1 eliminates UD2 (Example 8).
+    assert!(ud1.affected.is_superset_of(&ud2.affected));
+
+    // Tables V and VI: the full SLen_new matrices.
+    let mut g1 = f.graph.clone();
+    g1.add_edge(f.se1, f.te2).unwrap();
+    let m1 = apsp_matrix(&g1);
+    for (i, row) in TABLE_V.iter().enumerate() {
+        for (j, &expected) in row.iter().enumerate() {
+            assert_eq!(m1.get(NodeId(i as u32), NodeId(j as u32)), expected, "Table V [{i}][{j}]");
+        }
+    }
+    let mut g2 = f.graph.clone();
+    g2.add_edge(f.db1, f.s1).unwrap();
+    let m2 = apsp_matrix(&g2);
+    for (i, row) in TABLE_VI.iter().enumerate() {
+        for (j, &expected) in row.iter().enumerate() {
+            assert_eq!(m2.get(NodeId(i as u32), NodeId(j as u32)), expected, "Table VI [{i}][{j}]");
+        }
+    }
+}
+
+#[test]
+fn tables_viii_ix_partitioned_distances() {
+    let f = fig4();
+    let idx = PartitionedIndex::build_serial(&f.graph);
+    let mut row = vec![INF; f.graph.slot_count()];
+    for (i, &si) in f.se.iter().enumerate() {
+        idx.compose_row(si, &mut row);
+        for (j, &sj) in f.se.iter().enumerate() {
+            assert_eq!(row[sj.index()], TABLE_VIII[i][j], "Table VIII [{i}][{j}]");
+        }
+        for (j, &tj) in f.te.iter().enumerate() {
+            assert_eq!(row[tj.index()], TABLE_IX[i][j], "Table IX [{i}][{j}]");
+        }
+    }
+}
+
+#[test]
+fn example_10_eh_tree_and_example_2_squery() {
+    // The full Example 2 batch through the UA-GPNM engine: Fig. 3's tree
+    // has UD1 as the only root (3 eliminated), and SQuery == IQuery.
+    let f = fig1();
+    let mut engine = GpnmEngine::new(
+        f.graph.clone(),
+        f.pattern.clone(),
+        MatchSemantics::Simulation,
+    );
+    let iquery = engine.initial_query().clone();
+    let mut batch = UpdateBatch::new();
+    batch.push(PatternUpdate::InsertEdge {
+        from: f.p_pm,
+        to: f.p_te,
+        bound: Bound::Hops(2),
+    });
+    batch.push(PatternUpdate::InsertEdge {
+        from: f.p_s,
+        to: f.p_te,
+        bound: Bound::Hops(4),
+    });
+    batch.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
+    batch.push(DataUpdate::InsertEdge { from: f.db1, to: f.s1 });
+    let stats = engine
+        .subsequent_query(&batch, Strategy::UaGpnm)
+        .expect("Example 2 batch is valid");
+    assert_eq!(stats.eliminated, 3, "UD2, UP1, UP2 eliminated; UD1 survives");
+    assert_eq!(stats.repair_calls, 1, "one repair pass for the one root");
+    assert_eq!(engine.result(), &iquery, "SQuery == IQuery (Example 2)");
+}
+
+#[test]
+fn every_strategy_reproduces_example_2() {
+    let f = fig1();
+    for strategy in Strategy::ALL {
+        let mut engine = GpnmEngine::new(
+            f.graph.clone(),
+            f.pattern.clone(),
+            MatchSemantics::Simulation,
+        );
+        let iquery = engine.initial_query().clone();
+        let mut batch = UpdateBatch::new();
+        batch.push(PatternUpdate::InsertEdge {
+            from: f.p_pm,
+            to: f.p_te,
+            bound: Bound::Hops(2),
+        });
+        batch.push(PatternUpdate::InsertEdge {
+            from: f.p_s,
+            to: f.p_te,
+            bound: Bound::Hops(4),
+        });
+        batch.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
+        batch.push(DataUpdate::InsertEdge { from: f.db1, to: f.s1 });
+        engine
+            .subsequent_query(&batch, strategy)
+            .expect("Example 2 batch is valid");
+        assert_eq!(engine.result(), &iquery, "{strategy} must leave the result unchanged");
+    }
+}
