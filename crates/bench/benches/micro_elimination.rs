@@ -18,9 +18,7 @@ fn synth_effects(n: usize, universe: usize, seed: u64) -> Vec<UpdateEffect> {
         .map(|i| {
             let size = rng.gen_range(1..universe / 2);
             let start = rng.gen_range(0..universe / 2);
-            let coverage: NodeSet = (start..start + size)
-                .map(|x| NodeId(x as u32))
-                .collect();
+            let coverage: NodeSet = (start..start + size).map(|x| NodeId(x as u32)).collect();
             UpdateEffect {
                 index: i,
                 update: Update::Data(DataUpdate::InsertEdge {

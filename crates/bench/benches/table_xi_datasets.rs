@@ -3,7 +3,6 @@
 //! One representative (pattern, dG) cell per dataset (Table XI aggregates
 //! the full grid; `paper-repro -- table11` regenerates the aggregate).
 
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpnm_bench::prepare_cell;
 use gpnm_engine::Strategy;
@@ -16,7 +15,11 @@ fn table_xi(c: &mut Criterion) {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(3));
     for dataset in Dataset::ALL {
-        let scale_div = if dataset == Dataset::EmailEuCore { 2 } else { 4 };
+        let scale_div = if dataset == Dataset::EmailEuCore {
+            2
+        } else {
+            4
+        };
         let cell = prepare_cell(dataset, scale_div, (8, 8), (8, 600), 20, 0x7AB1);
         for strategy in Strategy::PAPER {
             group.bench_with_input(

@@ -3,7 +3,6 @@
 //! All five dG scales on one dataset; the per-strategy growth rate is the
 //! paper's scalability claim (UA-GPNM grows slowest).
 
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpnm_bench::prepare_cell;
 use gpnm_engine::Strategy;

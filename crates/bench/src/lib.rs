@@ -10,8 +10,7 @@ use gpnm_graph::LabelInterner;
 use gpnm_matcher::MatchSemantics;
 use gpnm_updates::UpdateBatch;
 use gpnm_workload::{
-    generate_batch, generate_pattern, generate_social_graph, Dataset, PatternConfig,
-    UpdateProtocol,
+    generate_batch, generate_pattern, generate_social_graph, Dataset, PatternConfig, UpdateProtocol,
 };
 
 /// A fully prepared benchmark cell: engine with `IQuery` answered and

@@ -142,7 +142,11 @@ impl HybridMatrix {
             }
         }
         for &(r, c, d) in &self.coo {
-            m.set(NodeId::from_index(r as usize), NodeId::from_index(c as usize), d);
+            m.set(
+                NodeId::from_index(r as usize),
+                NodeId::from_index(c as usize),
+                d,
+            );
         }
         m
     }

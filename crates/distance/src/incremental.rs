@@ -189,7 +189,10 @@ impl IncrementalIndex {
     /// Apply an edge deletion to the matrix. `graph` is the *post-delete*
     /// graph (the edge is already gone).
     pub fn commit_delete_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
-        debug_assert!(!graph.has_edge(u, v), "commit_delete_edge before graph mutation");
+        debug_assert!(
+            !graph.has_edge(u, v),
+            "commit_delete_edge before graph mutation"
+        );
         let csr = CsrGraph::from_graph(graph);
         let candidates = self.delete_candidates(u, v);
         let mut delta = AffDelta::new();
@@ -213,7 +216,10 @@ impl IncrementalIndex {
 
     /// Apply a node deletion. `graph` is the post-delete graph.
     pub fn commit_delete_node(&mut self, graph: &DataGraph, id: NodeId) -> AffDelta {
-        debug_assert!(!graph.contains(id), "commit_delete_node before graph mutation");
+        debug_assert!(
+            !graph.contains(id),
+            "commit_delete_node before graph mutation"
+        );
         let csr = CsrGraph::from_graph(graph);
         let n = self.matrix.n();
         let mut delta = AffDelta::new();

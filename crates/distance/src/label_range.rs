@@ -149,7 +149,10 @@ mod tests {
             RangeVerdict::AllReachableSatisfy
         );
         // No PM->TE pair within 1 (min is 2).
-        assert_eq!(idx.classify(pm, te, Bound::Hops(1)), RangeVerdict::NoneSatisfy);
+        assert_eq!(
+            idx.classify(pm, te, Bound::Hops(1)),
+            RangeVerdict::NoneSatisfy
+        );
         // PM->TE within 3: PM1->TE1=2 yes, PM2->TE1=3 yes, TE2 unreachable
         // => range (2,3), bound 2 => mixed.
         assert_eq!(idx.classify(pm, te, Bound::Hops(2)), RangeVerdict::Mixed);

@@ -121,11 +121,7 @@ impl Partition {
     /// Every node incident to a cross-partition edge, ascending — the §V
     /// bridge-node universe over which the bridge graph is built.
     pub fn bridge_nodes(&self) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = self
-            .cross_edges
-            .iter()
-            .flat_map(|&(u, v)| [u, v])
-            .collect();
+        let mut nodes: Vec<NodeId> = self.cross_edges.iter().flat_map(|&(u, v)| [u, v]).collect();
         nodes.sort_unstable();
         nodes.dedup();
         nodes
@@ -170,11 +166,7 @@ mod tests {
         let part = Partition::by_label(&f.graph);
         let mut cross = part.cross_edges().to_vec();
         cross.sort_unstable();
-        let mut expected = vec![
-            (f.se[0], f.pm1),
-            (f.pm1, f.se[3]),
-            (f.se[1], f.te[0]),
-        ];
+        let mut expected = vec![(f.se[0], f.pm1), (f.pm1, f.se[3]), (f.se[1], f.te[0])];
         expected.sort_unstable();
         assert_eq!(cross, expected);
         let bridges = part.bridge_nodes();

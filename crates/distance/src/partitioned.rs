@@ -63,7 +63,8 @@ impl PartitionedIndex {
         let parts: Vec<PartitionId> = partition.non_empty().collect();
         let nparts = partition.len();
 
-        let mut intra: Vec<DistanceMatrix> = (0..nparts).map(|_| DistanceMatrix::all_inf(0)).collect();
+        let mut intra: Vec<DistanceMatrix> =
+            (0..nparts).map(|_| DistanceMatrix::all_inf(0)).collect();
         if threads <= 1 || parts.len() <= 1 {
             for &p in &parts {
                 intra[p.index()] = intra_apsp(graph, &partition, &local_idx, p);
@@ -236,8 +237,7 @@ impl PartitionedIndex {
     pub fn note_insert_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) {
         let pu = self.partition.of(u);
         let pv = self.partition.of(v);
-        if pu.is_some() && pu == pv {
-            let p = pu.expect("checked");
+        if let (Some(p), true) = (pu, pu == pv) {
             self.refresh_partition(graph, p);
             self.rebuild_bridge_graph();
         } else {
@@ -486,9 +486,7 @@ pub mod paper_literal {
                 let u = queue[head];
                 head += 1;
                 for &v in graph.out_neighbors(u) {
-                    let in_union = partition
-                        .of(v)
-                        .is_some_and(|q| allowed[q.index()]);
+                    let in_union = partition.of(v).is_some_and(|q| allowed[q.index()]);
                     if in_union && dist[v.index()] == INF {
                         dist[v.index()] = dist[u.index()] + 1;
                         queue.push(v);
@@ -613,11 +611,11 @@ mod tests {
         assert_eq!(combined.len(), 2);
         assert!(combined.contains(&p_pm));
         let m = paper_literal::sub_process_1(&f.graph, &partition, p_se);
-        for i in 0..4 {
-            for j in 0..4 {
+        for (i, row) in TABLE_VIII.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate() {
                 assert_eq!(
                     m.get(NodeId::from_index(i), NodeId::from_index(j)),
-                    TABLE_VIII[i][j],
+                    want,
                     "literal P_SE[{i}][{j}]"
                 );
             }
@@ -631,11 +629,11 @@ mod tests {
         let p_se = partition.of(f.se[0]).unwrap();
         let p_te = partition.of(f.te[0]).unwrap();
         let m = paper_literal::sub_process_2(&f.graph, &partition, p_se, p_te);
-        for i in 0..4 {
-            for j in 0..3 {
+        for (i, row) in TABLE_IX.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate() {
                 assert_eq!(
                     m.get(NodeId::from_index(i), NodeId::from_index(j)),
-                    TABLE_IX[i][j],
+                    want,
                     "literal P_SE->P_TE[{i}][{j}]"
                 );
             }

@@ -217,8 +217,7 @@ impl GpnmEngine {
             let Update::Pattern(pu) = u else { continue };
             let t = Instant::now();
             let can = candidates_for(&self.pattern, &self.graph, &self.index, &self.result, pu);
-            let plan =
-                plan_for_pattern_update(pu, &can, &self.pattern, self.pattern.slot_count());
+            let plan = plan_for_pattern_update(pu, &can, &self.pattern, self.pattern.slot_count());
             stats.detect_time += t.elapsed();
             self.apply_pattern_update(pu);
             let t = Instant::now();
@@ -321,8 +320,7 @@ impl GpnmEngine {
             let Update::Pattern(pu) = u else { continue };
             let t = Instant::now();
             let can = candidates_for(&self.pattern, &self.graph, &self.index, &self.result, pu);
-            let plan =
-                plan_for_pattern_update(pu, &can, &self.pattern, self.pattern.slot_count());
+            let plan = plan_for_pattern_update(pu, &can, &self.pattern, self.pattern.slot_count());
             stats.detect_time += t.elapsed();
             self.apply_pattern_update(pu);
             pattern_effects.push(PatternEffect {
@@ -605,10 +603,7 @@ impl GpnmEngine {
                             .partitioned
                             .as_ref()
                             .expect("partition prepared for UA-GPNM");
-                        let former = part_ref
-                            .partition()
-                            .of(node)
-                            .expect("deleting a live node");
+                        let former = part_ref.partition().of(node).expect("deleting a live node");
                         self.graph.remove_node(node).expect("batch validated");
                         let part = self
                             .partitioned

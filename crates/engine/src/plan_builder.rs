@@ -115,7 +115,10 @@ mod tests {
         let result = match_graph(&f.pattern, &f.graph, &idx, MatchSemantics::DualSimulation);
         // Under dual semantics TE2 is unmatched; UD1 shortens paths into
         // TE2, so p_te must be an addition source.
-        let up = DataUpdate::InsertEdge { from: f.se1, to: f.te2 };
+        let up = DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        };
         f.graph.add_edge(f.se1, f.te2).unwrap();
         let delta = idx.commit_insert_edge(f.se1, f.te2);
         let plan = plan_for_data_update(&up, &delta, &f.pattern, &f.graph, &result, None);
@@ -128,7 +131,10 @@ mod tests {
         let mut f = fig1();
         let mut idx = IncrementalIndex::build(&f.graph);
         let result = match_graph(&f.pattern, &f.graph, &idx, MatchSemantics::Simulation);
-        let up = DataUpdate::DeleteEdge { from: f.se1, to: f.s1 };
+        let up = DataUpdate::DeleteEdge {
+            from: f.se1,
+            to: f.s1,
+        };
         f.graph.remove_edge(f.se1, f.s1).unwrap();
         let delta = idx.commit_delete_edge(&f.graph, f.se1, f.s1);
         let plan = plan_for_data_update(&up, &delta, &f.pattern, &f.graph, &result, None);
@@ -151,7 +157,10 @@ mod tests {
         assert!(plan.addition_sources.is_empty());
         assert!(plan.verify.contains(f.pm2));
         // Delete: endpoints become addition sources.
-        let del = PatternUpdate::DeleteEdge { from: f.p_se, to: f.p_te };
+        let del = PatternUpdate::DeleteEdge {
+            from: f.p_se,
+            to: f.p_te,
+        };
         let can = candidates_for(&f.pattern, &f.graph, &idx, &iq, &del);
         let plan = plan_for_pattern_update(&del, &can, &f.pattern, f.pattern.slot_count());
         assert_eq!(plan.addition_sources, vec![f.p_se, f.p_te]);

@@ -37,7 +37,7 @@ fn random_graph(
 }
 
 fn random_pattern(rng: &mut StdRng, interner: &mut LabelInterner, labels: usize) -> PatternGraph {
-    let n = rng.gen_range(3..=5);
+    let n: usize = rng.gen_range(3..=5);
     let mut p = PatternGraph::new();
     let nodes: Vec<_> = (0..n)
         .map(|_| {
@@ -102,7 +102,11 @@ fn random_batch(
                 let b = pn[rng.gen_range(0..pn.len())];
                 let bound = Bound::Hops(rng.gen_range(1..=4));
                 if a != b && p.add_edge(a, b, bound).is_ok() {
-                    batch.push(PatternUpdate::InsertEdge { from: a, to: b, bound });
+                    batch.push(PatternUpdate::InsertEdge {
+                        from: a,
+                        to: b,
+                        bound,
+                    });
                 }
             }
         } else if choice < 96 {
@@ -110,7 +114,10 @@ fn random_batch(
             if !pe.is_empty() {
                 let e = pe[rng.gen_range(0..pe.len())];
                 p.remove_edge(e.from, e.to).expect("edge just listed");
-                batch.push(PatternUpdate::DeleteEdge { from: e.from, to: e.to });
+                batch.push(PatternUpdate::DeleteEdge {
+                    from: e.from,
+                    to: e.to,
+                });
             }
         } else if choice < 98 {
             let l = Label(rng.gen_range(0..interner.len() as u32));
@@ -139,7 +146,9 @@ fn diverges(
     }
     let mut reference = GpnmEngine::new(graph.clone(), pattern.clone(), MatchSemantics::Simulation);
     reference.initial_query();
-    reference.subsequent_query(batch, Strategy::Scratch).unwrap();
+    reference
+        .subsequent_query(batch, Strategy::Scratch)
+        .unwrap();
     let expected = reference.result().clone();
     let mut engine = GpnmEngine::new(graph.clone(), pattern.clone(), MatchSemantics::Simulation);
     engine.initial_query();

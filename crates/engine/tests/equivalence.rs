@@ -11,7 +11,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Random labeled digraph for equivalence fuzzing.
-fn random_graph(rng: &mut StdRng, nodes: usize, edges: usize, labels: usize) -> (DataGraph, LabelInterner) {
+fn random_graph(
+    rng: &mut StdRng,
+    nodes: usize,
+    edges: usize,
+    labels: usize,
+) -> (DataGraph, LabelInterner) {
     let mut interner = LabelInterner::new();
     let label_ids: Vec<Label> = (0..labels)
         .map(|i| interner.intern(&format!("L{i}")))
@@ -35,7 +40,7 @@ fn random_graph(rng: &mut StdRng, nodes: usize, edges: usize, labels: usize) -> 
 
 /// Random small pattern over the same label alphabet.
 fn random_pattern(rng: &mut StdRng, interner: &mut LabelInterner, labels: usize) -> PatternGraph {
-    let n = rng.gen_range(3..=5);
+    let n: usize = rng.gen_range(3..=5);
     let mut p = PatternGraph::new();
     let nodes: Vec<_> = (0..n)
         .map(|_| {
@@ -107,7 +112,11 @@ fn random_batch(
                 let b = pn[rng.gen_range(0..pn.len())];
                 let bound = Bound::Hops(rng.gen_range(1..=4));
                 if a != b && p.add_edge(a, b, bound).is_ok() {
-                    batch.push(PatternUpdate::InsertEdge { from: a, to: b, bound });
+                    batch.push(PatternUpdate::InsertEdge {
+                        from: a,
+                        to: b,
+                        bound,
+                    });
                 }
             }
         } else if choice < 96 {
@@ -116,7 +125,10 @@ fn random_batch(
             if !pe.is_empty() {
                 let e = pe[rng.gen_range(0..pe.len())];
                 p.remove_edge(e.from, e.to).expect("edge just listed");
-                batch.push(PatternUpdate::DeleteEdge { from: e.from, to: e.to });
+                batch.push(PatternUpdate::DeleteEdge {
+                    from: e.from,
+                    to: e.to,
+                });
             }
         } else if choice < 98 {
             // pattern node insert
@@ -192,8 +204,14 @@ fn paper_example_2_all_strategies() {
         to: f.p_te,
         bound: Bound::Hops(4),
     });
-    batch.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
-    batch.push(DataUpdate::InsertEdge { from: f.db1, to: f.s1 });
+    batch.push(DataUpdate::InsertEdge {
+        from: f.se1,
+        to: f.te2,
+    });
+    batch.push(DataUpdate::InsertEdge {
+        from: f.db1,
+        to: f.s1,
+    });
     for semantics in [MatchSemantics::Simulation, MatchSemantics::DualSimulation] {
         assert_all_strategies_agree(&f.graph, &f.pattern, &batch, semantics, "example2");
     }
@@ -204,7 +222,11 @@ fn paper_example_2_squery_equals_iquery() {
     // The elimination story of Example 2: the four updates cancel out and
     // SQuery == IQuery (under the successor-only semantics of Table I).
     let f = fig1();
-    let mut engine = GpnmEngine::new(f.graph.clone(), f.pattern.clone(), MatchSemantics::Simulation);
+    let mut engine = GpnmEngine::new(
+        f.graph.clone(),
+        f.pattern.clone(),
+        MatchSemantics::Simulation,
+    );
     let iquery = engine.initial_query().clone();
     let mut batch = UpdateBatch::new();
     batch.push(PatternUpdate::InsertEdge {
@@ -217,8 +239,14 @@ fn paper_example_2_squery_equals_iquery() {
         to: f.p_te,
         bound: Bound::Hops(4),
     });
-    batch.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
-    batch.push(DataUpdate::InsertEdge { from: f.db1, to: f.s1 });
+    batch.push(DataUpdate::InsertEdge {
+        from: f.se1,
+        to: f.te2,
+    });
+    batch.push(DataUpdate::InsertEdge {
+        from: f.db1,
+        to: f.s1,
+    });
     let stats = engine
         .subsequent_query(&batch, Strategy::UaGpnm)
         .expect("valid batch");
@@ -281,7 +309,13 @@ fn chained_subsequent_queries_stay_exact() {
     engine.initial_query();
     for round in 0..8 {
         let batch_len = rng.gen_range(1..8);
-        let batch = random_batch(&mut rng, engine.graph(), engine.pattern(), &interner, batch_len);
+        let batch = random_batch(
+            &mut rng,
+            engine.graph(),
+            engine.pattern(),
+            &interner,
+            batch_len,
+        );
         let strategy = [Strategy::UaGpnm, Strategy::EhGpnm, Strategy::IncGpnm][round % 3];
         engine.subsequent_query(&batch, strategy).expect("valid");
         assert_eq!(
@@ -295,29 +329,51 @@ fn chained_subsequent_queries_stay_exact() {
 #[test]
 fn invalid_batch_leaves_engine_untouched() {
     let f = fig1();
-    let mut engine = GpnmEngine::new(f.graph.clone(), f.pattern.clone(), MatchSemantics::Simulation);
+    let mut engine = GpnmEngine::new(
+        f.graph.clone(),
+        f.pattern.clone(),
+        MatchSemantics::Simulation,
+    );
     engine.initial_query();
     let before_result = engine.result().clone();
     let before_edges = engine.graph().edge_count();
     let mut batch = UpdateBatch::new();
-    batch.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 }); // fine
-    batch.push(DataUpdate::InsertEdge { from: f.pm1, to: f.se2 }); // duplicate!
+    batch.push(DataUpdate::InsertEdge {
+        from: f.se1,
+        to: f.te2,
+    }); // fine
+    batch.push(DataUpdate::InsertEdge {
+        from: f.pm1,
+        to: f.se2,
+    }); // duplicate!
     let err = engine.subsequent_query(&batch, Strategy::UaGpnm);
     assert!(err.is_err());
-    assert_eq!(engine.graph().edge_count(), before_edges, "no partial apply");
+    assert_eq!(
+        engine.graph().edge_count(),
+        before_edges,
+        "no partial apply"
+    );
     assert_eq!(engine.result(), &before_result);
 }
 
 #[test]
 fn empty_batch_is_a_cheap_noop() {
     let f = fig1();
-    let mut engine = GpnmEngine::new(f.graph.clone(), f.pattern.clone(), MatchSemantics::Simulation);
+    let mut engine = GpnmEngine::new(
+        f.graph.clone(),
+        f.pattern.clone(),
+        MatchSemantics::Simulation,
+    );
     let iq = engine.initial_query().clone();
     for strategy in Strategy::ALL {
         let stats = engine
             .subsequent_query(&UpdateBatch::new(), strategy)
             .expect("empty batch is valid");
-        assert_eq!(engine.result(), &iq, "{strategy} changed an unchanged graph");
+        assert_eq!(
+            engine.result(),
+            &iq,
+            "{strategy} changed an unchanged graph"
+        );
         if strategy != Strategy::Scratch {
             assert_eq!(stats.slen_changes, 0);
         }

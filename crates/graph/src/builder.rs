@@ -104,7 +104,8 @@ impl PatternGraphBuilder {
 
     /// Declare a bounded edge `from -> to` with `k` hops.
     pub fn edge(mut self, from: &str, to: &str, k: u32) -> Self {
-        self.edges.push((from.to_owned(), to.to_owned(), Bound::Hops(k)));
+        self.edges
+            .push((from.to_owned(), to.to_owned(), Bound::Hops(k)));
         self
     }
 
@@ -178,7 +179,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "undeclared node")]
     fn unknown_edge_endpoint_panics() {
-        let _ = DataGraphBuilder::new().node("a", "X").edge("a", "zzz").build();
+        let _ = DataGraphBuilder::new()
+            .node("a", "X")
+            .edge("a", "zzz")
+            .build();
     }
 
     #[test]

@@ -323,7 +323,10 @@ impl DataGraph {
             }
             edges += adj.len();
             for &v in adj {
-                if self.inn[v.index()].binary_search(&NodeId::from_index(i)).is_err() {
+                if self.inn[v.index()]
+                    .binary_search(&NodeId::from_index(i))
+                    .is_err()
+                {
                     return false;
                 }
             }
@@ -476,7 +479,10 @@ mod tests {
         let n0 = g.add_node(a);
         let ghost = NodeId(77);
         assert_eq!(g.add_edge(n0, ghost), Err(GraphError::MissingNode(ghost)));
-        assert_eq!(g.remove_edge(ghost, n0), Err(GraphError::MissingNode(ghost)));
+        assert_eq!(
+            g.remove_edge(ghost, n0),
+            Err(GraphError::MissingNode(ghost))
+        );
     }
 
     #[test]
@@ -566,8 +572,7 @@ mod tests {
         let mut g = DataGraph::new();
         let n0 = g.add_node(a);
         let n1 = g.add_node(a);
-        let inserted =
-            g.add_edges_lenient(vec![(n0, n1), (n0, n1), (n0, n0), (n1, n0)]);
+        let inserted = g.add_edges_lenient(vec![(n0, n1), (n0, n1), (n0, n0), (n1, n0)]);
         assert_eq!(inserted, 2);
         assert_eq!(g.edge_count(), 2);
     }

@@ -48,7 +48,10 @@ impl PatternNodeId {
     /// Construct from a slot index.
     #[inline(always)]
     pub fn from_index(index: usize) -> Self {
-        debug_assert!(index <= u32::MAX as usize, "pattern node index overflows u32");
+        debug_assert!(
+            index <= u32::MAX as usize,
+            "pattern node index overflows u32"
+        );
         PatternNodeId(index as u32)
     }
 }

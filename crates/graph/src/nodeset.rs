@@ -63,15 +63,6 @@ impl NodeSet {
         Self::default()
     }
 
-    /// Build from an iterator of node ids.
-    pub fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
-        let mut s = NodeSet::new();
-        for n in iter {
-            s.insert(n);
-        }
-        s
-    }
-
     /// Number of members.
     #[inline]
     pub fn len(&self) -> usize {
@@ -194,7 +185,11 @@ impl std::fmt::Debug for NodeSet {
 
 impl FromIterator<NodeId> for NodeSet {
     fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
-        NodeSet::from_iter(iter)
+        let mut s = NodeSet::new();
+        for n in iter {
+            s.insert(n);
+        }
+        s
     }
 }
 

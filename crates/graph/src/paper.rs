@@ -218,12 +218,7 @@ pub const TABLE_VIII: [[u32; 4]; 4] = [
 
 /// Table IX: shortest path lengths from each node of `P_SE` to each node of
 /// `P_TE`, rows `SE1..SE4`, cols `TE1..TE3`.
-pub const TABLE_IX: [[u32; 3]; 4] = [
-    [2, 3, 4],
-    [1, 2, 3],
-    [INF, INF, INF],
-    [INF, INF, INF],
-];
+pub const TABLE_IX: [[u32; 3]; 4] = [[2, 3, 4], [1, 2, 3], [INF, INF, INF], [INF, INF, INF]];
 
 #[cfg(test)]
 mod tests {

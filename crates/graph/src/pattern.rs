@@ -151,9 +151,9 @@ impl PatternGraph {
     pub fn edges(&self) -> impl Iterator<Item = PatternEdge> + '_ {
         self.labels.iter().enumerate().flat_map(move |(i, l)| {
             let from = PatternNodeId::from_index(i);
-            let adj: &[(PatternNodeId, Bound)] =
-                if l.is_some() { &self.out[i] } else { &[] };
-            adj.iter().map(move |&(to, bound)| PatternEdge { from, to, bound })
+            let adj: &[(PatternNodeId, Bound)] = if l.is_some() { &self.out[i] } else { &[] };
+            adj.iter()
+                .map(move |&(to, bound)| PatternEdge { from, to, bound })
         })
     }
 

@@ -74,7 +74,15 @@ pub fn match_graph<O: DistanceOracle>(
         }
         pending[u.index()] = true;
     }
-    prune_to_fixpoint(pattern, graph, &mut result, oracle, semantics, &mut pending, None);
+    prune_to_fixpoint(
+        pattern,
+        graph,
+        &mut result,
+        oracle,
+        semantics,
+        &mut pending,
+        None,
+    );
     enforce_total_match(pattern, &mut result);
     result
 }
@@ -224,13 +232,10 @@ fn prune_to_fixpoint<O: DistanceOracle>(
 ) {
     let mut first_sweep = vec![true; pattern.slot_count()];
     let mut removals: Vec<NodeId> = Vec::new();
-    loop {
-        let Some(u) = (0..pending.len())
-            .map(PatternNodeId::from_index)
-            .find(|p| pending[p.index()])
-        else {
-            break;
-        };
+    while let Some(u) = (0..pending.len())
+        .map(PatternNodeId::from_index)
+        .find(|p| pending[p.index()])
+    {
         pending[u.index()] = false;
         if !pattern.contains(u) {
             continue;
@@ -298,15 +303,9 @@ mod tests {
             vec![f.pm1, f.pm2],
             "PM matches PM1, PM2 (Example 5)"
         );
-        assert_eq!(
-            m.matches_of(f.p_se).collect::<Vec<_>>(),
-            vec![f.se1, f.se2]
-        );
+        assert_eq!(m.matches_of(f.p_se).collect::<Vec<_>>(), vec![f.se1, f.se2]);
         assert_eq!(m.matches_of(f.p_s).collect::<Vec<_>>(), vec![f.s1]);
-        assert_eq!(
-            m.matches_of(f.p_te).collect::<Vec<_>>(),
-            vec![f.te1, f.te2]
-        );
+        assert_eq!(m.matches_of(f.p_te).collect::<Vec<_>>(), vec![f.te1, f.te2]);
     }
 
     #[test]
@@ -318,10 +317,7 @@ mod tests {
         let slen = apsp_matrix(&f.graph);
         let m = match_graph(&f.pattern, &f.graph, &slen, MatchSemantics::DualSimulation);
         assert_eq!(m.matches_of(f.p_te).collect::<Vec<_>>(), vec![f.te1]);
-        assert_eq!(
-            m.matches_of(f.p_pm).collect::<Vec<_>>(),
-            vec![f.pm1, f.pm2]
-        );
+        assert_eq!(m.matches_of(f.p_pm).collect::<Vec<_>>(), vec![f.pm1, f.pm2]);
     }
 
     #[test]
@@ -376,9 +372,7 @@ mod tests {
         let slen = apsp_matrix(&f.graph);
         let before = match_graph(&f.pattern, &f.graph, &slen, MatchSemantics::Simulation);
         f.graph.add_edge(f.se1, f.te2).unwrap();
-        f.pattern
-            .add_edge(f.p_pm, f.p_te, Bound::Hops(2))
-            .unwrap();
+        f.pattern.add_edge(f.p_pm, f.p_te, Bound::Hops(2)).unwrap();
         let slen2 = apsp_matrix(&f.graph);
         let after = match_graph(&f.pattern, &f.graph, &slen2, MatchSemantics::Simulation);
         assert_eq!(before, after, "UP1 and UD1 eliminate each other");
@@ -515,7 +509,14 @@ mod tests {
         let delta = slen.commit_delete_edge(&g, names["b"], names["c"]);
         let mut plan = RepairPlan::new();
         plan.verify = delta.affected.clone();
-        repair(&p, &g, &slen, MatchSemantics::Simulation, &mut result, &plan);
+        repair(
+            &p,
+            &g,
+            &slen,
+            MatchSemantics::Simulation,
+            &mut result,
+            &plan,
+        );
         let scratch = match_graph(&p, &g, &slen, MatchSemantics::Simulation);
         assert_eq!(result, scratch);
         assert!(result.is_empty());

@@ -59,14 +59,20 @@ mod tests {
         let ud1 = affected_for(
             &f.graph,
             &mut idx,
-            &DataUpdate::InsertEdge { from: f.se1, to: f.te2 },
+            &DataUpdate::InsertEdge {
+                from: f.se1,
+                to: f.te2,
+            },
         )
         .unwrap();
         assert_eq!(ud1.affected.len(), 8, "paper Table VII row UD1");
         let ud2 = affected_for(
             &f.graph,
             &mut idx,
-            &DataUpdate::InsertEdge { from: f.db1, to: f.s1 },
+            &DataUpdate::InsertEdge {
+                from: f.db1,
+                to: f.s1,
+            },
         )
         .unwrap();
         let got: Vec<NodeId> = ud2.affected.iter().collect();
@@ -87,13 +93,19 @@ mod tests {
         let ud1 = affected_for(
             &f.graph,
             &mut idx,
-            &DataUpdate::InsertEdge { from: f.se1, to: f.te2 },
+            &DataUpdate::InsertEdge {
+                from: f.se1,
+                to: f.te2,
+            },
         )
         .unwrap();
         let ud2 = affected_for(
             &f.graph,
             &mut idx,
-            &DataUpdate::InsertEdge { from: f.db1, to: f.s1 },
+            &DataUpdate::InsertEdge {
+                from: f.db1,
+                to: f.s1,
+            },
         )
         .unwrap();
         assert!(ud1.affected.is_superset_of(&ud2.affected));
@@ -107,13 +119,19 @@ mod tests {
         assert!(affected_for(
             &f.graph,
             &mut idx,
-            &DataUpdate::InsertEdge { from: f.pm1, to: f.se2 }, // duplicate
+            &DataUpdate::InsertEdge {
+                from: f.pm1,
+                to: f.se2
+            }, // duplicate
         )
         .is_none());
         assert!(affected_for(
             &f.graph,
             &mut idx,
-            &DataUpdate::DeleteEdge { from: f.pm1, to: f.te2 }, // absent
+            &DataUpdate::DeleteEdge {
+                from: f.pm1,
+                to: f.te2
+            }, // absent
         )
         .is_none());
         assert!(affected_for(
@@ -129,8 +147,8 @@ mod tests {
         let f = fig1();
         let mut idx = IncrementalIndex::build(&f.graph);
         let se = f.interner.get("SE").unwrap();
-        let delta = affected_for(&f.graph, &mut idx, &DataUpdate::InsertNode { label: se })
-            .unwrap();
+        let delta =
+            affected_for(&f.graph, &mut idx, &DataUpdate::InsertNode { label: se }).unwrap();
         assert!(delta.is_empty());
     }
 }

@@ -27,11 +27,7 @@ use crate::update::{DataUpdate, PatternUpdate, Update};
 /// update references any node created later in the batch — conservatively
 /// approximated by requiring the cancelled insert to be the batch's last
 /// created data/pattern node or followed only by cancelled inserts).
-pub fn reduce_batch(
-    graph: &DataGraph,
-    pattern: &PatternGraph,
-    batch: &UpdateBatch,
-) -> UpdateBatch {
+pub fn reduce_batch(graph: &DataGraph, pattern: &PatternGraph, batch: &UpdateBatch) -> UpdateBatch {
     let updates = batch.updates();
     let mut keep = vec![true; updates.len()];
 
@@ -182,7 +178,10 @@ fn cancel_edge_toggles(
                 .iter()
                 .rev()
                 .find(|&&i| {
-                    matches!(updates[i], Update::Pattern(PatternUpdate::DeleteEdge { .. }))
+                    matches!(
+                        updates[i],
+                        Update::Pattern(PatternUpdate::DeleteEdge { .. })
+                    )
                 })
                 .copied();
             for &i in &indices {
@@ -206,8 +205,14 @@ mod tests {
     fn insert_then_delete_edge_cancels() {
         let f = fig1();
         let mut b = UpdateBatch::new();
-        b.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
-        b.push(DataUpdate::DeleteEdge { from: f.se1, to: f.te2 });
+        b.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        b.push(DataUpdate::DeleteEdge {
+            from: f.se1,
+            to: f.te2,
+        });
         let reduced = reduce_batch(&f.graph, &f.pattern, &b);
         assert!(reduced.is_empty());
     }
@@ -216,8 +221,14 @@ mod tests {
     fn delete_then_reinsert_cancels() {
         let f = fig1();
         let mut b = UpdateBatch::new();
-        b.push(DataUpdate::DeleteEdge { from: f.pm1, to: f.db1 });
-        b.push(DataUpdate::InsertEdge { from: f.pm1, to: f.db1 });
+        b.push(DataUpdate::DeleteEdge {
+            from: f.pm1,
+            to: f.db1,
+        });
+        b.push(DataUpdate::InsertEdge {
+            from: f.pm1,
+            to: f.db1,
+        });
         let reduced = reduce_batch(&f.graph, &f.pattern, &b);
         assert!(reduced.is_empty());
     }
@@ -227,14 +238,26 @@ mod tests {
         let f = fig1();
         // absent -> insert -> delete -> insert: net = one insert (the last).
         let mut b = UpdateBatch::new();
-        b.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
-        b.push(DataUpdate::DeleteEdge { from: f.se1, to: f.te2 });
-        b.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
+        b.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        b.push(DataUpdate::DeleteEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        b.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
         let reduced = reduce_batch(&f.graph, &f.pattern, &b);
         assert_eq!(reduced.len(), 1);
         assert_eq!(
             reduced.updates()[0],
-            Update::Data(DataUpdate::InsertEdge { from: f.se1, to: f.te2 })
+            Update::Data(DataUpdate::InsertEdge {
+                from: f.se1,
+                to: f.te2
+            })
         );
     }
 
@@ -242,7 +265,10 @@ mod tests {
     fn pattern_reinsert_with_same_bound_cancels() {
         let f = fig1();
         let mut b = UpdateBatch::new();
-        b.push(PatternUpdate::DeleteEdge { from: f.p_pm, to: f.p_se });
+        b.push(PatternUpdate::DeleteEdge {
+            from: f.p_pm,
+            to: f.p_se,
+        });
         b.push(PatternUpdate::InsertEdge {
             from: f.p_pm,
             to: f.p_se,
@@ -256,14 +282,21 @@ mod tests {
     fn pattern_reinsert_with_different_bound_survives() {
         let f = fig1();
         let mut b = UpdateBatch::new();
-        b.push(PatternUpdate::DeleteEdge { from: f.p_pm, to: f.p_se });
+        b.push(PatternUpdate::DeleteEdge {
+            from: f.p_pm,
+            to: f.p_se,
+        });
         b.push(PatternUpdate::InsertEdge {
             from: f.p_pm,
             to: f.p_se,
             bound: Bound::Hops(1), // tightened: net bound change
         });
         let reduced = reduce_batch(&f.graph, &f.pattern, &b);
-        assert_eq!(reduced.len(), 2, "bound change must survive as delete+insert");
+        assert_eq!(
+            reduced.len(),
+            2,
+            "bound change must survive as delete+insert"
+        );
     }
 
     #[test]
@@ -273,8 +306,14 @@ mod tests {
         let doomed = NodeId::from_index(f.graph.slot_count());
         let mut b = UpdateBatch::new();
         b.push(DataUpdate::InsertNode { label: se });
-        b.push(DataUpdate::InsertEdge { from: doomed, to: f.te1 });
-        b.push(DataUpdate::InsertEdge { from: f.pm1, to: doomed });
+        b.push(DataUpdate::InsertEdge {
+            from: doomed,
+            to: f.te1,
+        });
+        b.push(DataUpdate::InsertEdge {
+            from: f.pm1,
+            to: doomed,
+        });
         b.push(DataUpdate::DeleteNode { node: doomed });
         let reduced = reduce_batch(&f.graph, &f.pattern, &b);
         assert!(reduced.is_empty());
@@ -290,7 +329,10 @@ mod tests {
         b.push(DataUpdate::InsertNode { label: se }); // first
         b.push(DataUpdate::InsertNode { label: se }); // second (survives)
         b.push(DataUpdate::DeleteNode { node: first });
-        b.push(DataUpdate::InsertEdge { from: second, to: f.te1 });
+        b.push(DataUpdate::InsertEdge {
+            from: second,
+            to: f.te1,
+        });
         let reduced = reduce_batch(&f.graph, &f.pattern, &b);
         // Cancelling `first` would shift `second`'s predicted id, so the
         // pair must survive.
@@ -305,8 +347,14 @@ mod tests {
     fn unrelated_updates_pass_through() {
         let f = fig1();
         let mut b = UpdateBatch::new();
-        b.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
-        b.push(DataUpdate::DeleteEdge { from: f.pm1, to: f.db1 });
+        b.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        b.push(DataUpdate::DeleteEdge {
+            from: f.pm1,
+            to: f.db1,
+        });
         let reduced = reduce_batch(&f.graph, &f.pattern, &b);
         assert_eq!(reduced.len(), 2);
     }

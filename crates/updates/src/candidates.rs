@@ -162,8 +162,7 @@ fn cascade_removals<O: DistanceOracle>(
     let mut dirty: Vec<PatternNodeId> = seeds.to_vec();
     while let Some(u) = dirty.pop() {
         // Re-check matchers of every pattern node sharing an edge with u.
-        let mut to_check: Vec<(PatternNodeId, PatternNodeId, gpnm_graph::Bound, bool)> =
-            Vec::new();
+        let mut to_check: Vec<(PatternNodeId, PatternNodeId, gpnm_graph::Bound, bool)> = Vec::new();
         for &(t, b) in pattern.out_edges(u) {
             to_check.push((u, t, b, true)); // u -> t: u-side needs partner in t
         }
@@ -230,7 +229,11 @@ mod tests {
     use gpnm_graph::Bound;
     use gpnm_matcher::{match_graph, MatchSemantics};
 
-    fn setup() -> (gpnm_graph::paper::Fig1, gpnm_distance::DistanceMatrix, MatchResult) {
+    fn setup() -> (
+        gpnm_graph::paper::Fig1,
+        gpnm_distance::DistanceMatrix,
+        MatchResult,
+    ) {
         let f = fig1();
         let slen = apsp_matrix(&f.graph);
         let iq = match_graph(&f.pattern, &f.graph, &slen, MatchSemantics::Simulation);
@@ -351,6 +354,9 @@ mod tests {
             },
         );
         // d(SE1,S1)=1, d(SE2,S1)=3: both SEs have the partner; S1 has both.
-        assert!(c.is_empty(), "satisfied constraint yields no candidates: {c:?}");
+        assert!(
+            c.is_empty(),
+            "satisfied constraint yields no candidates: {c:?}"
+        );
     }
 }

@@ -82,7 +82,10 @@ mod tests {
         let aff = affected_for(
             &f.graph,
             &mut idx,
-            &DataUpdate::InsertEdge { from: f.se1, to: f.te2 },
+            &DataUpdate::InsertEdge {
+                from: f.se1,
+                to: f.te2,
+            },
         )
         .unwrap();
         // Build SLen_new with UD1 applied.
@@ -114,7 +117,10 @@ mod tests {
         let aff2 = affected_for(
             &f.graph,
             &mut idx,
-            &DataUpdate::InsertEdge { from: f.db1, to: f.s1 },
+            &DataUpdate::InsertEdge {
+                from: f.db1,
+                to: f.s1,
+            },
         )
         .unwrap();
         let mut g2 = f.graph.clone();
@@ -128,7 +134,10 @@ mod tests {
         let f = fig1();
         let slen = apsp_matrix(&f.graph);
         let iq = match_graph(&f.pattern, &f.graph, &slen, MatchSemantics::Simulation);
-        let del = PatternUpdate::DeleteEdge { from: f.p_se, to: f.p_te };
+        let del = PatternUpdate::DeleteEdge {
+            from: f.p_se,
+            to: f.p_te,
+        };
         let can = candidates_for(&f.pattern, &f.graph, &slen, &iq, &del);
         let aff = AffDelta::new();
         assert!(!cross_eliminates(&del, &can, &aff, &slen, &iq));

@@ -176,13 +176,19 @@ mod tests {
         );
         let mut ud1 = effect(
             2,
-            Update::Data(DataUpdate::InsertEdge { from: NodeId(2), to: NodeId(6) }),
+            Update::Data(DataUpdate::InsertEdge {
+                from: NodeId(2),
+                to: NodeId(6),
+            }),
             &[0, 1, 2, 3, 4, 5, 6, 7], // all eight
         );
         ud1.cross_eliminates = vec![0, 1]; // UD1 <=> UP1 and covers UP2 too
         let ud2 = effect(
             3,
-            Update::Data(DataUpdate::InsertEdge { from: NodeId(7), to: NodeId(4) }),
+            Update::Data(DataUpdate::InsertEdge {
+                from: NodeId(7),
+                to: NodeId(4),
+            }),
             &[0, 3, 4, 5, 7], // {PM1, SE2, S1, TE1, DB1}
         );
         let effects = vec![up1, up2, ud1, ud2];
@@ -205,12 +211,18 @@ mod tests {
     fn incomparable_updates_form_a_forest() {
         let a = effect(
             0,
-            Update::Data(DataUpdate::InsertEdge { from: NodeId(0), to: NodeId(1) }),
+            Update::Data(DataUpdate::InsertEdge {
+                from: NodeId(0),
+                to: NodeId(1),
+            }),
             &[1, 2],
         );
         let b = effect(
             1,
-            Update::Data(DataUpdate::InsertEdge { from: NodeId(2), to: NodeId(3) }),
+            Update::Data(DataUpdate::InsertEdge {
+                from: NodeId(2),
+                to: NodeId(3),
+            }),
             &[3, 4],
         );
         let effects = vec![a, b];
@@ -224,12 +236,18 @@ mod tests {
     fn dot_export_mentions_every_update() {
         let a = effect(
             0,
-            Update::Data(DataUpdate::InsertEdge { from: NodeId(0), to: NodeId(1) }),
+            Update::Data(DataUpdate::InsertEdge {
+                from: NodeId(0),
+                to: NodeId(1),
+            }),
             &[1, 2],
         );
         let b = effect(
             1,
-            Update::Data(DataUpdate::InsertEdge { from: NodeId(0), to: NodeId(2) }),
+            Update::Data(DataUpdate::InsertEdge {
+                from: NodeId(0),
+                to: NodeId(2),
+            }),
             &[1],
         );
         let effects = vec![a, b];

@@ -179,10 +179,15 @@ mod tests {
         let b = effect(1, up(2), &[1, 2], true);
         let c = UpdateEffect {
             insertion: false,
-            ..effect(2, Update::Pattern(PatternUpdate::DeleteEdge {
-                from: PatternNodeId(0),
-                to: PatternNodeId(3),
-            }), &[1], false)
+            ..effect(
+                2,
+                Update::Pattern(PatternUpdate::DeleteEdge {
+                    from: PatternNodeId(0),
+                    to: PatternNodeId(3),
+                }),
+                &[1],
+                false,
+            )
         };
         let g = EliminationGraph::detect(&[a, b, c]);
         let rels = g.relations();

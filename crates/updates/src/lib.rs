@@ -21,8 +21,8 @@
 
 mod affected;
 mod batch;
-mod candidates;
 mod cancel;
+mod candidates;
 mod cross;
 mod eh_tree;
 mod elimination;
@@ -30,8 +30,8 @@ mod update;
 
 pub use affected::affected_for;
 pub use batch::{AppliedUpdate, UpdateBatch};
-pub use candidates::{candidates_for, Candidates};
 pub use cancel::reduce_batch;
+pub use candidates::{candidates_for, Candidates};
 pub use cross::cross_eliminates;
 pub use eh_tree::EhTree;
 pub use elimination::{EliminationGraph, Relation, RelationKind, UpdateEffect};

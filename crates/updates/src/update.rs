@@ -155,7 +155,10 @@ mod tests {
             DataUpdate::DeleteNode { node: NodeId(0) }.into(),
         ];
         let codes: Vec<_> = ups.iter().map(Update::code).collect();
-        assert_eq!(codes, vec!["+PE", "-PE", "+PN", "-PN", "+DE", "-DE", "+DN", "-DN"]);
+        assert_eq!(
+            codes,
+            vec!["+PE", "-PE", "+PN", "-PN", "+DE", "-DE", "+DN", "-DN"]
+        );
         assert!(ups[0].is_pattern() && !ups[4].is_pattern());
         assert!(ups[0].is_insertion() && !ups[1].is_insertion());
     }

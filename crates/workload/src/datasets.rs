@@ -181,7 +181,9 @@ mod tests {
                 (c.nodes, c.edges)
             })
             .collect();
-        assert!(sizes.windows(2).all(|w| w[0].0 <= w[1].0 || w[0].1 >= w[1].1));
+        assert!(sizes
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 || w[0].1 >= w[1].1));
         // LiveJournal stays the densest.
         let lj = Dataset::LiveJournalSim.config(1);
         let dblp = Dataset::DblpSim.config(1);

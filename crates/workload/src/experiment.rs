@@ -130,8 +130,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> Vec<CellResult> {
                     },
                     &interner,
                 );
-                let mut base =
-                    GpnmEngine::new(graph.clone(), pattern.clone(), config.semantics);
+                let mut base = GpnmEngine::new(graph.clone(), pattern.clone(), config.semantics);
                 base.initial_query();
                 let protocol = UpdateProtocol::from_scale(
                     delta_scale.0,

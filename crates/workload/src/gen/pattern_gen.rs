@@ -149,7 +149,10 @@ mod tests {
             parent[x]
         }
         for e in p.edges() {
-            let (a, b) = (find(&mut parent, e.from.index()), find(&mut parent, e.to.index()));
+            let (a, b) = (
+                find(&mut parent, e.from.index()),
+                find(&mut parent, e.to.index()),
+            );
             parent[a] = b;
         }
         let root = find(&mut parent, 0);

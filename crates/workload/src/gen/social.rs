@@ -163,7 +163,10 @@ mod tests {
             edges: 600,
             ..Default::default()
         };
-        let (a, _) = generate_social_graph(&SocialGraphConfig { seed: 1, ..base.clone() });
+        let (a, _) = generate_social_graph(&SocialGraphConfig {
+            seed: 1,
+            ..base.clone()
+        });
         let (b, _) = generate_social_graph(&SocialGraphConfig { seed: 2, ..base });
         let ea: Vec<_> = a.edges().collect();
         let eb: Vec<_> = b.edges().collect();
@@ -202,10 +205,7 @@ mod tests {
         let (g, _) = generate_social_graph(&cfg);
         // Count same-label edges: with coherent communities this must be
         // far above the 1/labels ≈ 1.7% random baseline.
-        let same = g
-            .edges()
-            .filter(|&(u, v)| g.label(u) == g.label(v))
-            .count();
+        let same = g.edges().filter(|&(u, v)| g.label(u) == g.label(v)).count();
         let ratio = same as f64 / g.edge_count() as f64;
         assert!(ratio > 0.3, "same-label edge ratio {ratio} too low");
     }

@@ -136,7 +136,10 @@ pub fn generate_batch(
         }
         let e = pe[rng.gen_range(0..pe.len())];
         if p.remove_edge(e.from, e.to).is_ok() {
-            batch.push(PatternUpdate::DeleteEdge { from: e.from, to: e.to });
+            batch.push(PatternUpdate::DeleteEdge {
+                from: e.from,
+                to: e.to,
+            });
         }
     }
     for _ in 0..protocol.pattern_node_deletes {
@@ -166,7 +169,11 @@ pub fn generate_batch(
         let b = pn[rng.gen_range(0..pn.len())];
         let bound = Bound::Hops(rng.gen_range(1..=3));
         if a != b && p.add_edge(a, b, bound).is_ok() {
-            batch.push(PatternUpdate::InsertEdge { from: a, to: b, bound });
+            batch.push(PatternUpdate::InsertEdge {
+                from: a,
+                to: b,
+                bound,
+            });
             inserted += 1;
         }
     }

@@ -176,9 +176,7 @@ pub fn figure_series(results: &[CellResult], pattern_size: (usize, usize)) -> St
             let picked: Vec<&CellResult> = results
                 .iter()
                 .filter(|c| {
-                    c.pattern_size == pattern_size
-                        && c.delta_scale == scale
-                        && c.strategy == s
+                    c.pattern_size == pattern_size && c.delta_scale == scale && c.strategy == s
                 })
                 .collect();
             out.push_str(&format!(" {:>9.4}", mean(&picked).as_secs_f64()));
@@ -216,12 +214,7 @@ mod tests {
     use super::*;
     use crate::datasets::Dataset;
 
-    fn cell(
-        strategy: Strategy,
-        scale: (usize, usize),
-        ps: (usize, usize),
-        ms: u64,
-    ) -> CellResult {
+    fn cell(strategy: Strategy, scale: (usize, usize), ps: (usize, usize), ms: u64) -> CellResult {
         CellResult {
             dataset: Dataset::EmailEuCore,
             pattern_size: ps,

@@ -217,7 +217,10 @@ mod tests {
         assert_eq!(batch.len(), 2);
         assert_eq!(
             batch.updates()[0],
-            Update::Data(DataUpdate::InsertEdge { from: NodeId(1), to: NodeId(2) })
+            Update::Data(DataUpdate::InsertEdge {
+                from: NodeId(1),
+                to: NodeId(2)
+            })
         );
     }
 
@@ -235,7 +238,10 @@ mod tests {
             })
         );
         let li2 = LabelInterner::new();
-        assert_eq!(write_trace(&batch, &li2), "# ua-gpnm update trace v1\n+PE 0 1 *\n+PE 1 2 3\n");
+        assert_eq!(
+            write_trace(&batch, &li2),
+            "# ua-gpnm update trace v1\n+PE 0 1 *\n+PE 1 2 3\n"
+        );
     }
 
     #[test]

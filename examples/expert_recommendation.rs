@@ -74,7 +74,8 @@ fn main() {
                 "\nafter deleting {victim}->{out}: repair took {:?} ({} SLen changes)",
                 stats.total_time, stats.slen_changes
             );
-            let new_top = top_k_matches(engine.pattern(), engine.result(), engine.slen(), expert, 5);
+            let new_top =
+                top_k_matches(engine.pattern(), engine.result(), engine.slen(), expert, 5);
             println!("new top-5:");
             for (rank, m) in new_top.iter().enumerate() {
                 println!("  #{} node {} (score {})", rank + 1, m.node, m.score);

@@ -15,8 +15,7 @@ use ua_gpnm::prelude::*;
 
 fn main() {
     let fig = fig1();
-    let reverse: HashMap<NodeId, String> =
-        fig.names.iter().map(|(k, &v)| (v, k.clone())).collect();
+    let reverse: HashMap<NodeId, String> = fig.names.iter().map(|(k, &v)| (v, k.clone())).collect();
 
     // ------------------------------------------------------------------
     // IQuery: the initial node matching (paper Table I).

@@ -9,9 +9,7 @@
 //! Run with: `cargo run --release --example team_finding`
 
 use ua_gpnm::prelude::*;
-use ua_gpnm::workload::{
-    generate_batch, generate_social_graph, SocialGraphConfig, UpdateProtocol,
-};
+use ua_gpnm::workload::{generate_batch, generate_social_graph, SocialGraphConfig, UpdateProtocol};
 
 fn main() {
     // An 800-person organization with 12 roles clustered in departments.
@@ -59,13 +57,7 @@ fn main() {
 
     // Organizational churn: 8 pattern tweaks + 80 graph updates.
     let protocol = UpdateProtocol::from_scale(8, 80);
-    let batch = generate_batch(
-        engine.graph(),
-        engine.pattern(),
-        &interner,
-        &protocol,
-        99,
-    );
+    let batch = generate_batch(engine.graph(), engine.pattern(), &interner, &protocol, 99);
     println!("\nchurn batch: {} updates", batch.len());
 
     println!("\n== strategy comparison on the identical batch ==");

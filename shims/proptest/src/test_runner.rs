@@ -1,0 +1,79 @@
+//! Test-runner configuration and failure type.
+
+use std::fmt;
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test, before env override.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; this workspace keeps the default
+        // modest so `cargo test` stays fast, and CI pins PROPTEST_CASES.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable when set, else `self.cases`.
+    ///
+    /// Deliberate difference from real proptest: there, the env var only
+    /// feeds `Config::default()` and an explicit `with_cases` wins; here
+    /// the env var wins unconditionally, so CI can cap every test block's
+    /// runtime with one variable. When migrating to the real crate, audit
+    /// `with_cases` call sites if CI still needs that cap.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert!`-family assertion did not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct an assertion failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Self-test: the macro pipeline generates, asserts, and loops.
+        #[test]
+        fn macro_roundtrip(n in 1usize..50, v in crate::collection::vec(0u8..10, 0..8)) {
+            prop_assert!((1..50).contains(&n));
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! The failure path: a false property must fail and report inputs.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn false_property_fails(n in 0usize..100) {
+        // False for every input, so this trips even under PROPTEST_CASES=1.
+        prop_assert!(n >= 100, "n was {}", n);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn panicking_property_fails(n in 10usize..100) {
+        let v = [0u8; 3];
+        let _ = v[n]; // out of bounds -> panic, must be reported with inputs
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `rand` crate (0.8 API shape).
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of `rand` the workspace uses: `StdRng::seed_from_u64`,
+//! `Rng::gen_range` over integer `Range`/`RangeInclusive`, and
+//! `Rng::gen_bool`. The generator is xoshiro256++ seeded via SplitMix64 —
+//! not `rand`'s ChaCha12, so streams differ from upstream `StdRng`, but all
+//! workspace uses are seeded synthetic-workload generation where only
+//! determinism per seed matters, not a particular stream.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sampling helpers layered over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range`. Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p`. Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<G: RngCore + ?Sized> Rng for G {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges an integer can be uniformly sampled from.
+pub trait SampleRange<T> {
+    /// Draw one sample using `rng`.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // Two's-complement wrapping keeps this correct for signed
+                // ranges (e.g. -5..5 spans 10) and full-width spans.
+                let span = (self.end as u128).wrapping_sub(self.start as u128) & SPAN_MASK;
+                self.start.wrapping_add(uniform_u128(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = ((hi as u128).wrapping_sub(lo as u128) & SPAN_MASK) + 1;
+                lo.wrapping_add(uniform_u128(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+/// Mask reducing a wrapped `u128` difference to the 64 bits that matter.
+const SPAN_MASK: u128 = u64::MAX as u128;
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform draw in `[0, span)` (`span > 0`), by widening rejection-free
+/// multiply-shift (Lemire); span ≤ 2^64 here so one u64 draw suffices.
+fn uniform_u128<G: RngCore + ?Sized>(rng: &mut G, span: u128) -> u128 {
+    debug_assert!(span > 0 && span <= 1 << 64);
+    if span == 1 << 64 {
+        return rng.next_u64() as u128;
+    }
+    (u128::from(rng.next_u64()) * span) >> 64
+}
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic RNG: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, per the xoshiro authors' recommendation.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17u8);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5..=9usize);
+            assert!((5..=9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}

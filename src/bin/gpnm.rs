@@ -99,7 +99,13 @@ fn cmd_bench(path: &str, args: &Args) -> Result<(), String> {
     let mut base = GpnmEngine::new(graph, pattern, MatchSemantics::Simulation);
     base.initial_query();
     let protocol = UpdateProtocol::from_scale(args.pattern_nodes, args.updates);
-    let batch = generate_batch(base.graph(), base.pattern(), &interner, &protocol, args.seed);
+    let batch = generate_batch(
+        base.graph(),
+        base.pattern(),
+        &interner,
+        &protocol,
+        args.seed,
+    );
     println!("batch: {} updates", batch.len());
     println!(
         "{:<15} {:>14} {:>11} {:>8}",
@@ -145,18 +151,14 @@ fn main() -> ExitCode {
             cmd_demo();
             Ok(())
         }
-        Some((cmd, rest)) if cmd == "match" && !rest.is_empty() => {
-            match parse_flags(&rest[1..]) {
-                Ok(args) => cmd_match(&rest[0], &args),
-                Err(e) => Err(e),
-            }
-        }
-        Some((cmd, rest)) if cmd == "bench" && !rest.is_empty() => {
-            match parse_flags(&rest[1..]) {
-                Ok(args) => cmd_bench(&rest[0], &args),
-                Err(e) => Err(e),
-            }
-        }
+        Some((cmd, rest)) if cmd == "match" && !rest.is_empty() => match parse_flags(&rest[1..]) {
+            Ok(args) => cmd_match(&rest[0], &args),
+            Err(e) => Err(e),
+        },
+        Some((cmd, rest)) if cmd == "bench" && !rest.is_empty() => match parse_flags(&rest[1..]) {
+            Ok(args) => cmd_bench(&rest[0], &args),
+            Err(e) => Err(e),
+        },
         _ => Err(
             "usage: gpnm demo | gpnm match <edge-list> [flags] | gpnm bench <edge-list> [flags]\n\
              flags: --labels N --pattern-nodes N --updates N --seed S"

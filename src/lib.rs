@@ -35,6 +35,26 @@
 //! let pms: Vec<_> = iquery.matches_of(fig.p_pm).collect();
 //! assert_eq!(pms, vec![fig.pm1, fig.pm2]);
 //! ```
+//!
+//! ## Building and verifying
+//!
+//! The workspace is a single Cargo build; the tier-1 verification gate is:
+//!
+//! ```text
+//! cargo build --release && cargo test -q
+//! ```
+//!
+//! CI additionally runs `cargo test --workspace`, `cargo fmt --check`,
+//! `cargo clippy --workspace --all-targets -- -D warnings`, compiles every
+//! Criterion bench (`cargo bench --no-run --workspace`), and smoke-runs the
+//! four `examples/`. Property-test volume is tunable via the
+//! `PROPTEST_CASES` environment variable.
+//!
+//! The build environment is offline, so the usual crates.io dependencies
+//! (`rand`, `parking_lot`, `crossbeam`, `proptest`, `criterion`) are
+//! provided by minimal API-compatible shims under `shims/`; swapping a shim
+//! for the real crate is a one-line edit in the workspace manifest's
+//! `[workspace.dependencies]`.
 
 pub use gpnm_distance as distance;
 pub use gpnm_engine as engine;
@@ -47,8 +67,8 @@ pub use gpnm_workload as workload;
 pub mod prelude {
     pub use gpnm_engine::{ExecStats, GpnmEngine, Strategy};
     pub use gpnm_graph::{
-        Bound, DataGraph, DataGraphBuilder, GraphError, Label, LabelInterner, NodeId,
-        PatternGraph, PatternGraphBuilder, PatternNodeId,
+        Bound, DataGraph, DataGraphBuilder, GraphError, Label, LabelInterner, NodeId, PatternGraph,
+        PatternGraphBuilder, PatternNodeId,
     };
     pub use gpnm_matcher::{MatchResult, MatchSemantics};
     pub use gpnm_updates::{DataUpdate, PatternUpdate, Update, UpdateBatch};

@@ -66,7 +66,10 @@ fn elimination_strategies_issue_fewer_repair_calls() {
         calls["INC-GPNM"] >= batch.len() - 4,
         "INC must pay ~one call per update: {calls:?}"
     );
-    assert_eq!(calls["UA-GPNM"], calls["UA-GPNM-NoPar"], "same tree, same roots");
+    assert_eq!(
+        calls["UA-GPNM"], calls["UA-GPNM-NoPar"],
+        "same tree, same roots"
+    );
 }
 
 #[test]

@@ -1,12 +1,16 @@
 //! Failure injection: invalid inputs must error early and leave every
 //! piece of engine state (graphs, SLen, result) untouched.
 
-use ua_gpnm::prelude::*;
 use ua_gpnm::graph::paper::fig1;
+use ua_gpnm::prelude::*;
 
 fn engine() -> (GpnmEngine, gpnm_graph_fixture::Fig1Handles) {
     let f = fig1();
-    let mut e = GpnmEngine::new(f.graph.clone(), f.pattern.clone(), MatchSemantics::Simulation);
+    let mut e = GpnmEngine::new(
+        f.graph.clone(),
+        f.pattern.clone(),
+        MatchSemantics::Simulation,
+    );
     e.initial_query();
     (
         e,
@@ -45,7 +49,10 @@ fn duplicate_data_edge_rejected_atomically() {
     let (mut e, h) = engine();
     let before = e.clone();
     let mut batch = UpdateBatch::new();
-    batch.push(DataUpdate::InsertEdge { from: h.pm1, to: h.se2 }); // exists
+    batch.push(DataUpdate::InsertEdge {
+        from: h.pm1,
+        to: h.se2,
+    }); // exists
     for strategy in Strategy::ALL {
         assert!(e.subsequent_query(&batch, strategy).is_err());
         assert_unchanged(&e, &before);
@@ -67,7 +74,10 @@ fn self_loop_rejected() {
     let (mut e, h) = engine();
     let before = e.clone();
     let mut batch = UpdateBatch::new();
-    batch.push(DataUpdate::InsertEdge { from: h.te2, to: h.te2 });
+    batch.push(DataUpdate::InsertEdge {
+        from: h.te2,
+        to: h.te2,
+    });
     assert!(e.subsequent_query(&batch, Strategy::IncGpnm).is_err());
     assert_unchanged(&e, &before);
 }
@@ -78,8 +88,14 @@ fn later_invalid_update_rolls_back_whole_batch() {
     let (mut e, h) = engine();
     let before = e.clone();
     let mut batch = UpdateBatch::new();
-    batch.push(DataUpdate::InsertEdge { from: h.se2, to: h.te2 }); // fine alone
-    batch.push(PatternUpdate::DeleteEdge { from: h.p_te, to: h.p_pm }); // no such edge
+    batch.push(DataUpdate::InsertEdge {
+        from: h.se2,
+        to: h.te2,
+    }); // fine alone
+    batch.push(PatternUpdate::DeleteEdge {
+        from: h.p_te,
+        to: h.p_pm,
+    }); // no such edge
     assert!(e.subsequent_query(&batch, Strategy::EhGpnm).is_err());
     assert_unchanged(&e, &before);
 }
@@ -126,7 +142,10 @@ fn engine_usable_after_rejection() {
     assert!(e.subsequent_query(&bad, Strategy::UaGpnm).is_err());
 
     let mut good = UpdateBatch::new();
-    good.push(DataUpdate::InsertEdge { from: h.se2, to: h.te2 });
+    good.push(DataUpdate::InsertEdge {
+        from: h.se2,
+        to: h.te2,
+    });
     let stats = e
         .subsequent_query(&good, Strategy::UaGpnm)
         .expect("valid batch after a rejected one");

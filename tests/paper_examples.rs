@@ -6,9 +6,7 @@
 //! paper (Tables I, III–IX, Figure 3, Examples 2/7/8/9/10).
 
 use ua_gpnm::distance::{apsp_matrix, IncrementalIndex, PartitionedIndex, INF};
-use ua_gpnm::graph::paper::{
-    fig1, fig4, TABLE_III, TABLE_IX, TABLE_V, TABLE_VI, TABLE_VIII,
-};
+use ua_gpnm::graph::paper::{fig1, fig4, TABLE_III, TABLE_IX, TABLE_V, TABLE_VI, TABLE_VIII};
 use ua_gpnm::matcher::match_graph;
 use ua_gpnm::prelude::*;
 use ua_gpnm::updates::{affected_for, candidates_for};
@@ -72,7 +70,10 @@ fn tables_v_vi_vii_incremental_slen() {
     let ud1 = affected_for(
         &f.graph,
         &mut idx,
-        &DataUpdate::InsertEdge { from: f.se1, to: f.te2 },
+        &DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        },
     )
     .expect("UD1 is valid");
     // Table VII row 1: all eight nodes affected.
@@ -81,7 +82,10 @@ fn tables_v_vi_vii_incremental_slen() {
     let ud2 = affected_for(
         &f.graph,
         &mut idx,
-        &DataUpdate::InsertEdge { from: f.db1, to: f.s1 },
+        &DataUpdate::InsertEdge {
+            from: f.db1,
+            to: f.s1,
+        },
     )
     .expect("UD2 is valid");
     // Table VII row 2.
@@ -98,7 +102,11 @@ fn tables_v_vi_vii_incremental_slen() {
     let m1 = apsp_matrix(&g1);
     for (i, row) in TABLE_V.iter().enumerate() {
         for (j, &expected) in row.iter().enumerate() {
-            assert_eq!(m1.get(NodeId(i as u32), NodeId(j as u32)), expected, "Table V [{i}][{j}]");
+            assert_eq!(
+                m1.get(NodeId(i as u32), NodeId(j as u32)),
+                expected,
+                "Table V [{i}][{j}]"
+            );
         }
     }
     let mut g2 = f.graph.clone();
@@ -106,7 +114,11 @@ fn tables_v_vi_vii_incremental_slen() {
     let m2 = apsp_matrix(&g2);
     for (i, row) in TABLE_VI.iter().enumerate() {
         for (j, &expected) in row.iter().enumerate() {
-            assert_eq!(m2.get(NodeId(i as u32), NodeId(j as u32)), expected, "Table VI [{i}][{j}]");
+            assert_eq!(
+                m2.get(NodeId(i as u32), NodeId(j as u32)),
+                expected,
+                "Table VI [{i}][{j}]"
+            );
         }
     }
 }
@@ -149,12 +161,21 @@ fn example_10_eh_tree_and_example_2_squery() {
         to: f.p_te,
         bound: Bound::Hops(4),
     });
-    batch.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
-    batch.push(DataUpdate::InsertEdge { from: f.db1, to: f.s1 });
+    batch.push(DataUpdate::InsertEdge {
+        from: f.se1,
+        to: f.te2,
+    });
+    batch.push(DataUpdate::InsertEdge {
+        from: f.db1,
+        to: f.s1,
+    });
     let stats = engine
         .subsequent_query(&batch, Strategy::UaGpnm)
         .expect("Example 2 batch is valid");
-    assert_eq!(stats.eliminated, 3, "UD2, UP1, UP2 eliminated; UD1 survives");
+    assert_eq!(
+        stats.eliminated, 3,
+        "UD2, UP1, UP2 eliminated; UD1 survives"
+    );
     assert_eq!(stats.repair_calls, 1, "one repair pass for the one root");
     assert_eq!(engine.result(), &iquery, "SQuery == IQuery (Example 2)");
 }
@@ -180,11 +201,21 @@ fn every_strategy_reproduces_example_2() {
             to: f.p_te,
             bound: Bound::Hops(4),
         });
-        batch.push(DataUpdate::InsertEdge { from: f.se1, to: f.te2 });
-        batch.push(DataUpdate::InsertEdge { from: f.db1, to: f.s1 });
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        batch.push(DataUpdate::InsertEdge {
+            from: f.db1,
+            to: f.s1,
+        });
         engine
             .subsequent_query(&batch, strategy)
             .expect("Example 2 batch is valid");
-        assert_eq!(engine.result(), &iquery, "{strategy} must leave the result unchanged");
+        assert_eq!(
+            engine.result(),
+            &iquery,
+            "{strategy} must leave the result unchanged"
+        );
     }
 }

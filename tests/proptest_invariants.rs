@@ -2,10 +2,13 @@
 //! (DESIGN.md §7).
 
 use proptest::prelude::*;
+// Explicit import: both preludes glob-export a `Strategy` (proptest's trait,
+// the engine's enum); an explicit use shadows the globs and disambiguates.
+use proptest::strategy::Strategy;
 use ua_gpnm::distance::{apsp_matrix, IncrementalIndex, PartitionedIndex};
+use ua_gpnm::engine::Strategy as QueryStrategy;
 use ua_gpnm::prelude::*;
 use ua_gpnm::updates::reduce_batch;
-use ua_gpnm::engine::Strategy as QueryStrategy;
 
 /// Compact description of a random labeled digraph.
 #[derive(Debug, Clone)]
