@@ -53,8 +53,11 @@ pub fn bfs_row_skipping_edge(
         let u = queue[head];
         head += 1;
         let du = row[u.index()];
+        // Hoisted: whether the skipped edge can appear at all depends only
+        // on the dequeued node, not on each neighbor.
+        let u_is_skip_source = u == skip.0;
         for &v in csr.out_neighbors(u) {
-            if u == skip.0 && v == skip.1 {
+            if u_is_skip_source && v == skip.1 {
                 continue;
             }
             if row[v.index()] == INF {
@@ -65,15 +68,77 @@ pub fn bfs_row_skipping_edge(
     }
 }
 
-/// Recompute BFS rows for `sources` in parallel over `threads` workers
-/// (`0` = available parallelism). Returns `(source, row)` pairs.
+/// Recompute BFS rows for `sources` in parallel over the persistent
+/// [`gpnm_pool::WorkerPool`] (`threads`: lane cap; `0` = all pool lanes).
+/// Returns `(source, row)` pairs.
 ///
 /// This is the workhorse of UA-GPNM's partition-distributed deletion
 /// repair (§V: "the shortest path computation will be processed
 /// distributively"): deletions invalidate many rows at once, and the rows
 /// are independent. Falls back to a serial loop for small batches where
-/// thread startup would dominate.
+/// even pool hand-off would dominate. Builds a CSR snapshot per call; hot
+/// loops that already hold a cached CSR (the engine's batch repair) should
+/// call [`parallel_bfs_rows_csr`] instead.
 pub fn parallel_bfs_rows(
+    graph: &DataGraph,
+    sources: &[NodeId],
+    threads: usize,
+) -> Vec<(NodeId, Vec<u32>)> {
+    let csr = CsrGraph::from_graph(graph);
+    parallel_bfs_rows_csr(&csr, sources, threads)
+}
+
+/// [`parallel_bfs_rows`] over a caller-provided CSR snapshot — the batch
+/// repair path, where a [`gpnm_graph::CsrSnapshot`] amortizes the CSR build
+/// across the whole update batch.
+pub fn parallel_bfs_rows_csr(
+    csr: &CsrGraph,
+    sources: &[NodeId],
+    threads: usize,
+) -> Vec<(NodeId, Vec<u32>)> {
+    let n = csr.slot_count();
+    let pool = gpnm_pool::WorkerPool::global();
+    let lanes = if threads == 0 {
+        pool.lanes()
+    } else {
+        threads.min(pool.lanes())
+    };
+    if lanes <= 1 || sources.len() < 16 {
+        let mut queue = Vec::with_capacity(n);
+        return sources
+            .iter()
+            .map(|&s| {
+                let mut row = vec![INF; n];
+                bfs_row(csr, s, &mut row, &mut queue);
+                (s, row)
+            })
+            .collect();
+    }
+    let chunk = sources.len().div_ceil(lanes);
+    let results = parking_lot::Mutex::new(Vec::with_capacity(sources.len()));
+    pool.scope(|scope| {
+        for chunk_sources in sources.chunks(chunk) {
+            let results = &results;
+            scope.spawn(move || {
+                let mut queue = Vec::with_capacity(n);
+                let mut local = Vec::with_capacity(chunk_sources.len());
+                for &s in chunk_sources {
+                    let mut row = vec![INF; n];
+                    bfs_row(csr, s, &mut row, &mut queue);
+                    local.push((s, row));
+                }
+                results.lock().extend(local);
+            });
+        }
+    });
+    results.into_inner()
+}
+
+/// The pre-pool implementation of [`parallel_bfs_rows`]: spawn `threads`
+/// scoped OS threads per call via `crossbeam::thread::scope`. Retained as
+/// the ablation baseline (spawn/join cost per batch vs. the persistent
+/// pool) and as the equivalence oracle for the pool path.
+pub fn parallel_bfs_rows_scoped(
     graph: &DataGraph,
     sources: &[NodeId],
     threads: usize,

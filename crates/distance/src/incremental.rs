@@ -22,8 +22,24 @@
 //! * *Node delete*: only sources that could reach the node are affected;
 //!   their rows are recomputed with the node masked out, and the node's own
 //!   row/column go to [`crate::INF`].
+//!
+//! Cost model (the paper's premise that repair cost scales with the
+//! *delta*, not the graph):
+//!
+//! * Insert probes/commits iterate **affected sources × finite targets**
+//!   instead of all `n²` pairs: only `x` with `d(x,u) + 1 < d(x,v)` can
+//!   change any entry (take `y = v`; for every other `y` the triangle
+//!   inequality gives `d(x,u) + 1 + d(v,y) ≥ d(x,v) + d(v,y) ≥ d(x,y)`),
+//!   and only `y` with `d(v,y)` finite can produce a finite candidate. The
+//!   unpruned loops survive as `*_naive` reference implementations — the
+//!   correctness oracles of the equivalence proptests and the baseline of
+//!   the `micro_probe` bench.
+//! * Delete probes/commits run BFS over a generation-stamped
+//!   [`CsrSnapshot`] instead of building a fresh [`CsrGraph`] per call: a
+//!   batch of `k` probes against an unmutated graph shares one CSR build,
+//!   and commits rebuild *in place*, reusing the allocation.
 
-use gpnm_graph::{CsrGraph, DataGraph, NodeId};
+use gpnm_graph::{CsrGraph, CsrSnapshot, DataGraph, NodeId};
 
 use crate::aff::AffDelta;
 use crate::apsp::{apsp_matrix, bfs_row};
@@ -38,20 +54,19 @@ pub struct IncrementalIndex {
     // Scratch reused across repairs to keep the hot path allocation-free.
     row_buf: Vec<u32>,
     queue_buf: Vec<NodeId>,
-    vrow_buf: Vec<u32>,
+    /// Affected sources of an insert: `x` with `d(x,u) + 1 < d(x,v)`.
+    src_buf: Vec<NodeId>,
+    /// Finite `(target, d(v, target))` pairs of the inserted edge's head.
+    tgt_buf: Vec<(u32, u32)>,
+    /// Cached CSR view for delete repair; rebuilt only when the graph's
+    /// version moves.
+    snapshot: CsrSnapshot,
 }
 
 impl IncrementalIndex {
     /// Build the index from scratch (per-source BFS APSP).
     pub fn build(graph: &DataGraph) -> Self {
-        let matrix = apsp_matrix(graph);
-        let n = matrix.n();
-        IncrementalIndex {
-            matrix,
-            row_buf: vec![INF; n],
-            queue_buf: Vec::with_capacity(n),
-            vrow_buf: vec![INF; n],
-        }
+        Self::from_matrix(apsp_matrix(graph))
     }
 
     /// Wrap an existing, known-correct matrix (e.g. produced by the
@@ -62,7 +77,9 @@ impl IncrementalIndex {
             matrix,
             row_buf: vec![INF; n],
             queue_buf: Vec::with_capacity(n),
-            vrow_buf: vec![INF; n],
+            src_buf: Vec::new(),
+            tgt_buf: Vec::new(),
+            snapshot: CsrSnapshot::new(),
         }
     }
 
@@ -77,12 +94,68 @@ impl IncrementalIndex {
         self.matrix
     }
 
+    /// The cached CSR view of `graph` (rebuilt only if stale) — the same
+    /// snapshot the delete probes/commits use. Engines that drive their own
+    /// row recomputation (the §V parallel repair) share it through this
+    /// accessor instead of materializing a second CSR of the same graph.
+    pub fn csr(&mut self, graph: &DataGraph) -> &CsrGraph {
+        self.snapshot.get(graph)
+    }
+
+    /// Split-borrow the delete-repair working set: the cached CSR of
+    /// `graph` alongside the matrix and the BFS scratch buffers.
+    #[allow(clippy::type_complexity)]
+    fn delete_repair_parts(
+        &mut self,
+        graph: &DataGraph,
+    ) -> (
+        &CsrGraph,
+        &mut DistanceMatrix,
+        &mut Vec<u32>,
+        &mut Vec<NodeId>,
+    ) {
+        let Self {
+            snapshot,
+            matrix,
+            row_buf,
+            queue_buf,
+            ..
+        } = self;
+        (snapshot.get(graph), matrix, row_buf, queue_buf)
+    }
+
     // ==================================================================
     // Probes (read-only; graph must be in its pre-update state)
     // ==================================================================
 
     /// Distance changes if edge `(u, v)` were inserted.
-    pub fn probe_insert_edge(&self, u: NodeId, v: NodeId) -> AffDelta {
+    ///
+    /// Prunes to affected sources × finite targets (see the module docs):
+    /// on sparse graphs the scanned pair count is proportional to the
+    /// update's actual blast radius, not `n²`. Produces exactly the same
+    /// [`AffDelta`] (same records, same order) as
+    /// [`IncrementalIndex::probe_insert_edge_naive`].
+    pub fn probe_insert_edge(&mut self, u: NodeId, v: NodeId) -> AffDelta {
+        let mut delta = AffDelta::new();
+        self.collect_insert_affected(u, v);
+        for &x_id in &self.src_buf {
+            let through = sat_add(self.matrix.get(x_id, u), 1);
+            let xrow = self.matrix.row(x_id);
+            for &(y, dvy) in &self.tgt_buf {
+                let cand = sat_add(through, dvy);
+                if cand < xrow[y as usize] {
+                    delta.record(x_id, NodeId(y), xrow[y as usize], cand);
+                }
+            }
+        }
+        delta
+    }
+
+    /// The unpruned all-pairs insert probe — the reference implementation
+    /// the pruned [`IncrementalIndex::probe_insert_edge`] is verified
+    /// against (equivalence proptests) and benchmarked against
+    /// (`micro_probe`).
+    pub fn probe_insert_edge_naive(&self, u: NodeId, v: NodeId) -> AffDelta {
         let mut delta = AffDelta::new();
         let n = self.matrix.n();
         let vrow = self.matrix.row(v);
@@ -106,7 +179,25 @@ impl IncrementalIndex {
 
     /// Distance changes if edge `(u, v)` were deleted. `graph` is the
     /// *pre-delete* graph (the edge must still be present).
+    ///
+    /// Runs over the cached CSR snapshot: a DER-II batch probing many
+    /// updates against the same graph pays for one CSR build, not one per
+    /// probe.
     pub fn probe_delete_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
+        debug_assert!(graph.has_edge(u, v), "probe_delete_edge on absent edge");
+        let candidates = self.delete_candidates(u, v);
+        let (csr, matrix, row_buf, queue_buf) = self.delete_repair_parts(graph);
+        let mut delta = AffDelta::new();
+        for x in candidates {
+            crate::apsp::bfs_row_skipping_edge(csr, x, (u, v), row_buf, queue_buf);
+            diff_row(matrix, x, row_buf, &mut delta);
+        }
+        delta
+    }
+
+    /// The snapshot-free delete probe (fresh [`CsrGraph`] per call) — the
+    /// baseline the cached path is verified and benchmarked against.
+    pub fn probe_delete_edge_naive(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
         debug_assert!(graph.has_edge(u, v), "probe_delete_edge on absent edge");
         let csr = CsrGraph::from_graph(graph);
         let candidates = self.delete_candidates(u, v);
@@ -125,16 +216,17 @@ impl IncrementalIndex {
     }
 
     /// Distance changes if node `id` were deleted (with its incident
-    /// edges). `graph` is the pre-delete graph.
+    /// edges). `graph` is the pre-delete graph. Uses the cached CSR
+    /// snapshot like [`IncrementalIndex::probe_delete_edge`].
     pub fn probe_delete_node(&mut self, graph: &DataGraph, id: NodeId) -> AffDelta {
         debug_assert!(graph.contains(id), "probe_delete_node on absent node");
-        let csr = CsrGraph::from_graph(graph);
-        let n = self.matrix.n();
+        let (csr, matrix, row_buf, queue_buf) = self.delete_repair_parts(graph);
+        let n = matrix.n();
         let mut delta = AffDelta::new();
         // The node's own row: every finite entry becomes INF.
         for y in 0..n {
             let y_id = NodeId::from_index(y);
-            let old = self.matrix.get(id, y_id);
+            let old = matrix.get(id, y_id);
             if old != INF {
                 delta.record(id, y_id, old, INF);
             }
@@ -142,13 +234,13 @@ impl IncrementalIndex {
         // Sources that could reach `id` may lose paths through it.
         for x in 0..n {
             let x_id = NodeId::from_index(x);
-            if x_id == id || self.matrix.get(x_id, id) == INF {
+            if x_id == id || matrix.get(x_id, id) == INF {
                 continue;
             }
-            bfs_row_skipping_node(&csr, x_id, id, &mut self.row_buf, &mut self.queue_buf);
+            bfs_row_skipping_node(csr, x_id, id, row_buf, queue_buf);
             // Row entries for the deleted node itself become INF.
-            self.row_buf[id.index()] = INF;
-            diff_row(&self.matrix, x_id, &self.row_buf, &mut delta);
+            row_buf[id.index()] = INF;
+            diff_row(matrix, x_id, row_buf, &mut delta);
         }
         delta
     }
@@ -158,28 +250,24 @@ impl IncrementalIndex {
     // ==================================================================
 
     /// Apply an edge insertion `(u, v)` to the matrix.
+    ///
+    /// Shares the affected-source × finite-target pruning with
+    /// [`IncrementalIndex::probe_insert_edge`]. The pruning stays valid
+    /// while rows mutate: `d(x,u)` can never shrink through `(u,v)` (that
+    /// path revisits `u`), row `v` can never shrink (revisits `v`), and a
+    /// source outside the set has its row untouched, so its membership test
+    /// never changes.
     pub fn commit_insert_edge(&mut self, u: NodeId, v: NodeId) -> AffDelta {
         let mut delta = AffDelta::new();
-        let n = self.matrix.n();
-        // Copy v's row: the relax loop below never changes row v (a path
-        // from v through (u,v) revisits v), but the borrow checker cannot
-        // know that, and a copy keeps the inner loop contiguous.
-        self.vrow_buf.resize(n, INF);
-        self.vrow_buf.copy_from_slice(self.matrix.row(v));
-        let vrow = &self.vrow_buf;
-        for x in 0..n {
-            let x_id = NodeId::from_index(x);
-            let dxu = self.matrix.get(x_id, u);
-            if dxu == INF {
-                continue;
-            }
-            let through = sat_add(dxu, 1);
+        self.collect_insert_affected(u, v);
+        for &x_id in &self.src_buf {
+            let through = sat_add(self.matrix.get(x_id, u), 1);
             let xrow = self.matrix.row_mut(x_id);
-            for y in 0..n {
-                let cand = sat_add(through, vrow[y]);
-                if cand < xrow[y] {
-                    delta.record(x_id, NodeId::from_index(y), xrow[y], cand);
-                    xrow[y] = cand;
+            for &(y, dvy) in &self.tgt_buf {
+                let cand = sat_add(through, dvy);
+                if cand < xrow[y as usize] {
+                    delta.record(x_id, NodeId(y), xrow[y as usize], cand);
+                    xrow[y as usize] = cand;
                 }
             }
         }
@@ -187,19 +275,20 @@ impl IncrementalIndex {
     }
 
     /// Apply an edge deletion to the matrix. `graph` is the *post-delete*
-    /// graph (the edge is already gone).
+    /// graph (the edge is already gone). BFS runs over the cached CSR
+    /// snapshot, which rebuilds in place (no per-commit allocation).
     pub fn commit_delete_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
         debug_assert!(
             !graph.has_edge(u, v),
             "commit_delete_edge before graph mutation"
         );
-        let csr = CsrGraph::from_graph(graph);
         let candidates = self.delete_candidates(u, v);
+        let (csr, matrix, row_buf, queue_buf) = self.delete_repair_parts(graph);
         let mut delta = AffDelta::new();
         for x in candidates {
-            bfs_row(&csr, x, &mut self.row_buf, &mut self.queue_buf);
-            diff_row(&self.matrix, x, &self.row_buf, &mut delta);
-            self.matrix.set_row(x, &self.row_buf);
+            bfs_row(csr, x, row_buf, queue_buf);
+            diff_row(matrix, x, row_buf, &mut delta);
+            matrix.set_row(x, row_buf);
         }
         delta
     }
@@ -210,7 +299,6 @@ impl IncrementalIndex {
         self.matrix.grow(new_slot_count);
         let n = self.matrix.n();
         self.row_buf.resize(n, INF);
-        self.vrow_buf.resize(n, INF);
         AffDelta::new()
     }
 
@@ -220,28 +308,51 @@ impl IncrementalIndex {
             !graph.contains(id),
             "commit_delete_node before graph mutation"
         );
-        let csr = CsrGraph::from_graph(graph);
-        let n = self.matrix.n();
+        let sources = self.delete_node_candidates(id);
+        let (csr, matrix, row_buf, queue_buf) = self.delete_repair_parts(graph);
+        let n = matrix.n();
         let mut delta = AffDelta::new();
         for y in 0..n {
             let y_id = NodeId::from_index(y);
-            let old = self.matrix.get(id, y_id);
+            let old = matrix.get(id, y_id);
             if old != INF {
                 delta.record(id, y_id, old, INF);
             }
         }
-        let sources: Vec<NodeId> = (0..n)
-            .map(NodeId::from_index)
-            .filter(|&x| x != id && self.matrix.get(x, id) != INF)
-            .collect();
         for x in sources {
             // The graph no longer contains `id`, so a plain BFS suffices.
-            bfs_row(&csr, x, &mut self.row_buf, &mut self.queue_buf);
-            diff_row(&self.matrix, x, &self.row_buf, &mut delta);
-            self.matrix.set_row(x, &self.row_buf);
+            bfs_row(csr, x, row_buf, queue_buf);
+            diff_row(matrix, x, row_buf, &mut delta);
+            matrix.set_row(x, row_buf);
         }
-        self.matrix.clear_slot(id);
+        matrix.clear_slot(id);
         delta
+    }
+
+    /// Fill `src_buf` with the insert-affected sources of `(u, v)` — the
+    /// `x` with `d(x,u) + 1 < d(x,v)` (module docs prove no other source
+    /// can change) — and `tgt_buf` with the finite `(y, d(v,y))` targets.
+    /// Both in ascending slot order, so the pruned loops record changes in
+    /// exactly the order of the naive all-pairs scan.
+    fn collect_insert_affected(&mut self, u: NodeId, v: NodeId) {
+        let n = self.matrix.n();
+        self.tgt_buf.clear();
+        for (y, &dvy) in self.matrix.row(v).iter().enumerate() {
+            if dvy != INF {
+                self.tgt_buf.push((y as u32, dvy));
+            }
+        }
+        self.src_buf.clear();
+        if self.tgt_buf.is_empty() {
+            return; // v unreachable-from (tombstone): nothing can improve
+        }
+        for x in 0..n {
+            let x_id = NodeId::from_index(x);
+            let dxu = self.matrix.get(x_id, u);
+            if dxu != INF && sat_add(dxu, 1) < self.matrix.get(x_id, v) {
+                self.src_buf.push(x_id);
+            }
+        }
     }
 
     /// Sources whose shortest path to `v` may run through the edge
@@ -384,6 +495,42 @@ mod tests {
         // Paper Table VII: affected = {PM1, SE2, S1, TE1, DB1}.
         let affected: Vec<NodeId> = delta.affected.iter().collect();
         assert_eq!(affected, vec![f.pm1, f.se2, f.s1, f.te1, f.db1]);
+    }
+
+    #[test]
+    fn pruned_insert_probe_matches_naive_bitwise() {
+        let f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        for (u, v) in [(f.se1, f.te2), (f.db1, f.s1), (f.te1, f.db1)] {
+            let naive = idx.probe_insert_edge_naive(u, v);
+            let pruned = idx.probe_insert_edge(u, v);
+            // Bitwise identical: same records in the same order.
+            assert_eq!(pruned.changed, naive.changed, "probe ({u:?},{v:?})");
+            assert_eq!(
+                pruned.affected.iter().collect::<Vec<_>>(),
+                naive.affected.iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn cached_delete_probe_matches_naive_across_batch() {
+        let mut f = fig1();
+        let mut idx = IncrementalIndex::build(&f.graph);
+        // A batch of probes against the unmutated graph shares one CSR;
+        // each must still equal the rebuild-per-probe baseline.
+        let probes = [(f.db1, f.se1), (f.se1, f.se2), (f.pm1, f.db1)];
+        for (u, v) in probes {
+            let naive = idx.probe_delete_edge_naive(&f.graph, u, v);
+            let cached = idx.probe_delete_edge(&f.graph, u, v);
+            assert_eq!(cached.changed, naive.changed, "probe ({u:?},{v:?})");
+        }
+        // Mutating the graph must invalidate the snapshot.
+        f.graph.remove_edge(f.pm1, f.db1).unwrap();
+        idx.commit_delete_edge(&f.graph, f.pm1, f.db1);
+        let naive = idx.probe_delete_edge_naive(&f.graph, f.db1, f.se1);
+        let cached = idx.probe_delete_edge(&f.graph, f.db1, f.se1);
+        assert_eq!(cached.changed, naive.changed, "post-mutation probe");
     }
 
     #[test]

@@ -35,7 +35,10 @@ mod partition;
 mod partitioned;
 
 pub use aff::AffDelta;
-pub use apsp::{apsp_matrix, bfs_row, bfs_row_skipping_edge, parallel_bfs_rows};
+pub use apsp::{
+    apsp_matrix, bfs_row, bfs_row_skipping_edge, parallel_bfs_rows, parallel_bfs_rows_csr,
+    parallel_bfs_rows_scoped,
+};
 pub use dijkstra::{dijkstra, dijkstra_multi, WeightedAdj};
 pub use hybrid::HybridMatrix;
 pub use incremental::IncrementalIndex;

@@ -19,8 +19,9 @@
 //! for the ablation bench.
 //!
 //! Per-partition APSP is embarrassingly parallel; [`PartitionedIndex::build`]
-//! spreads it over `crossbeam` scoped threads — the paper's "processed
-//! distributively based on the partitions".
+//! spreads it over the persistent [`gpnm_pool::WorkerPool`] — the paper's
+//! "processed distributively based on the partitions" without paying a
+//! thread spawn/join per build.
 
 use gpnm_graph::{DataGraph, NodeId};
 use parking_lot::Mutex;
@@ -50,13 +51,14 @@ pub struct PartitionedIndex {
 
 impl PartitionedIndex {
     /// Build the index with per-partition APSP parallelized over `threads`
-    /// (clamped to the number of non-empty partitions; `0` means the
-    /// available parallelism).
+    /// lanes of the persistent worker pool (clamped to the pool size;
+    /// `0` means all lanes).
     pub fn build_with_threads(graph: &DataGraph, threads: usize) -> Self {
+        let pool = gpnm_pool::WorkerPool::global();
         let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, usize::from)
+            pool.lanes()
         } else {
-            threads
+            threads.min(pool.lanes())
         };
         let partition = Partition::by_label(graph);
         let local_idx = compute_local_idx(graph, &partition);
@@ -73,12 +75,12 @@ impl PartitionedIndex {
             let results: Mutex<Vec<(PartitionId, DistanceMatrix)>> =
                 Mutex::new(Vec::with_capacity(parts.len()));
             let chunk = parts.len().div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
+            pool.scope(|scope| {
                 for chunk_parts in parts.chunks(chunk) {
                     let results = &results;
                     let partition = &partition;
                     let local_idx = &local_idx;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local: Vec<(PartitionId, DistanceMatrix)> =
                             Vec::with_capacity(chunk_parts.len());
                         for &p in chunk_parts {
@@ -87,8 +89,7 @@ impl PartitionedIndex {
                         results.lock().extend(local);
                     });
                 }
-            })
-            .expect("intra-APSP worker panicked");
+            });
             for (p, m) in results.into_inner() {
                 intra[p.index()] = m;
             }
@@ -188,13 +189,13 @@ impl PartitionedIndex {
         self.build_matrix_with_threads(graph, 1)
     }
 
-    /// Materialize with an explicit thread count (`0` = available
-    /// parallelism).
+    /// Materialize with an explicit lane count (`0` = all pool lanes).
     pub fn build_matrix_with_threads(&self, graph: &DataGraph, threads: usize) -> DistanceMatrix {
+        let pool = gpnm_pool::WorkerPool::global();
         let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, usize::from)
+            pool.lanes()
         } else {
-            threads
+            threads.min(pool.lanes())
         };
         let n = graph.slot_count();
         let mut matrix = DistanceMatrix::all_inf(n);
@@ -212,10 +213,10 @@ impl PartitionedIndex {
         }
         let rows_per_chunk = n.div_ceil(threads).max(1);
         let storage = matrix.as_mut_slice();
-        crossbeam::thread::scope(|scope| {
+        pool.scope(|scope| {
             for (chunk_idx, chunk) in storage.chunks_mut(rows_per_chunk * n).enumerate() {
                 let first_row = chunk_idx * rows_per_chunk;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (off, row) in chunk.chunks_mut(n).enumerate() {
                         let slot = NodeId::from_index(first_row + off);
                         if graph.contains(slot) {
@@ -224,8 +225,7 @@ impl PartitionedIndex {
                     }
                 });
             }
-        })
-        .expect("row-composition worker panicked");
+        });
         matrix
     }
 

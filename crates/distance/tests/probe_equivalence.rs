@@ -1,0 +1,156 @@
+//! Equivalence properties of the PR-2 fast paths against their reference
+//! implementations, on random graphs and random update batches:
+//!
+//! * pruned `probe_insert_edge` ≡ the naive all-pairs scan (bitwise: same
+//!   records in the same order);
+//! * snapshot-cached delete probes ≡ rebuild-per-probe, across batches of
+//!   probes *and* interleaved with commits (stale-cache coverage);
+//! * the persistent-pool `parallel_bfs_rows` ≡ the serial loop ≡ the
+//!   `crossbeam::thread::scope` per-batch-spawn baseline.
+
+use proptest::prelude::*;
+// Explicit import: the prelude's glob also carries collection helpers; the
+// trait must be nameable for `prop_flat_map` chaining.
+use proptest::strategy::Strategy;
+
+use gpnm_distance::{
+    apsp_matrix, parallel_bfs_rows, parallel_bfs_rows_scoped, AffDelta, IncrementalIndex,
+};
+use gpnm_graph::{DataGraph, Label, LabelInterner, NodeId};
+
+/// Compact description of a random labeled digraph.
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    labels_per_node: Vec<u8>,
+    edges: Vec<(u8, u8)>,
+}
+
+fn graph_spec(max_nodes: usize) -> impl Strategy<Value = GraphSpec> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        (
+            proptest::collection::vec(0u8..4, n),
+            proptest::collection::vec((0..n as u8, 0..n as u8), 0..n * 3),
+        )
+            .prop_map(|(labels_per_node, edges)| GraphSpec {
+                labels_per_node,
+                edges,
+            })
+    })
+}
+
+fn build_graph(spec: &GraphSpec) -> DataGraph {
+    let mut interner = LabelInterner::new();
+    let labels: Vec<Label> = (0..4).map(|i| interner.intern(&format!("L{i}"))).collect();
+    let mut g = DataGraph::new();
+    let ids: Vec<NodeId> = spec
+        .labels_per_node
+        .iter()
+        .map(|&l| g.add_node(labels[l as usize % 4]))
+        .collect();
+    for &(a, b) in &spec.edges {
+        let (u, v) = (ids[a as usize % ids.len()], ids[b as usize % ids.len()]);
+        if u != v {
+            let _ = g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Assert two deltas are bitwise identical (records and record order).
+fn assert_delta_eq(got: &AffDelta, want: &AffDelta, what: &str) {
+    assert_eq!(got.changed, want.changed, "{what}: changed pairs");
+    assert_eq!(
+        got.affected.iter().collect::<Vec<_>>(),
+        want.affected.iter().collect::<Vec<_>>(),
+        "{what}: Aff_N"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pruned insert probes equal the naive all-pairs scan on every
+    /// candidate edge of a random graph slice.
+    #[test]
+    fn pruned_insert_probe_equals_naive(spec in graph_spec(16), picks in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..12)) {
+        let graph = build_graph(&spec);
+        let mut idx = IncrementalIndex::build(&graph);
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        for (a, b) in picks {
+            let u = nodes[a as usize % nodes.len()];
+            let v = nodes[b as usize % nodes.len()];
+            if u == v || graph.has_edge(u, v) {
+                continue;
+            }
+            let naive = idx.probe_insert_edge_naive(u, v);
+            let pruned = idx.probe_insert_edge(u, v);
+            assert_delta_eq(&pruned, &naive, "insert probe");
+        }
+    }
+
+    /// Snapshot-cached delete probes equal the rebuild-per-probe baseline
+    /// across a whole batch of probes, then again after a commit mutates
+    /// the graph (the snapshot must detect staleness).
+    #[test]
+    fn cached_delete_probe_equals_naive(spec in graph_spec(14), picks in proptest::collection::vec(any::<u8>(), 1..10)) {
+        let mut graph = build_graph(&spec);
+        let mut idx = IncrementalIndex::build(&graph);
+        // Batch phase: many probes, zero mutations.
+        for &pick in &picks {
+            let edges: Vec<_> = graph.edges().collect();
+            if edges.is_empty() {
+                break;
+            }
+            let (u, v) = edges[pick as usize % edges.len()];
+            let naive = idx.probe_delete_edge_naive(&graph, u, v);
+            let cached = idx.probe_delete_edge(&graph, u, v);
+            assert_delta_eq(&cached, &naive, "delete probe (batch)");
+        }
+        // Mutation phase: commit one deletion, then re-probe.
+        let edges: Vec<_> = graph.edges().collect();
+        if let Some(&(u, v)) = edges.first() {
+            graph.remove_edge(u, v).unwrap();
+            idx.commit_delete_edge(&graph, u, v);
+            prop_assert_eq!(idx.matrix(), &apsp_matrix(&graph));
+            if let Some((a, b)) = graph.edges().next() {
+                let naive = idx.probe_delete_edge_naive(&graph, a, b);
+                let cached = idx.probe_delete_edge(&graph, a, b);
+                assert_delta_eq(&cached, &naive, "delete probe (post-commit)");
+            }
+        }
+    }
+
+    /// Cached node-deletion probes agree with an actual delete + rebuild.
+    #[test]
+    fn cached_node_delete_probe_is_exact(spec in graph_spec(12), pick in any::<u8>()) {
+        let mut graph = build_graph(&spec);
+        let mut idx = IncrementalIndex::build(&graph);
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        let victim = nodes[pick as usize % nodes.len()];
+        let probe = idx.probe_delete_node(&graph, victim);
+        graph.remove_node(victim).unwrap();
+        let commit = idx.commit_delete_node(&graph, victim);
+        prop_assert_eq!(idx.matrix(), &apsp_matrix(&graph));
+        let mut p = probe.changed.clone();
+        let mut c = commit.changed.clone();
+        p.sort_unstable();
+        c.sort_unstable();
+        prop_assert_eq!(p, c);
+    }
+
+    /// The worker-pool, serial, and crossbeam-scoped BFS-row paths all
+    /// compute the same rows.
+    #[test]
+    fn pool_and_scoped_bfs_rows_agree(spec in graph_spec(40)) {
+        let graph = build_graph(&spec);
+        let sources: Vec<NodeId> = graph.nodes().collect();
+        let mut pooled = parallel_bfs_rows(&graph, &sources, 0);
+        let mut serial = parallel_bfs_rows(&graph, &sources, 1);
+        let mut scoped = parallel_bfs_rows_scoped(&graph, &sources, 4);
+        pooled.sort_unstable_by_key(|(s, _)| *s);
+        serial.sort_unstable_by_key(|(s, _)| *s);
+        scoped.sort_unstable_by_key(|(s, _)| *s);
+        prop_assert_eq!(&pooled, &serial);
+        prop_assert_eq!(&pooled, &scoped);
+    }
+}

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use gpnm_distance::{
-    parallel_bfs_rows, AffDelta, DistanceMatrix, IncrementalIndex, PartitionedIndex, INF,
+    parallel_bfs_rows_csr, AffDelta, DistanceMatrix, IncrementalIndex, PartitionedIndex, INF,
 };
 use gpnm_graph::{DataGraph, GraphError, NodeId, NodeSet, PatternGraph};
 use gpnm_matcher::{match_graph, repair, MatchResult, MatchSemantics, RepairPlan};
@@ -572,7 +572,11 @@ impl GpnmEngine {
                     }
                     RepairMode::ParallelBfs => {
                         let mut delta = AffDelta::new();
-                        for (x, row) in parallel_bfs_rows(&self.graph, &candidates, 0) {
+                        // Bind the rows first: the CSR borrow of the index
+                        // must end before `apply_row` mutates it.
+                        let rows =
+                            parallel_bfs_rows_csr(self.index.csr(&self.graph), &candidates, 0);
+                        for (x, row) in rows {
                             self.index.apply_row(x, &row, &mut delta);
                         }
                         (delta, None)
@@ -622,7 +626,8 @@ impl GpnmEngine {
                     RepairMode::ParallelBfs => {
                         self.graph.remove_node(node).expect("batch validated");
                         let mut delta = AffDelta::new();
-                        for (x, row) in parallel_bfs_rows(&self.graph, &sources, 0) {
+                        let rows = parallel_bfs_rows_csr(self.index.csr(&self.graph), &sources, 0);
+                        for (x, row) in rows {
                             self.index.apply_row(x, &row, &mut delta);
                         }
                         self.index.clear_slot(node, &mut delta);

@@ -6,7 +6,7 @@
 //! to the data graph's *slots* — tombstoned slots simply have an empty
 //! neighbor range — so `NodeId`s index directly without remapping.
 
-use crate::data_graph::DataGraph;
+use crate::data_graph::{DataGraph, GraphVersion};
 use crate::ids::NodeId;
 
 /// Flat forward (and optional reverse) adjacency, frozen at build time.
@@ -19,6 +19,19 @@ pub struct CsrGraph {
     rev_offsets: Vec<u32>,
     rev_sources: Vec<NodeId>,
     live_nodes: usize,
+}
+
+impl Default for CsrGraph {
+    /// An empty zero-slot snapshot (the state of a fresh [`CsrSnapshot`]).
+    fn default() -> Self {
+        CsrGraph {
+            offsets: vec![0],
+            targets: Vec::new(),
+            rev_offsets: Vec::new(),
+            rev_sources: Vec::new(),
+            live_nodes: 0,
+        }
+    }
 }
 
 impl CsrGraph {
@@ -34,33 +47,46 @@ impl CsrGraph {
     }
 
     fn build(graph: &DataGraph, reverse: bool) -> Self {
-        let slots = graph.slot_count();
-        let mut offsets = Vec::with_capacity(slots + 1);
-        let mut targets = Vec::with_capacity(graph.edge_count());
-        offsets.push(0);
-        for i in 0..slots {
-            targets.extend_from_slice(graph.out_neighbors(NodeId::from_index(i)));
-            offsets.push(targets.len() as u32);
-        }
-        let (rev_offsets, rev_sources) = if reverse {
-            let mut ro = Vec::with_capacity(slots + 1);
-            let mut rs = Vec::with_capacity(graph.edge_count());
-            ro.push(0);
-            for i in 0..slots {
-                rs.extend_from_slice(graph.in_neighbors(NodeId::from_index(i)));
-                ro.push(rs.len() as u32);
-            }
-            (ro, rs)
-        } else {
-            (Vec::new(), Vec::new())
+        let mut csr = CsrGraph {
+            offsets: Vec::with_capacity(graph.slot_count() + 1),
+            targets: Vec::with_capacity(graph.edge_count()),
+            rev_offsets: Vec::new(),
+            rev_sources: Vec::new(),
+            live_nodes: 0,
         };
-        CsrGraph {
-            offsets,
-            targets,
-            rev_offsets,
-            rev_sources,
-            live_nodes: graph.node_count(),
+        csr.rebuild(graph, reverse);
+        csr
+    }
+
+    /// Refill this snapshot from `graph` *in place*, reusing the existing
+    /// allocations. After warm-up, rebuilding per update batch is
+    /// allocation-free (the vectors only grow when the graph does), which
+    /// is what keeps the delete-repair hot path off the allocator.
+    pub(crate) fn rebuild(&mut self, graph: &DataGraph, reverse: bool) {
+        let slots = graph.slot_count();
+        self.offsets.clear();
+        self.targets.clear();
+        self.offsets.reserve(slots + 1);
+        self.targets.reserve(graph.edge_count());
+        self.offsets.push(0);
+        for i in 0..slots {
+            self.targets
+                .extend_from_slice(graph.out_neighbors(NodeId::from_index(i)));
+            self.offsets.push(self.targets.len() as u32);
         }
+        self.rev_offsets.clear();
+        self.rev_sources.clear();
+        if reverse {
+            self.rev_offsets.reserve(slots + 1);
+            self.rev_sources.reserve(graph.edge_count());
+            self.rev_offsets.push(0);
+            for i in 0..slots {
+                self.rev_sources
+                    .extend_from_slice(graph.in_neighbors(NodeId::from_index(i)));
+                self.rev_offsets.push(self.rev_sources.len() as u32);
+            }
+        }
+        self.live_nodes = graph.node_count();
     }
 
     /// Number of slots the snapshot covers (live + tombstoned).
@@ -108,6 +134,61 @@ impl CsrGraph {
     }
 }
 
+/// A generation-stamped, lazily rebuilt [`CsrGraph`] cache.
+///
+/// The incremental-repair hot path needs a CSR view of the current graph
+/// for every delete probe/commit; rebuilding one from scratch per update is
+/// O(n + m) *allocation and copy* even when the batch probes dozens of
+/// updates against the same unmutated graph. `CsrSnapshot` keys the cached
+/// CSR on [`DataGraph::version`]: [`CsrSnapshot::get`] is a two-word
+/// comparison when the graph has not mutated, and an in-place, allocation-
+/// reusing rebuild when it has. A DER-II batch of `k` probes therefore
+/// shares one CSR build instead of performing `k` of them.
+#[derive(Debug, Clone, Default)]
+pub struct CsrSnapshot {
+    /// The version of `csr`'s source graph; `None` until the first build.
+    version: Option<GraphVersion>,
+    /// Whether the cached CSR carries reverse adjacency.
+    reverse: bool,
+    csr: CsrGraph,
+}
+
+impl CsrSnapshot {
+    /// An empty (stale) cache that materializes forward adjacency only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache that also materializes reverse adjacency on rebuild.
+    pub fn with_reverse() -> Self {
+        CsrSnapshot {
+            reverse: true,
+            ..Self::default()
+        }
+    }
+
+    /// The CSR view of `graph`, rebuilt (in place) only if `graph` has
+    /// mutated since the cached build — or was never built.
+    pub fn get(&mut self, graph: &DataGraph) -> &CsrGraph {
+        let version = graph.version();
+        if self.version != Some(version) {
+            self.csr.rebuild(graph, self.reverse);
+            self.version = Some(version);
+        }
+        &self.csr
+    }
+
+    /// Whether a call to [`CsrSnapshot::get`] for `graph` would rebuild.
+    pub fn is_stale(&self, graph: &DataGraph) -> bool {
+        self.version != Some(graph.version())
+    }
+
+    /// Drop the cached build (the next [`CsrSnapshot::get`] rebuilds).
+    pub fn invalidate(&mut self) {
+        self.version = None;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +225,50 @@ mod tests {
         assert_eq!(csr.in_neighbors(n[3]), &[n[2]]);
         assert_eq!(csr.in_neighbors(n[0]), &[] as &[NodeId]);
         assert_eq!(csr.in_neighbors(n[1]), &[n[0]]);
+    }
+
+    #[test]
+    fn snapshot_rebuilds_only_when_stale() {
+        let (mut g, n) = sample();
+        let mut snap = CsrSnapshot::new();
+        assert!(snap.is_stale(&g));
+        let before = snap.get(&g).edge_count();
+        assert_eq!(before, 3);
+        assert!(!snap.is_stale(&g), "unmutated graph: cache stays valid");
+        // Failed mutations do not invalidate.
+        assert!(g.add_edge(n[0], n[1]).is_err());
+        assert!(!snap.is_stale(&g));
+        // Successful mutations do.
+        g.add_edge(n[1], n[3]).unwrap();
+        assert!(snap.is_stale(&g));
+        assert_eq!(snap.get(&g).out_neighbors(n[1]), &[n[3]]);
+        assert!(!snap.is_stale(&g));
+        snap.invalidate();
+        assert!(snap.is_stale(&g));
+    }
+
+    #[test]
+    fn snapshot_distinguishes_clones() {
+        let (g, n) = sample();
+        let mut g2 = g.clone();
+        let mut snap = CsrSnapshot::new();
+        snap.get(&g);
+        // The clone is a different object: even though its content is
+        // identical, the cache conservatively rebuilds rather than risk
+        // colliding generations across diverging clones.
+        assert!(snap.is_stale(&g2));
+        g2.add_edge(n[1], n[0]).unwrap();
+        assert_eq!(snap.get(&g2).out_neighbors(n[1]), &[n[0]]);
+        assert_eq!(snap.get(&g).out_neighbors(n[1]), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn snapshot_with_reverse_rebuilds_reverse() {
+        let (mut g, n) = sample();
+        let mut snap = CsrSnapshot::with_reverse();
+        assert_eq!(snap.get(&g).in_neighbors(n[3]), &[n[2]]);
+        g.add_edge(n[1], n[3]).unwrap();
+        assert_eq!(snap.get(&g).in_neighbors(n[3]), &[n[1], n[2]]);
     }
 
     #[test]

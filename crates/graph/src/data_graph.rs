@@ -1,9 +1,28 @@
 //! The dynamic, labeled, directed data graph `GD`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::error::GraphError;
 use crate::ids::NodeId;
 use crate::label::Label;
 use crate::Result;
+
+/// Source of unique per-graph identities for [`GraphVersion`].
+static NEXT_GRAPH_UID: AtomicU64 = AtomicU64::new(1);
+
+/// A point-in-time identity of a [`DataGraph`]'s topology.
+///
+/// Two versions compare equal iff they were taken from the *same* graph
+/// object with no successful mutation in between: every graph (including
+/// every clone) gets a unique `uid`, and every successful mutation bumps
+/// the `generation`. Caches keyed by a `GraphVersion` (notably
+/// [`crate::CsrSnapshot`]) can therefore validate in O(1) without hashing
+/// the adjacency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphVersion {
+    uid: u64,
+    generation: u64,
+}
 
 /// A dynamic directed graph with one [`Label`] per node.
 ///
@@ -22,7 +41,7 @@ use crate::Result;
 ///   label, so this index is on the hot path of both.
 ///
 /// Mutations return [`GraphError`] and leave the graph untouched on failure.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct DataGraph {
     /// Label per slot; `None` marks a tombstoned (deleted) slot.
     labels: Vec<Option<Label>>,
@@ -36,6 +55,43 @@ pub struct DataGraph {
     live_nodes: usize,
     /// Number of live edges.
     live_edges: usize,
+    /// Unique identity of this graph object (fresh per clone).
+    uid: u64,
+    /// Bumped on every successful mutation.
+    generation: u64,
+}
+
+impl Default for DataGraph {
+    fn default() -> Self {
+        DataGraph {
+            labels: Vec::new(),
+            out: Vec::new(),
+            inn: Vec::new(),
+            by_label: Vec::new(),
+            live_nodes: 0,
+            live_edges: 0,
+            uid: NEXT_GRAPH_UID.fetch_add(1, Ordering::Relaxed),
+            generation: 0,
+        }
+    }
+}
+
+impl Clone for DataGraph {
+    /// Clones get a fresh `uid`: the clone can diverge from the original,
+    /// so a [`GraphVersion`] taken from one must never validate a snapshot
+    /// built from the other once either has mutated.
+    fn clone(&self) -> Self {
+        DataGraph {
+            labels: self.labels.clone(),
+            out: self.out.clone(),
+            inn: self.inn.clone(),
+            by_label: self.by_label.clone(),
+            live_nodes: self.live_nodes,
+            live_edges: self.live_edges,
+            uid: NEXT_GRAPH_UID.fetch_add(1, Ordering::Relaxed),
+            generation: self.generation,
+        }
+    }
 }
 
 /// Everything removed alongside a node, sufficient to undo the deletion.
@@ -63,9 +119,7 @@ impl DataGraph {
             labels: Vec::with_capacity(nodes),
             out: Vec::with_capacity(nodes),
             inn: Vec::with_capacity(nodes),
-            by_label: Vec::new(),
-            live_nodes: 0,
-            live_edges: 0,
+            ..Self::default()
         }
     }
 
@@ -90,6 +144,17 @@ impl DataGraph {
     #[inline]
     pub fn slot_count(&self) -> usize {
         self.labels.len()
+    }
+
+    /// The current topology version; changes after every successful
+    /// mutation and never collides across graph objects (clones included).
+    /// Snapshot caches ([`crate::CsrSnapshot`]) key on this.
+    #[inline]
+    pub fn version(&self) -> GraphVersion {
+        GraphVersion {
+            uid: self.uid,
+            generation: self.generation,
+        }
     }
 
     /// Whether `id` refers to a live node.
@@ -152,6 +217,7 @@ impl DataGraph {
         NodeIter {
             labels: &self.labels,
             next: 0,
+            remaining: self.live_nodes,
         }
     }
 
@@ -161,6 +227,7 @@ impl DataGraph {
             graph: self,
             slot: 0,
             pos: 0,
+            remaining: self.live_edges,
         }
     }
 
@@ -176,6 +243,7 @@ impl DataGraph {
         self.inn.push(Vec::new());
         self.label_bucket(label).push(id); // fresh id is the maximum: stays sorted
         self.live_nodes += 1;
+        self.generation += 1;
         id
     }
 
@@ -197,6 +265,7 @@ impl DataGraph {
         self.labels[id.index()] = None;
         remove_sorted(&mut self.by_label[label.index()], id);
         self.live_nodes -= 1;
+        self.generation += 1;
         Ok(RemovedNode {
             id,
             label,
@@ -225,6 +294,7 @@ impl DataGraph {
         let pos = radj.binary_search(&u).unwrap_err();
         radj.insert(pos, u);
         self.live_edges += 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -249,6 +319,7 @@ impl DataGraph {
             .expect("in-adjacency out of sync with out-adjacency");
         radj.remove(pos);
         self.live_edges -= 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -283,6 +354,7 @@ impl DataGraph {
             insert_sorted(&mut self.out[u.index()], removed.id);
         }
         self.live_edges += removed.out_edges.len() + removed.in_edges.len();
+        self.generation += 1;
         Ok(())
     }
 
@@ -368,6 +440,9 @@ fn insert_sorted(v: &mut Vec<NodeId>, item: NodeId) {
 pub struct NodeIter<'g> {
     labels: &'g [Option<Label>],
     next: usize,
+    /// Live nodes not yet yielded — every live slot sits at index ≥ `next`,
+    /// so the remaining count is exact and `collect` pre-allocates.
+    remaining: usize,
 }
 
 impl Iterator for NodeIter<'_> {
@@ -378,18 +453,30 @@ impl Iterator for NodeIter<'_> {
             let idx = self.next;
             self.next += 1;
             if self.labels[idx].is_some() {
+                self.remaining -= 1;
                 return Some(NodeId::from_index(idx));
             }
         }
         None
     }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
 }
+
+impl ExactSizeIterator for NodeIter<'_> {}
+
+impl std::iter::FusedIterator for NodeIter<'_> {}
 
 /// Iterator over live edges. See [`DataGraph::edges`].
 pub struct EdgeIter<'g> {
     graph: &'g DataGraph,
     slot: usize,
     pos: usize,
+    /// Live edges not yet yielded (exact; see [`NodeIter::size_hint`]).
+    remaining: usize,
 }
 
 impl Iterator for EdgeIter<'_> {
@@ -401,6 +488,7 @@ impl Iterator for EdgeIter<'_> {
             if self.pos < adj.len() {
                 let item = (NodeId::from_index(self.slot), adj[self.pos]);
                 self.pos += 1;
+                self.remaining -= 1;
                 return Some(item);
             }
             self.slot += 1;
@@ -408,7 +496,16 @@ impl Iterator for EdgeIter<'_> {
         }
         None
     }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
 }
+
+impl ExactSizeIterator for EdgeIter<'_> {}
+
+impl std::iter::FusedIterator for EdgeIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -564,6 +661,47 @@ mod tests {
         g.remove_node(n1).unwrap();
         assert_eq!(g.nodes().collect::<Vec<_>>(), vec![n0, n2]);
         assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn version_tracks_successful_mutations_only() {
+        let (_, a, _) = two_labels();
+        let mut g = DataGraph::new();
+        let v0 = g.version();
+        let n0 = g.add_node(a);
+        let n1 = g.add_node(a);
+        assert_ne!(g.version(), v0);
+        let v1 = g.version();
+        assert!(g.add_edge(n0, n0).is_err(), "self loop");
+        assert!(g.remove_edge(n0, n1).is_err(), "absent edge");
+        assert_eq!(g.version(), v1, "failed mutations leave the version");
+        g.add_edge(n0, n1).unwrap();
+        assert_ne!(g.version(), v1);
+        // Clones never share a version with the original.
+        let clone = g.clone();
+        assert_ne!(clone.version(), g.version());
+    }
+
+    #[test]
+    fn iterators_report_exact_size() {
+        let (_, a, _) = two_labels();
+        let mut g = DataGraph::new();
+        let n0 = g.add_node(a);
+        let n1 = g.add_node(a);
+        let n2 = g.add_node(a);
+        g.add_edge(n0, n1).unwrap();
+        g.add_edge(n1, n2).unwrap();
+        g.remove_node(n0).unwrap();
+        let mut nodes = g.nodes();
+        assert_eq!(nodes.size_hint(), (2, Some(2)));
+        assert_eq!(nodes.len(), 2);
+        nodes.next();
+        assert_eq!(nodes.size_hint(), (1, Some(1)));
+        let mut edges = g.edges();
+        assert_eq!(edges.size_hint(), (1, Some(1)));
+        edges.next();
+        assert_eq!(edges.size_hint(), (0, Some(0)));
+        assert_eq!(edges.next(), None);
     }
 
     #[test]
