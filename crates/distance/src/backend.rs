@@ -1,0 +1,629 @@
+//! The pluggable `SLen` backend abstraction: the repair lifecycle every
+//! engine strategy drives, behind one trait.
+//!
+//! [`crate::DistanceOracle`] answers point lookups; [`SlenBackend`]
+//! subsumes it with the full *repairable index* contract the GPNM engine
+//! needs: build from a graph, grow/tombstone slots as nodes come and go,
+//! probe updates read-only (DER-II), commit them with an [`AffDelta`], and
+//! recompute whole rows after deletions. Three implementations ship:
+//!
+//! * [`crate::IncrementalIndex`] — the dense `n × n` matrix of §IV with
+//!   delta-proportional repair. Exact for every pair; `O(n²)` memory, so it
+//!   stops fitting around ~50k nodes (40 GB at 100k). The right choice for
+//!   the paper-scale experiments and whenever every source node matters.
+//! * [`PartitionedBackend`] — the dense matrix plus the §V label-partition
+//!   accelerator: deletions repair rows by composing partition-local
+//!   distances through the bridge graph (bridge-sparse graphs) or by
+//!   pool-parallel BFS fan-out (bridge-dense graphs). Same memory envelope
+//!   as dense; wins on repair latency when deletions invalidate many rows.
+//! * [`crate::SparseIndex`] — bounded rows for *candidate* sources only
+//!   (nodes whose label occurs in the pattern), truncated at the pattern's
+//!   maximum finite bound. Memory proportional to candidate rows × nodes
+//!   within the bound, which is what unlocks 100k+-node graphs.
+//!
+//! What a backend must cover is captured by [`SlenRequirements`]: the
+//! matcher only ever asks for distances *from* pattern-labeled nodes and
+//! only compares them against the pattern's bounds, so a backend may
+//! restrict itself to that projection. Dense backends ignore requirements
+//! (they cover everything); the sparse backend materializes exactly the
+//! requirement set and [`SlenBackend::sync_requirements`] grows it when a
+//! batch's pattern updates widen the pattern.
+
+use gpnm_graph::{Bound, DataGraph, Label, NodeId, PatternGraph};
+
+use crate::aff::AffDelta;
+use crate::apsp::parallel_bfs_rows_csr;
+use crate::incremental::IncrementalIndex;
+use crate::matrix::DistanceMatrix;
+use crate::oracle::DistanceOracle;
+use crate::partitioned::PartitionedIndex;
+use crate::INF;
+
+/// What the pattern (plus any pending pattern updates) requires of the
+/// `SLen` index: which source labels are consulted, and how deep.
+///
+/// The matcher's `within(v, v', bound)` checks always originate at a node
+/// `v` whose label occurs in the pattern, and a distance `d > depth` is
+/// indistinguishable from ∞ for every finite bound `≤ depth`. A backend
+/// honoring a requirement set is therefore exact *for the projection the
+/// engine observes* even if it stores nothing else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlenRequirements {
+    /// Labels whose nodes can be distance sources (sorted, deduplicated).
+    labels: Vec<Label>,
+    /// Maximum finite bound to resolve; [`INF`] when some pattern edge is
+    /// unbounded (`*`), which needs full reachability rows.
+    depth: u32,
+}
+
+impl SlenRequirements {
+    /// Requirements of `pattern` as it stands.
+    pub fn of_pattern(pattern: &PatternGraph) -> Self {
+        let mut labels: Vec<Label> = pattern.nodes().filter_map(|u| pattern.label(u)).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        let mut reqs = SlenRequirements { labels, depth: 0 };
+        for e in pattern.edges() {
+            reqs.absorb_bound(e.bound);
+        }
+        reqs
+    }
+
+    /// Widen to also cover sources labeled `label` (a pattern-node insert).
+    pub fn absorb_label(&mut self, label: Label) {
+        if let Err(pos) = self.labels.binary_search(&label) {
+            self.labels.insert(pos, label);
+        }
+    }
+
+    /// Widen to also resolve `bound` (a pattern-edge insert).
+    pub fn absorb_bound(&mut self, bound: Bound) {
+        let needed = match bound {
+            Bound::Hops(k) => k,
+            Bound::Unbounded => INF,
+        };
+        self.depth = self.depth.max(needed);
+    }
+
+    /// Widen to the union with `other`.
+    pub fn absorb(&mut self, other: &SlenRequirements) {
+        for &label in other.labels() {
+            self.absorb_label(label);
+        }
+        self.depth = self.depth.max(other.depth);
+    }
+
+    /// The required source labels, sorted ascending.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The required resolution depth ([`INF`] = full rows).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+/// Project a dense [`AffDelta`] onto a bounded backend's observable
+/// slice: keep records whose source passes `resident`, clamp distances
+/// beyond `depth` to [`INF`], and drop records the clamp turns into
+/// no-ops. This *is* the sparse backend's delta contract — the
+/// equivalence proptests and the `micro_backend` bench both assert
+/// `sparse.changed == project_delta(dense, depth, resident)` record for
+/// record. `resident` must reflect residency at the time the delta was
+/// produced (for a node-deletion commit: *before* the node left the
+/// graph).
+pub fn project_delta<F: Fn(NodeId) -> bool>(
+    delta: &AffDelta,
+    depth: u32,
+    resident: F,
+) -> Vec<(NodeId, NodeId, u32, u32)> {
+    let clamp = |d: u32| if d <= depth { d } else { INF };
+    delta
+        .changed
+        .iter()
+        .filter_map(|&(x, y, old, new)| {
+            if !resident(x) {
+                return None;
+            }
+            let (old, new) = (clamp(old), clamp(new));
+            (old != new).then_some((x, y, old, new))
+        })
+        .collect()
+}
+
+/// How a strategy wants deletion rows recomputed.
+///
+/// The paper's evaluation separates UA-GPNM (partition-accelerated `SLen`
+/// maintenance) from its `-NoPar` ablation and the EH/INC baselines, which
+/// repair densely. The engine passes the strategy's choice down so one
+/// backend can serve both sides of that comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairHint {
+    /// Serial reference repair (INC/EH/NoPar baselines).
+    Baseline,
+    /// Use whatever acceleration the backend has prepared (§V partition
+    /// composition or parallel row fan-out). Backends without an
+    /// accelerator treat this as [`RepairHint::Baseline`].
+    Accelerated,
+}
+
+/// A repairable `SLen` index: the full lifecycle the GPNM engine drives.
+///
+/// Contract shared by every method: `graph` is the engine's data graph.
+/// *Probes* receive it in its **pre-update** state and must not change any
+/// answer [`DistanceOracle::distance`] would give. *Commits* receive it in
+/// its **post-update** state (the caller mutates the graph first) and must
+/// leave the index exact for that state — where "exact" means exact for
+/// the projection of the backend's current [`SlenRequirements`]; dense
+/// backends are exact everywhere. Every mutation of the graph must be
+/// mirrored by exactly one commit call.
+pub trait SlenBackend: DistanceOracle {
+    /// Short backend name for CLIs and reports (`"dense"`, `"sparse"`, …).
+    fn kind(&self) -> &'static str;
+
+    /// Build an index of `graph` covering `reqs`.
+    fn build(graph: &DataGraph, reqs: &SlenRequirements) -> Self
+    where
+        Self: Sized;
+
+    /// Recompute everything from the current graph (the Scratch strategy),
+    /// widening coverage to the union of the already-covered requirements
+    /// and `reqs` in the same single pass — Scratch callers hand in the
+    /// post-batch pattern's requirements instead of paying a separate
+    /// [`SlenBackend::sync_requirements`] recompute first.
+    fn rebuild(&mut self, graph: &DataGraph, reqs: &SlenRequirements);
+
+    /// Grow coverage so every lookup implied by `reqs` is answerable.
+    /// Requirements only widen (extra coverage is harmless); dense
+    /// backends no-op.
+    fn sync_requirements(&mut self, _graph: &DataGraph, _reqs: &SlenRequirements) {}
+
+    /// Ready whatever acceleration [`RepairHint::Accelerated`] commits
+    /// will use (the §V partition build), outside the timed query path.
+    fn prepare_accelerator(&mut self, _graph: &DataGraph) {}
+
+    /// Distance changes if edge `(u, v)` were inserted (graph pre-insert).
+    fn probe_insert_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta;
+
+    /// Distance changes if edge `(u, v)` were deleted (graph pre-delete).
+    fn probe_delete_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta;
+
+    /// Distance changes if node `id` were deleted (graph pre-delete).
+    fn probe_delete_node(&mut self, graph: &DataGraph, id: NodeId) -> AffDelta;
+
+    /// Repair after the caller inserted edge `(u, v)`.
+    fn commit_insert_edge(
+        &mut self,
+        graph: &DataGraph,
+        u: NodeId,
+        v: NodeId,
+        hint: RepairHint,
+    ) -> AffDelta;
+
+    /// Repair after the caller deleted edge `(u, v)`.
+    fn commit_delete_edge(
+        &mut self,
+        graph: &DataGraph,
+        u: NodeId,
+        v: NodeId,
+        hint: RepairHint,
+    ) -> AffDelta;
+
+    /// Register the freshly inserted (isolated) node `id`: grow the slot
+    /// space. An isolated newcomer changes no existing distance, so the
+    /// delta is empty.
+    fn commit_insert_node(&mut self, graph: &DataGraph, id: NodeId, hint: RepairHint) -> AffDelta;
+
+    /// Repair after the caller deleted node `id` (tombstone its slot).
+    fn commit_delete_node(&mut self, graph: &DataGraph, id: NodeId, hint: RepairHint) -> AffDelta;
+
+    /// Number of distance rows currently materialized.
+    fn resident_rows(&self) -> usize;
+
+    /// Approximate heap footprint of the distance storage, in bytes.
+    fn mem_bytes(&self) -> usize;
+}
+
+// ======================================================================
+// Dense backend: the incremental n × n matrix.
+// ======================================================================
+
+impl SlenBackend for IncrementalIndex {
+    fn kind(&self) -> &'static str {
+        "dense"
+    }
+
+    fn build(graph: &DataGraph, _reqs: &SlenRequirements) -> Self {
+        IncrementalIndex::build(graph)
+    }
+
+    fn rebuild(&mut self, graph: &DataGraph, _reqs: &SlenRequirements) {
+        *self = IncrementalIndex::build(graph);
+    }
+
+    fn probe_insert_edge(&mut self, _graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
+        self.probe_insert_edge(u, v)
+    }
+
+    fn probe_delete_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
+        self.probe_delete_edge(graph, u, v)
+    }
+
+    fn probe_delete_node(&mut self, graph: &DataGraph, id: NodeId) -> AffDelta {
+        self.probe_delete_node(graph, id)
+    }
+
+    fn commit_insert_edge(
+        &mut self,
+        _graph: &DataGraph,
+        u: NodeId,
+        v: NodeId,
+        _hint: RepairHint,
+    ) -> AffDelta {
+        self.commit_insert_edge(u, v)
+    }
+
+    fn commit_delete_edge(
+        &mut self,
+        graph: &DataGraph,
+        u: NodeId,
+        v: NodeId,
+        _hint: RepairHint,
+    ) -> AffDelta {
+        self.commit_delete_edge(graph, u, v)
+    }
+
+    fn commit_insert_node(
+        &mut self,
+        graph: &DataGraph,
+        _id: NodeId,
+        _hint: RepairHint,
+    ) -> AffDelta {
+        self.commit_insert_node(graph.slot_count())
+    }
+
+    fn commit_delete_node(&mut self, graph: &DataGraph, id: NodeId, _hint: RepairHint) -> AffDelta {
+        self.commit_delete_node(graph, id)
+    }
+
+    fn resident_rows(&self) -> usize {
+        self.matrix().n()
+    }
+
+    fn mem_bytes(&self) -> usize {
+        self.matrix().mem_bytes()
+    }
+}
+
+// ======================================================================
+// Partitioned backend: dense matrix + §V accelerator.
+// ======================================================================
+
+/// Which acceleration [`PartitionedBackend`] applies to deletion repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccelMode {
+    /// Compose rows from partition-local distances through the bridge
+    /// graph. Wins when label locality keeps the bridge universe small
+    /// (`|B| ≪ |ND|`); degenerates badly otherwise.
+    Compose,
+    /// Recompute affected rows with BFS fanned out across the persistent
+    /// worker pool — the §V "processed distributively" reading. Wins
+    /// whenever a deletion invalidates many rows, regardless of bridge
+    /// density.
+    ParallelBfs,
+}
+
+/// The dense incremental matrix paired with the §V label-partition index.
+///
+/// [`RepairHint::Baseline`] commits behave exactly like the plain dense
+/// backend. [`RepairHint::Accelerated`] commits repair deletion rows
+/// through the partition — by bridge-graph composition when bridges are
+/// sparse, by pool-parallel BFS otherwise (the adaptive choice is made
+/// once per [`SlenBackend::prepare_accelerator`] call, outside the timed
+/// path). Any commit that bypasses partition maintenance marks the
+/// partition dirty so the next prepare rebuilds it.
+#[derive(Debug, Clone)]
+pub struct PartitionedBackend {
+    index: IncrementalIndex,
+    part: Option<PartitionedIndex>,
+    /// Whether `part` no longer reflects the graph (some commit bypassed
+    /// its `note_*` maintenance).
+    part_dirty: bool,
+    mode: AccelMode,
+    row_scratch: Vec<u32>,
+}
+
+impl PartitionedBackend {
+    /// The dense `SLen` matrix (always exact for the committed graph).
+    pub fn matrix(&self) -> &DistanceMatrix {
+        self.index.matrix()
+    }
+
+    /// The inner dense index.
+    pub fn inner(&self) -> &IncrementalIndex {
+        &self.index
+    }
+
+    /// The §V partition index, if prepared.
+    pub fn partitioned(&self) -> Option<&PartitionedIndex> {
+        self.part.as_ref()
+    }
+
+    /// Resolve the effective acceleration for one commit. Composition
+    /// reads partition data, so it demands a fresh partition; parallel
+    /// BFS never does, so it stays active even after commits (its own
+    /// included) have dirtied the partition — matching the engine's old
+    /// fixed-mode-per-batch behavior.
+    fn active_mode(&self, hint: RepairHint) -> Option<AccelMode> {
+        if hint != RepairHint::Accelerated || self.part.is_none() {
+            return None;
+        }
+        match self.mode {
+            AccelMode::Compose if self.part_dirty => Some(AccelMode::ParallelBfs),
+            mode => Some(mode),
+        }
+    }
+}
+
+impl DistanceOracle for PartitionedBackend {
+    #[inline(always)]
+    fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        self.index.distance(u, v)
+    }
+}
+
+impl SlenBackend for PartitionedBackend {
+    fn kind(&self) -> &'static str {
+        "partitioned"
+    }
+
+    fn build(graph: &DataGraph, _reqs: &SlenRequirements) -> Self {
+        PartitionedBackend {
+            index: IncrementalIndex::build(graph),
+            part: None,
+            part_dirty: true,
+            mode: AccelMode::ParallelBfs,
+            row_scratch: vec![INF; graph.slot_count()],
+        }
+    }
+
+    fn rebuild(&mut self, graph: &DataGraph, _reqs: &SlenRequirements) {
+        self.index = IncrementalIndex::build(graph);
+        self.part_dirty = true;
+        self.row_scratch.resize(graph.slot_count(), INF);
+    }
+
+    fn prepare_accelerator(&mut self, graph: &DataGraph) {
+        if self.part_dirty || self.part.is_none() {
+            self.part = Some(PartitionedIndex::build(graph));
+            self.part_dirty = false;
+        }
+        let bridges = self.part.as_ref().expect("just built").bridge_count();
+        // Composing through bridge nodes only pays off when few nodes sit
+        // on cross-partition edges; on bridge-dense graphs the partition's
+        // win is the distributed row recomputation instead.
+        self.mode = if bridges * 8 <= graph.slot_count() {
+            AccelMode::Compose
+        } else {
+            AccelMode::ParallelBfs
+        };
+    }
+
+    fn probe_insert_edge(&mut self, _graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
+        self.index.probe_insert_edge(u, v)
+    }
+
+    fn probe_delete_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
+        self.index.probe_delete_edge(graph, u, v)
+    }
+
+    fn probe_delete_node(&mut self, graph: &DataGraph, id: NodeId) -> AffDelta {
+        self.index.probe_delete_node(graph, id)
+    }
+
+    fn commit_insert_edge(
+        &mut self,
+        graph: &DataGraph,
+        u: NodeId,
+        v: NodeId,
+        hint: RepairHint,
+    ) -> AffDelta {
+        match self.active_mode(hint) {
+            Some(AccelMode::Compose) => {
+                let part = self.part.as_mut().expect("accelerator prepared");
+                part.note_insert_edge(graph, u, v);
+            }
+            _ => self.part_dirty = true,
+        }
+        self.index.commit_insert_edge(u, v)
+    }
+
+    fn commit_delete_edge(
+        &mut self,
+        graph: &DataGraph,
+        u: NodeId,
+        v: NodeId,
+        hint: RepairHint,
+    ) -> AffDelta {
+        // Candidates come from the (not yet repaired) matrix, so computing
+        // them after the graph mutation is sound.
+        let candidates = self.index.delete_candidates(u, v);
+        match self.active_mode(hint) {
+            Some(AccelMode::Compose) => {
+                let part = self.part.as_mut().expect("accelerator prepared");
+                part.note_delete_edge(graph, u, v);
+                let mut delta = AffDelta::new();
+                self.row_scratch.resize(graph.slot_count(), INF);
+                for x in candidates {
+                    part.compose_row(x, &mut self.row_scratch);
+                    self.index.apply_row(x, &self.row_scratch, &mut delta);
+                }
+                delta
+            }
+            Some(AccelMode::ParallelBfs) => {
+                self.part_dirty = true;
+                let mut delta = AffDelta::new();
+                // Bind the rows first: the CSR borrow of the index must end
+                // before `apply_row` mutates it.
+                let rows = parallel_bfs_rows_csr(self.index.csr(graph), &candidates, 0);
+                for (x, row) in rows {
+                    self.index.apply_row(x, &row, &mut delta);
+                }
+                delta
+            }
+            None => {
+                self.part_dirty = true;
+                self.index.commit_delete_edge(graph, u, v)
+            }
+        }
+    }
+
+    fn commit_insert_node(&mut self, graph: &DataGraph, id: NodeId, hint: RepairHint) -> AffDelta {
+        let delta = self.index.commit_insert_node(graph.slot_count());
+        self.row_scratch.resize(graph.slot_count(), INF);
+        match self.active_mode(hint) {
+            Some(AccelMode::Compose) => {
+                let part = self.part.as_mut().expect("accelerator prepared");
+                part.note_insert_node(graph, id);
+            }
+            _ => self.part_dirty = true,
+        }
+        delta
+    }
+
+    fn commit_delete_node(&mut self, graph: &DataGraph, id: NodeId, hint: RepairHint) -> AffDelta {
+        let sources = self.index.delete_node_candidates(id);
+        match self.active_mode(hint) {
+            Some(AccelMode::Compose) => {
+                let part = self.part.as_mut().expect("accelerator prepared");
+                // The partition still reflects the pre-delete graph, so the
+                // deleted node's former partition is queryable.
+                let former = part.partition().of(id).expect("deleting a live node");
+                part.note_delete_node(graph, id, former);
+                let mut delta = AffDelta::new();
+                self.row_scratch.resize(graph.slot_count(), INF);
+                for x in sources {
+                    part.compose_row(x, &mut self.row_scratch);
+                    self.index.apply_row(x, &self.row_scratch, &mut delta);
+                }
+                self.index.clear_slot(id, &mut delta);
+                delta
+            }
+            Some(AccelMode::ParallelBfs) => {
+                self.part_dirty = true;
+                let mut delta = AffDelta::new();
+                let rows = parallel_bfs_rows_csr(self.index.csr(graph), &sources, 0);
+                for (x, row) in rows {
+                    self.index.apply_row(x, &row, &mut delta);
+                }
+                self.index.clear_slot(id, &mut delta);
+                delta
+            }
+            None => {
+                self.part_dirty = true;
+                self.index.commit_delete_node(graph, id)
+            }
+        }
+    }
+
+    fn resident_rows(&self) -> usize {
+        self.index.matrix().n()
+    }
+
+    fn mem_bytes(&self) -> usize {
+        self.index.matrix().mem_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp::apsp_matrix;
+    use gpnm_graph::paper::fig1;
+    use gpnm_graph::{Bound, PatternGraphBuilder};
+
+    #[test]
+    fn requirements_of_fig1_pattern() {
+        let f = fig1();
+        let reqs = SlenRequirements::of_pattern(&f.pattern);
+        // PM, SE, S, TE — four labels; max bound in the pattern is 4.
+        assert_eq!(reqs.labels().len(), 4);
+        assert_eq!(reqs.depth(), 4);
+    }
+
+    #[test]
+    fn requirements_absorb_monotonically() {
+        let f = fig1();
+        let mut reqs = SlenRequirements::of_pattern(&f.pattern);
+        reqs.absorb_bound(Bound::Hops(2));
+        assert_eq!(reqs.depth(), 4, "smaller bounds never shrink depth");
+        reqs.absorb_bound(Bound::Hops(9));
+        assert_eq!(reqs.depth(), 9);
+        reqs.absorb_bound(Bound::Unbounded);
+        assert_eq!(reqs.depth(), INF);
+        let db = f.interner.get("DB").unwrap();
+        let before = reqs.labels().len();
+        reqs.absorb_label(db);
+        assert_eq!(reqs.labels().len(), before + 1);
+        reqs.absorb_label(db);
+        assert_eq!(reqs.labels().len(), before + 1, "labels dedupe");
+    }
+
+    #[test]
+    fn unbounded_pattern_requires_full_depth() {
+        let f = fig1();
+        let (p, _, _) = PatternGraphBuilder::new()
+            .node("PM", "PM")
+            .node("SE", "SE")
+            .edge_unbounded("PM", "SE")
+            .build_with_interner(f.interner.clone())
+            .unwrap();
+        assert_eq!(SlenRequirements::of_pattern(&p).depth(), INF);
+    }
+
+    #[test]
+    fn dense_backend_round_trips_through_the_trait() {
+        let mut f = fig1();
+        let reqs = SlenRequirements::of_pattern(&f.pattern);
+        let mut b = <IncrementalIndex as SlenBackend>::build(&f.graph, &reqs);
+        assert_eq!(b.kind(), "dense");
+        f.graph.add_edge(f.se1, f.te2).unwrap();
+        let delta =
+            SlenBackend::commit_insert_edge(&mut b, &f.graph, f.se1, f.te2, RepairHint::Baseline);
+        assert!(!delta.is_empty());
+        assert_eq!(b.matrix(), &apsp_matrix(&f.graph));
+        assert_eq!(b.resident_rows(), f.graph.slot_count());
+    }
+
+    #[test]
+    fn partitioned_backend_accelerated_commits_stay_exact() {
+        let mut f = fig1();
+        let reqs = SlenRequirements::of_pattern(&f.pattern);
+        let mut b = PartitionedBackend::build(&f.graph, &reqs);
+        b.prepare_accelerator(&f.graph);
+        f.graph.remove_edge(f.se1, f.se2).unwrap();
+        b.commit_delete_edge(&f.graph, f.se1, f.se2, RepairHint::Accelerated);
+        assert_eq!(b.matrix(), &apsp_matrix(&f.graph));
+        f.graph.remove_node(f.db1).unwrap();
+        b.commit_delete_node(&f.graph, f.db1, RepairHint::Accelerated);
+        assert_eq!(b.matrix(), &apsp_matrix(&f.graph));
+    }
+
+    #[test]
+    fn baseline_commit_dirties_the_partition() {
+        let mut f = fig1();
+        let reqs = SlenRequirements::of_pattern(&f.pattern);
+        let mut b = PartitionedBackend::build(&f.graph, &reqs);
+        b.prepare_accelerator(&f.graph);
+        assert!(!b.part_dirty);
+        f.graph.add_edge(f.se1, f.te2).unwrap();
+        b.commit_insert_edge(&f.graph, f.se1, f.te2, RepairHint::Baseline);
+        assert!(b.part_dirty, "bypassing note_* must dirty the partition");
+        // An accelerated commit on a dirty partition must fall back to the
+        // dense path rather than compose through stale intra matrices.
+        f.graph.remove_edge(f.se1, f.te2).unwrap();
+        b.commit_delete_edge(&f.graph, f.se1, f.te2, RepairHint::Accelerated);
+        assert_eq!(b.matrix(), &apsp_matrix(&f.graph));
+    }
+}

@@ -16,6 +16,29 @@
 //!   method: per-partition APSP (parallelized with `crossbeam`, the paper's
 //!   "processed distributively"), a bridge graph over inner/outer bridge
 //!   nodes, and exact cross-partition composition.
+//! * [`backend`] — the [`SlenBackend`] trait: the repairable-index
+//!   lifecycle (build, slot grow/tombstone, probe/commit deltas, bulk row
+//!   recompute) the GPNM engine is generic over, plus the requirement model
+//!   ([`SlenRequirements`]) that lets backends cover only the projection
+//!   the matcher observes.
+//! * [`SparseIndex`] — the bounded-row sparse backend: truncated BFS rows
+//!   for pattern-labeled sources only, `O(candidate rows × bounded ball)`
+//!   memory instead of `O(n²)` — the backend that unlocks 100k+-node
+//!   graphs.
+//!
+//! ## Choosing a backend
+//!
+//! * **dense** ([`IncrementalIndex`]) — exact for every pair, fastest point
+//!   lookups; `4n²` bytes, so it stops fitting around ~50k nodes. Use for
+//!   paper-scale experiments and workloads where every source matters.
+//! * **partitioned** ([`PartitionedBackend`]) — dense storage plus the §V
+//!   accelerator for deletion repair. Same memory envelope; wins on
+//!   update-heavy workloads with label locality (bridge-sparse graphs) or
+//!   many invalidated rows (pool-parallel fan-out).
+//! * **sparse** ([`SparseIndex`]) — memory proportional to candidate rows ×
+//!   nodes within the pattern's maximum finite bound. The only choice past
+//!   ~50k nodes; patterns with unbounded (`*`) edges fall back to full
+//!   (untruncated) rows for candidate sources.
 //!
 //! The infinity sentinel is [`INF`] (`u32::MAX`); all arithmetic goes
 //! through [`sat_add`] so infinity propagates instead of wrapping.
@@ -25,6 +48,7 @@
 
 mod aff;
 mod apsp;
+pub mod backend;
 mod dijkstra;
 mod hybrid;
 pub mod incremental;
@@ -33,12 +57,14 @@ mod matrix;
 mod oracle;
 mod partition;
 mod partitioned;
+mod sparse;
 
 pub use aff::AffDelta;
 pub use apsp::{
     apsp_matrix, bfs_row, bfs_row_skipping_edge, parallel_bfs_rows, parallel_bfs_rows_csr,
     parallel_bfs_rows_scoped,
 };
+pub use backend::{project_delta, PartitionedBackend, RepairHint, SlenBackend, SlenRequirements};
 pub use dijkstra::{dijkstra, dijkstra_multi, WeightedAdj};
 pub use hybrid::HybridMatrix;
 pub use incremental::IncrementalIndex;
@@ -47,6 +73,7 @@ pub use matrix::DistanceMatrix;
 pub use oracle::DistanceOracle;
 pub use partition::{Partition, PartitionId};
 pub use partitioned::{paper_literal, PartitionedIndex};
+pub use sparse::SparseIndex;
 
 /// Infinity: no path. `u32::MAX`, so every finite distance compares below.
 pub const INF: u32 = u32::MAX;

@@ -1,0 +1,309 @@
+//! Sparse-vs-dense backend equivalence, record for record.
+//!
+//! The sparse backend's contract is that its deltas and distances are the
+//! dense backend's *projected* onto `(resident sources) × (distances ≤
+//! depth)`, with everything beyond the truncation horizon reading as ∞.
+//! These property tests drive both backends through identical random
+//! graph/requirement/update triples and assert that projection exactly —
+//! same records, same order — for probes and commits of all four update
+//! kinds, plus full distance agreement after every commit. One block pins
+//! the unbounded-depth fallback (full rows, candidate sources only).
+
+use gpnm_distance::{
+    project_delta, AffDelta, IncrementalIndex, RepairHint, SlenBackend, SlenRequirements,
+    SparseIndex, INF,
+};
+use gpnm_graph::{Bound, DataGraph, Label, NodeId, PatternGraph};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+/// Raw generated case: graph shape, requirement knobs, update stream.
+type RawCase = (
+    usize,               // nodes
+    usize,               // labels
+    Vec<(u32, u32)>,     // edge endpoints (mod nodes)
+    u8,                  // label mask (which labels are "pattern" labels)
+    u8,                  // depth selector: 0 = unbounded, else Hops(sel)
+    Vec<(u8, u32, u32)>, // ops: (kind, a, b)
+);
+
+fn raw_case() -> impl PropStrategy<Value = RawCase> {
+    (4usize..16, 1usize..5).prop_flat_map(|(nodes, labels)| {
+        (
+            (nodes..nodes + 1),
+            (labels..labels + 1),
+            vec(((0u32..nodes as u32), (0u32..nodes as u32)), 0..40)
+                .prop_map(|pairs| pairs.into_iter().collect::<Vec<_>>()),
+            1u8..16,
+            0u8..5,
+            vec(((0u8..4), (0u32..4096), (0u32..4096)), 1..12),
+        )
+    })
+}
+
+fn build_graph(nodes: usize, labels: usize, edges: &[(u32, u32)]) -> (DataGraph, Vec<Label>) {
+    let label_ids: Vec<Label> = (0..labels as u32).map(Label).collect();
+    let mut g = DataGraph::new();
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|i| g.add_node(label_ids[i % labels]))
+        .collect();
+    for &(a, b) in edges {
+        let (u, v) = (ids[a as usize % nodes], ids[b as usize % nodes]);
+        if u != v {
+            let _ = g.add_edge(u, v);
+        }
+    }
+    (g, label_ids)
+}
+
+fn requirements(label_ids: &[Label], mask: u8, depth_sel: u8) -> SlenRequirements {
+    // Requirements are modeled through a throwaway pattern so the test
+    // exercises the same constructor the engine uses.
+    let mut pattern = PatternGraph::new();
+    let chosen: Vec<Label> = label_ids
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask & (1 << (i % 4)) != 0)
+        .map(|(_, &l)| l)
+        .collect();
+    let mut prev = None;
+    for &l in &chosen {
+        let node = pattern.add_node(l);
+        if let Some(p) = prev {
+            let bound = if depth_sel == 0 {
+                Bound::Unbounded
+            } else {
+                Bound::Hops(depth_sel as u32)
+            };
+            let _ = pattern.add_edge(p, node, bound);
+        }
+        prev = Some(node);
+    }
+    let mut reqs = SlenRequirements::of_pattern(&pattern);
+    if chosen.len() < 2 {
+        // Single-node patterns have no edges; force the depth knob anyway.
+        if depth_sel == 0 {
+            reqs.absorb_bound(Bound::Unbounded);
+        } else {
+            reqs.absorb_bound(Bound::Hops(depth_sel as u32));
+        }
+    }
+    reqs
+}
+
+/// The shared projection helper, bound to a pre-op residency mask.
+fn project(delta: &AffDelta, resident: &[bool], depth: u32) -> Vec<(NodeId, NodeId, u32, u32)> {
+    project_delta(delta, depth, |x| {
+        resident.get(x.index()).copied().unwrap_or(false)
+    })
+}
+
+/// Which slots are resident for `reqs` in the current graph.
+fn resident_mask(graph: &DataGraph, reqs: &SlenRequirements) -> Vec<bool> {
+    (0..graph.slot_count())
+        .map(|i| {
+            let id = NodeId::from_index(i);
+            graph.label(id).is_some_and(|l| reqs.labels().contains(&l))
+        })
+        .collect()
+}
+
+fn assert_distances_match(
+    graph: &DataGraph,
+    dense: &IncrementalIndex,
+    sparse: &SparseIndex,
+    resident: &[bool],
+    depth: u32,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    use gpnm_distance::DistanceOracle;
+    let n = graph.slot_count();
+    for (i, &is_resident) in resident.iter().enumerate().take(n) {
+        if !is_resident {
+            continue;
+        }
+        let x = NodeId::from_index(i);
+        for j in 0..n {
+            let y = NodeId::from_index(j);
+            let d = dense.distance(x, y);
+            let expected = if d <= depth { d } else { INF };
+            prop_assert_eq!(
+                sparse.distance(x, y),
+                expected,
+                "distance({:?},{:?}) diverged",
+                x,
+                y
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Drive one generated case through both backends, checking probes,
+/// commits and distances after every step.
+fn check_case(case: RawCase) -> Result<(), proptest::test_runner::TestCaseError> {
+    let (nodes, labels, edges, mask, depth_sel, ops) = case;
+    let (mut graph, label_ids) = build_graph(nodes, labels, &edges);
+    let reqs = requirements(&label_ids, mask, depth_sel);
+    let depth = reqs.depth();
+
+    let mut dense = <IncrementalIndex as SlenBackend>::build(&graph, &reqs);
+    let mut sparse = SparseIndex::build(&graph, &reqs);
+    {
+        let resident = resident_mask(&graph, &reqs);
+        assert_distances_match(&graph, &dense, &sparse, &resident, depth)?;
+    }
+
+    for (kind, a, b) in ops {
+        let resident = resident_mask(&graph, &reqs);
+        match kind {
+            // ---- insert edge ----
+            0 => {
+                let live: Vec<NodeId> = graph.nodes().collect();
+                if live.len() < 2 {
+                    continue;
+                }
+                let u = live[a as usize % live.len()];
+                let v = live[b as usize % live.len()];
+                if u == v || graph.has_edge(u, v) {
+                    continue;
+                }
+                let dp = dense.probe_insert_edge(u, v);
+                let sp = SlenBackend::probe_insert_edge(&mut sparse, &graph, u, v);
+                prop_assert_eq!(
+                    project(&dp, &resident, depth),
+                    sp.changed,
+                    "insert probe ({:?},{:?})",
+                    u,
+                    v
+                );
+                graph.add_edge(u, v).expect("checked");
+                let dc =
+                    SlenBackend::commit_insert_edge(&mut dense, &graph, u, v, RepairHint::Baseline);
+                let sc = SlenBackend::commit_insert_edge(
+                    &mut sparse,
+                    &graph,
+                    u,
+                    v,
+                    RepairHint::Baseline,
+                );
+                prop_assert_eq!(project(&dc, &resident, depth), sc.changed, "insert commit");
+            }
+            // ---- delete edge ----
+            1 => {
+                let all: Vec<(NodeId, NodeId)> = graph.edges().collect();
+                if all.is_empty() {
+                    continue;
+                }
+                let (u, v) = all[a as usize % all.len()];
+                let dp = dense.probe_delete_edge(&graph, u, v);
+                let sp = SlenBackend::probe_delete_edge(&mut sparse, &graph, u, v);
+                prop_assert_eq!(
+                    project(&dp, &resident, depth),
+                    sp.changed,
+                    "delete probe ({:?},{:?})",
+                    u,
+                    v
+                );
+                graph.remove_edge(u, v).expect("listed");
+                let dc =
+                    SlenBackend::commit_delete_edge(&mut dense, &graph, u, v, RepairHint::Baseline);
+                let sc = SlenBackend::commit_delete_edge(
+                    &mut sparse,
+                    &graph,
+                    u,
+                    v,
+                    RepairHint::Baseline,
+                );
+                prop_assert_eq!(project(&dc, &resident, depth), sc.changed, "delete commit");
+            }
+            // ---- insert node ----
+            2 => {
+                let label = label_ids[a as usize % label_ids.len()];
+                let id = graph.add_node(label);
+                let dc =
+                    SlenBackend::commit_insert_node(&mut dense, &graph, id, RepairHint::Baseline);
+                let sc =
+                    SlenBackend::commit_insert_node(&mut sparse, &graph, id, RepairHint::Baseline);
+                prop_assert!(dc.is_empty() && sc.is_empty(), "node insert deltas empty");
+            }
+            // ---- delete node ----
+            3 => {
+                let live: Vec<NodeId> = graph.nodes().collect();
+                if live.len() <= 2 {
+                    continue;
+                }
+                let id = live[a as usize % live.len()];
+                let dp = dense.probe_delete_node(&graph, id);
+                let sp = SlenBackend::probe_delete_node(&mut sparse, &graph, id);
+                prop_assert_eq!(
+                    project(&dp, &resident, depth),
+                    sp.changed,
+                    "node delete probe {:?}",
+                    id
+                );
+                graph.remove_node(id).expect("listed");
+                let dc =
+                    SlenBackend::commit_delete_node(&mut dense, &graph, id, RepairHint::Baseline);
+                let sc =
+                    SlenBackend::commit_delete_node(&mut sparse, &graph, id, RepairHint::Baseline);
+                prop_assert_eq!(
+                    project(&dc, &resident, depth),
+                    sc.changed,
+                    "node delete commit"
+                );
+            }
+            _ => unreachable!("kind range"),
+        }
+        let resident = resident_mask(&graph, &reqs);
+        assert_distances_match(&graph, &dense, &sparse, &resident, depth)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Finite bounds: the truncated-row regime.
+    #[test]
+    fn sparse_matches_dense_projection(case in raw_case()) {
+        // Redraw depth 0 (unbounded) into the finite lane; the unbounded
+        // fallback has its own block below.
+        let (nodes, labels, edges, mask, depth_sel, ops) = case;
+        let depth_sel = if depth_sel == 0 { 2 } else { depth_sel };
+        check_case((nodes, labels, edges, mask, depth_sel, ops))?;
+    }
+
+    /// Unbounded fallback: full (untruncated) rows, candidate sources only.
+    #[test]
+    fn sparse_matches_dense_with_unbounded_rows(case in raw_case()) {
+        let (nodes, labels, edges, mask, _, ops) = case;
+        check_case((nodes, labels, edges, mask, 0, ops))?;
+    }
+
+    /// Widening requirements mid-stream (deeper bound + new label) keeps
+    /// the projection exact — the path `subsequent_query` exercises when a
+    /// batch contains pattern inserts.
+    #[test]
+    fn sync_requirements_preserves_projection(
+        case in raw_case(),
+        extra_depth in 1u8..7,
+        widen_all in proptest::strategy::any::<bool>(),
+    ) {
+        let (nodes, labels, edges, mask, depth_sel, _) = case;
+        let depth_sel = if depth_sel == 0 { 1 } else { depth_sel };
+        let (graph, label_ids) = build_graph(nodes, labels, &edges);
+        let reqs = requirements(&label_ids, mask, depth_sel);
+        let dense = <IncrementalIndex as SlenBackend>::build(&graph, &reqs);
+        let mut sparse = SparseIndex::build(&graph, &reqs);
+
+        let mut wide = reqs.clone();
+        wide.absorb_bound(Bound::Hops(extra_depth as u32));
+        if widen_all {
+            for &l in &label_ids {
+                wide.absorb_label(l);
+            }
+        }
+        sparse.sync_requirements(&graph, &wide);
+        let resident = resident_mask(&graph, &wide);
+        assert_distances_match(&graph, &dense, &sparse, &resident, wide.depth())?;
+    }
+}

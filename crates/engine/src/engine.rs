@@ -1,10 +1,19 @@
-//! The GPNM engine: owns the graphs, the `SLen` index and the current
+//! The GPNM engine: owns the graphs, the `SLen` backend and the current
 //! result; answers initial and subsequent queries under any strategy.
+//!
+//! [`GpnmEngine`] is generic over the [`SlenBackend`] maintaining the
+//! distance index — the architectural seam behind backend selection
+//! (`dense` / `partitioned` / `sparse`, see [`crate::BackendKind`]). The
+//! default backend is [`PartitionedBackend`], which reproduces the paper's
+//! setup: a dense matrix with the §V partition accelerator behind
+//! `UA-GPNM`. [`gpnm_distance::SparseIndex`] trades exhaustive coverage
+//! for bounded-row storage and is what large-graph runs use.
 
 use std::time::Instant;
 
 use gpnm_distance::{
-    parallel_bfs_rows_csr, AffDelta, DistanceMatrix, IncrementalIndex, PartitionedIndex, INF,
+    AffDelta, DistanceMatrix, IncrementalIndex, PartitionedBackend, RepairHint, SlenBackend,
+    SlenRequirements, SparseIndex,
 };
 use gpnm_graph::{DataGraph, GraphError, NodeId, NodeSet, PatternGraph};
 use gpnm_matcher::{match_graph, repair, MatchResult, MatchSemantics, RepairPlan};
@@ -26,57 +35,92 @@ enum ElimScope {
     Full,
 }
 
-/// How `SLen` rows are recomputed after deletions.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum RepairMode {
-    /// Serial per-row BFS on the full graph (INC/EH/NoPar baselines).
-    Dense,
-    /// Compose rows from partition-local distances through the bridge
-    /// graph. Wins when label locality keeps the bridge universe small
-    /// (`|B| ≪ |ND|`); degenerates badly otherwise.
-    Compose,
-    /// The §V "processed distributively" reading: recompute the affected
-    /// rows with BFS fanned out across threads. Wins whenever a deletion
-    /// invalidates many rows, regardless of bridge density.
-    ParallelBfs,
-}
-
-/// A GPNM query engine over one data graph and one pattern graph.
+/// A GPNM query engine over one data graph and one pattern graph, generic
+/// over the `SLen` backend `B`.
 ///
-/// The engine keeps the `SLen` matrix exact across updates, so any number
-/// of subsequent queries can be chained; each [`GpnmEngine::subsequent_query`]
+/// The engine keeps the `SLen` index exact across updates (exact for the
+/// backend's covered projection — see [`SlenBackend`]), so any number of
+/// subsequent queries can be chained; each [`GpnmEngine::subsequent_query`]
 /// advances the graphs to their post-batch state.
 #[derive(Debug, Clone)]
-pub struct GpnmEngine {
+pub struct GpnmEngine<B: SlenBackend = PartitionedBackend> {
     graph: DataGraph,
     pattern: PatternGraph,
     semantics: MatchSemantics,
-    index: IncrementalIndex,
-    partitioned: Option<PartitionedIndex>,
-    partition_dirty: bool,
+    index: B,
     result: MatchResult,
     queried: bool,
-    row_scratch: Vec<u32>,
 }
 
-impl GpnmEngine {
-    /// Build an engine; the `SLen` index is constructed eagerly (per-source
-    /// BFS), the partition index lazily (see
-    /// [`GpnmEngine::prepare_partition`]).
+impl GpnmEngine<PartitionedBackend> {
+    /// Build an engine on the default (paper-faithful) backend: a dense
+    /// matrix constructed eagerly, the §V partition accelerator lazily
+    /// (see [`GpnmEngine::prepare_partition`]).
     pub fn new(graph: DataGraph, pattern: PatternGraph, semantics: MatchSemantics) -> Self {
-        let index = IncrementalIndex::build(&graph);
-        let n = graph.slot_count();
+        Self::with_backend(graph, pattern, semantics)
+    }
+
+    /// The current dense `SLen` matrix (always exact for the current
+    /// graph). Only dense-matrix backends expose this; generic code should
+    /// go through [`gpnm_distance::DistanceOracle`] instead.
+    pub fn slen(&self) -> &DistanceMatrix {
+        self.index.matrix()
+    }
+}
+
+impl GpnmEngine<IncrementalIndex> {
+    /// Build an engine on the plain dense backend (no §V accelerator:
+    /// `UA-GPNM` degenerates to `UA-GPNM-NoPar` repair behavior).
+    pub fn new_dense(graph: DataGraph, pattern: PatternGraph, semantics: MatchSemantics) -> Self {
+        Self::with_backend(graph, pattern, semantics)
+    }
+
+    /// The current dense `SLen` matrix.
+    pub fn slen(&self) -> &DistanceMatrix {
+        self.index.matrix()
+    }
+}
+
+impl GpnmEngine<SparseIndex> {
+    /// Build an engine on the sparse bounded-row backend: distance rows
+    /// are materialized only for nodes whose label occurs in `pattern`,
+    /// truncated at the pattern's maximum finite bound — the configuration
+    /// for graphs too large for an `n × n` matrix.
+    pub fn new_sparse(graph: DataGraph, pattern: PatternGraph, semantics: MatchSemantics) -> Self {
+        Self::with_backend(graph, pattern, semantics)
+    }
+}
+
+impl<B: SlenBackend> GpnmEngine<B> {
+    /// Build an engine whose backend type is chosen by the caller:
+    /// `GpnmEngine::<SparseIndex>::with_backend(..)`. The backend is
+    /// constructed from the pattern's [`SlenRequirements`].
+    pub fn with_backend(
+        graph: DataGraph,
+        pattern: PatternGraph,
+        semantics: MatchSemantics,
+    ) -> Self {
+        let reqs = SlenRequirements::of_pattern(&pattern);
+        let index = B::build(&graph, &reqs);
+        Self::from_backend(graph, pattern, semantics, index)
+    }
+
+    /// Wrap an already-built backend. The backend must be exact for
+    /// `graph` and cover `pattern`'s requirements.
+    pub fn from_backend(
+        graph: DataGraph,
+        pattern: PatternGraph,
+        semantics: MatchSemantics,
+        index: B,
+    ) -> Self {
         let result = MatchResult::for_pattern(&pattern);
         GpnmEngine {
             graph,
             pattern,
             semantics,
             index,
-            partitioned: None,
-            partition_dirty: true,
             result,
             queried: false,
-            row_scratch: vec![INF; n],
         }
     }
 
@@ -90,9 +134,9 @@ impl GpnmEngine {
         &self.pattern
     }
 
-    /// The current `SLen` matrix (always exact for the current graph).
-    pub fn slen(&self) -> &DistanceMatrix {
-        self.index.matrix()
+    /// The `SLen` backend.
+    pub fn backend(&self) -> &B {
+        &self.index
     }
 
     /// The active match semantics.
@@ -107,13 +151,11 @@ impl GpnmEngine {
         &self.result
     }
 
-    /// Build (or refresh) the §V partitioned index so a following
-    /// `UA-GPNM` query doesn't pay construction inside its timed path.
+    /// Ready the backend's repair accelerator (the §V partitioned index on
+    /// [`PartitionedBackend`]) so a following `UA-GPNM` query doesn't pay
+    /// construction inside its timed path. No-op on backends without one.
     pub fn prepare_partition(&mut self) {
-        if self.partition_dirty || self.partitioned.is_none() {
-            self.partitioned = Some(PartitionedIndex::build(&self.graph));
-            self.partition_dirty = false;
-        }
+        self.index.prepare_accelerator(&self.graph);
     }
 
     /// Compute `IQuery` — the batch GPNM of the current graphs.
@@ -144,35 +186,44 @@ impl GpnmEngine {
             self.initial_query();
         }
         let start = Instant::now();
+        // Widen the backend's coverage to everything this batch can ask
+        // for *before* any detection: DER-I probes a pattern insert's new
+        // bound against the pre-update index, so requirements must be the
+        // union of the standing pattern and every pending pattern insert.
+        // Scratch skips the pre-sync — its rebuild covers the widened
+        // requirements in the same single pass.
+        let t = Instant::now();
+        let mut reqs = SlenRequirements::of_pattern(&self.pattern);
+        for u in batch.updates() {
+            match u {
+                Update::Pattern(PatternUpdate::InsertEdge { bound, .. }) => {
+                    reqs.absorb_bound(*bound);
+                }
+                Update::Pattern(PatternUpdate::InsertNode { label }) => {
+                    reqs.absorb_label(*label);
+                }
+                _ => {}
+            }
+        }
+        if strategy != Strategy::Scratch {
+            self.index.sync_requirements(&self.graph, &reqs);
+        }
+        let sync_time = t.elapsed();
         let mut stats = match strategy {
-            Strategy::Scratch => self.run_scratch(batch),
+            Strategy::Scratch => self.run_scratch(batch, &reqs),
             Strategy::IncGpnm => self.run_inc(batch),
-            Strategy::EhGpnm => self.run_eliminative(batch, ElimScope::DataOnly, RepairMode::Dense),
+            Strategy::EhGpnm => {
+                self.run_eliminative(batch, ElimScope::DataOnly, RepairHint::Baseline)
+            }
             Strategy::UaGpnmNoPar => {
-                self.run_eliminative(batch, ElimScope::Full, RepairMode::Dense)
+                self.run_eliminative(batch, ElimScope::Full, RepairHint::Baseline)
             }
             Strategy::UaGpnm => {
-                self.prepare_partition();
-                // Adaptive §V realization: composing through bridge nodes
-                // only pays off when few nodes sit on cross-partition
-                // edges; on bridge-dense graphs the partition's win is the
-                // distributed (multi-threaded) row recomputation instead.
-                let bridges = self
-                    .partitioned
-                    .as_ref()
-                    .expect("partition prepared")
-                    .bridge_count();
-                let mode = if bridges * 8 <= self.graph.slot_count() {
-                    RepairMode::Compose
-                } else {
-                    RepairMode::ParallelBfs
-                };
-                self.run_eliminative(batch, ElimScope::Full, mode)
+                self.index.prepare_accelerator(&self.graph);
+                self.run_eliminative(batch, ElimScope::Full, RepairHint::Accelerated)
             }
         };
-        if strategy != Strategy::UaGpnm {
-            self.partition_dirty = true;
-        }
+        stats.slen_time += sync_time;
         stats.total_time = start.elapsed();
         Ok(stats)
     }
@@ -181,7 +232,7 @@ impl GpnmEngine {
     // Strategy: from scratch
     // ==================================================================
 
-    fn run_scratch(&mut self, batch: &UpdateBatch) -> ExecStats {
+    fn run_scratch(&mut self, batch: &UpdateBatch, reqs: &SlenRequirements) -> ExecStats {
         let mut stats = ExecStats {
             updates_submitted: batch.len(),
             updates_after_reduction: batch.len(),
@@ -191,8 +242,7 @@ impl GpnmEngine {
         batch
             .apply_all(&mut self.graph, &mut self.pattern)
             .expect("batch validated");
-        self.index = IncrementalIndex::build(&self.graph);
-        self.row_scratch.resize(self.graph.slot_count(), INF);
+        self.index.rebuild(&self.graph, reqs);
         stats.slen_time = t.elapsed();
         let t = Instant::now();
         self.result = match_graph(&self.pattern, &self.graph, &self.index, self.semantics);
@@ -236,7 +286,7 @@ impl GpnmEngine {
         for u in batch.updates() {
             let Update::Data(du) = u else { continue };
             let t = Instant::now();
-            let (delta, created) = self.commit_data(du, RepairMode::Dense);
+            let (delta, created) = self.commit_data(du, RepairHint::Baseline);
             stats.slen_time += t.elapsed();
             stats.slen_changes += delta.len();
             let t = Instant::now();
@@ -272,7 +322,7 @@ impl GpnmEngine {
         &mut self,
         batch: &UpdateBatch,
         scope: ElimScope,
-        mode: RepairMode,
+        hint: RepairHint,
     ) -> ExecStats {
         let mut stats = ExecStats {
             updates_submitted: batch.len(),
@@ -345,7 +395,7 @@ impl GpnmEngine {
         for u in reduced.updates() {
             let Update::Data(du) = u else { continue };
             let t = Instant::now();
-            let (delta, created) = self.commit_data(du, mode);
+            let (delta, created) = self.commit_data(du, hint);
             stats.slen_time += t.elapsed();
             stats.slen_changes += delta.len();
             let t = Instant::now();
@@ -537,107 +587,34 @@ impl GpnmEngine {
         }
     }
 
-    /// Apply one data update to the graph and repair `SLen`, routing row
-    /// recomputation per `mode`.
-    fn commit_data(&mut self, update: &DataUpdate, mode: RepairMode) -> (AffDelta, Option<NodeId>) {
+    /// Apply one data update to the graph and repair `SLen` through the
+    /// backend, forwarding the strategy's repair `hint`.
+    fn commit_data(&mut self, update: &DataUpdate, hint: RepairHint) -> (AffDelta, Option<NodeId>) {
         match *update {
             DataUpdate::InsertEdge { from, to } => {
                 self.graph.add_edge(from, to).expect("batch validated");
-                if mode == RepairMode::Compose {
-                    let part = self
-                        .partitioned
-                        .as_mut()
-                        .expect("partition prepared for UA-GPNM");
-                    part.note_insert_edge(&self.graph, from, to);
-                }
-                (self.index.commit_insert_edge(from, to), None)
+                (
+                    self.index.commit_insert_edge(&self.graph, from, to, hint),
+                    None,
+                )
             }
             DataUpdate::DeleteEdge { from, to } => {
-                let candidates = self.index.delete_candidates(from, to);
                 self.graph.remove_edge(from, to).expect("batch validated");
-                match mode {
-                    RepairMode::Compose => {
-                        let part = self
-                            .partitioned
-                            .as_mut()
-                            .expect("partition prepared for UA-GPNM");
-                        part.note_delete_edge(&self.graph, from, to);
-                        let mut delta = AffDelta::new();
-                        self.row_scratch.resize(self.graph.slot_count(), INF);
-                        for x in candidates {
-                            part.compose_row(x, &mut self.row_scratch);
-                            self.index.apply_row(x, &self.row_scratch, &mut delta);
-                        }
-                        (delta, None)
-                    }
-                    RepairMode::ParallelBfs => {
-                        let mut delta = AffDelta::new();
-                        // Bind the rows first: the CSR borrow of the index
-                        // must end before `apply_row` mutates it.
-                        let rows =
-                            parallel_bfs_rows_csr(self.index.csr(&self.graph), &candidates, 0);
-                        for (x, row) in rows {
-                            self.index.apply_row(x, &row, &mut delta);
-                        }
-                        (delta, None)
-                    }
-                    RepairMode::Dense => {
-                        (self.index.commit_delete_edge(&self.graph, from, to), None)
-                    }
-                }
+                (
+                    self.index.commit_delete_edge(&self.graph, from, to, hint),
+                    None,
+                )
             }
             DataUpdate::InsertNode { label } => {
                 let id = self.graph.add_node(label);
-                let delta = self.index.commit_insert_node(self.graph.slot_count());
-                self.row_scratch.resize(self.graph.slot_count(), INF);
-                if mode == RepairMode::Compose {
-                    let part = self
-                        .partitioned
-                        .as_mut()
-                        .expect("partition prepared for UA-GPNM");
-                    part.note_insert_node(&self.graph, id);
-                }
-                (delta, Some(id))
+                (
+                    self.index.commit_insert_node(&self.graph, id, hint),
+                    Some(id),
+                )
             }
             DataUpdate::DeleteNode { node } => {
-                let sources = self.index.delete_node_candidates(node);
-                match mode {
-                    RepairMode::Compose => {
-                        let part_ref = self
-                            .partitioned
-                            .as_ref()
-                            .expect("partition prepared for UA-GPNM");
-                        let former = part_ref.partition().of(node).expect("deleting a live node");
-                        self.graph.remove_node(node).expect("batch validated");
-                        let part = self
-                            .partitioned
-                            .as_mut()
-                            .expect("partition prepared for UA-GPNM");
-                        part.note_delete_node(&self.graph, node, former);
-                        let mut delta = AffDelta::new();
-                        self.row_scratch.resize(self.graph.slot_count(), INF);
-                        for x in sources {
-                            part.compose_row(x, &mut self.row_scratch);
-                            self.index.apply_row(x, &self.row_scratch, &mut delta);
-                        }
-                        self.index.clear_slot(node, &mut delta);
-                        (delta, None)
-                    }
-                    RepairMode::ParallelBfs => {
-                        self.graph.remove_node(node).expect("batch validated");
-                        let mut delta = AffDelta::new();
-                        let rows = parallel_bfs_rows_csr(self.index.csr(&self.graph), &sources, 0);
-                        for (x, row) in rows {
-                            self.index.apply_row(x, &row, &mut delta);
-                        }
-                        self.index.clear_slot(node, &mut delta);
-                        (delta, None)
-                    }
-                    RepairMode::Dense => {
-                        self.graph.remove_node(node).expect("batch validated");
-                        (self.index.commit_delete_node(&self.graph, node), None)
-                    }
-                }
+                self.graph.remove_node(node).expect("batch validated");
+                (self.index.commit_delete_node(&self.graph, node, hint), None)
             }
         }
     }

@@ -15,6 +15,11 @@
 //!
 //! Every strategy produces the *same* `SQuery` (asserted by the
 //! cross-method equivalence tests); they differ in how much work they do.
+//!
+//! Orthogonally, the engine is generic over the
+//! [`gpnm_distance::SlenBackend`] that maintains distances (see
+//! [`BackendKind`]): the dense matrix, the dense-plus-§V-partition default,
+//! or the bounded-row sparse index that scales past 100k nodes.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,5 +32,5 @@ mod topk;
 
 pub use engine::GpnmEngine;
 pub use stats::ExecStats;
-pub use strategy::Strategy;
+pub use strategy::{BackendKind, Strategy};
 pub use topk::{top_k_matches, RankedMatch};

@@ -1,0 +1,262 @@
+//! Cross-backend equivalence: every `SLen` backend must produce the same
+//! `SQuery` as the default (dense + partition) backend, on every strategy.
+//!
+//! This is the engine-level half of the sparse-backend proof (the
+//! distance-level half — record-for-record delta projection — lives in
+//! `crates/distance/tests/backend_equivalence.rs`): the sparse index only
+//! stores candidate rows truncated at the pattern's maximum finite bound,
+//! yet the match results must be bitwise identical to dense, because the
+//! matcher never looks outside that projection.
+
+use gpnm_distance::{IncrementalIndex, SparseIndex};
+use gpnm_engine::{GpnmEngine, Strategy};
+use gpnm_graph::{Bound, DataGraph, Label, LabelInterner, NodeId, PatternGraph};
+use gpnm_matcher::{MatchResult, MatchSemantics};
+use gpnm_updates::{DataUpdate, PatternUpdate, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+mod common;
+use common::{random_graph, random_pattern};
+
+/// Random valid batch against the current graphs. Pattern-edge inserts
+/// stay finite-bounded (the unbounded fallback has its own test).
+fn random_batch(
+    rng: &mut StdRng,
+    graph: &DataGraph,
+    pattern: &PatternGraph,
+    interner: &LabelInterner,
+    len: usize,
+) -> UpdateBatch {
+    let mut g = graph.clone();
+    let mut p = pattern.clone();
+    let mut batch = UpdateBatch::new();
+    for _ in 0..len {
+        let choice = rng.gen_range(0..100);
+        let live: Vec<NodeId> = g.nodes().collect();
+        if choice < 35 && live.len() >= 2 {
+            let u = live[rng.gen_range(0..live.len())];
+            let v = live[rng.gen_range(0..live.len())];
+            if u != v && g.add_edge(u, v).is_ok() {
+                batch.push(DataUpdate::InsertEdge { from: u, to: v });
+            }
+        } else if choice < 60 {
+            let edges: Vec<_> = g.edges().collect();
+            if !edges.is_empty() {
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                g.remove_edge(u, v).expect("edge just listed");
+                batch.push(DataUpdate::DeleteEdge { from: u, to: v });
+            }
+        } else if choice < 68 {
+            let l = Label(rng.gen_range(0..interner.len() as u32));
+            g.add_node(l);
+            batch.push(DataUpdate::InsertNode { label: l });
+        } else if choice < 76 && live.len() > 3 {
+            let v = live[rng.gen_range(0..live.len())];
+            g.remove_node(v).expect("node just listed");
+            batch.push(DataUpdate::DeleteNode { node: v });
+        } else if choice < 86 {
+            let pn: Vec<_> = p.nodes().collect();
+            if pn.len() >= 2 {
+                let a = pn[rng.gen_range(0..pn.len())];
+                let b = pn[rng.gen_range(0..pn.len())];
+                // Bounds beyond the seed pattern's 1..=3 force the sparse
+                // backend through its requirement-deepening path.
+                let bound = Bound::Hops(rng.gen_range(1..=5));
+                if a != b && p.add_edge(a, b, bound).is_ok() {
+                    batch.push(PatternUpdate::InsertEdge {
+                        from: a,
+                        to: b,
+                        bound,
+                    });
+                }
+            }
+        } else if choice < 94 {
+            let pe: Vec<_> = p.edges().collect();
+            if !pe.is_empty() {
+                let e = pe[rng.gen_range(0..pe.len())];
+                p.remove_edge(e.from, e.to).expect("edge just listed");
+                batch.push(PatternUpdate::DeleteEdge {
+                    from: e.from,
+                    to: e.to,
+                });
+            }
+        } else if choice < 97 {
+            // A fresh pattern label forces requirement *widening*.
+            let l = Label(rng.gen_range(0..interner.len() as u32));
+            p.add_node(l);
+            batch.push(PatternUpdate::InsertNode { label: l });
+        } else {
+            let pn: Vec<_> = p.nodes().collect();
+            if pn.len() > 2 {
+                let node = pn[rng.gen_range(0..pn.len())];
+                p.remove_node(node).expect("node just listed");
+                batch.push(PatternUpdate::DeleteNode { node });
+            }
+        }
+    }
+    batch
+}
+
+/// Reference result: the default backend, from scratch.
+fn dense_scratch(
+    graph: &DataGraph,
+    pattern: &PatternGraph,
+    batch: &UpdateBatch,
+    semantics: MatchSemantics,
+) -> MatchResult {
+    let mut reference = GpnmEngine::new(graph.clone(), pattern.clone(), semantics);
+    reference.initial_query();
+    reference
+        .subsequent_query(batch, Strategy::Scratch)
+        .expect("valid batch");
+    reference.result().clone()
+}
+
+fn assert_backends_agree(
+    graph: &DataGraph,
+    pattern: &PatternGraph,
+    batch: &UpdateBatch,
+    semantics: MatchSemantics,
+    seed_info: &str,
+) {
+    let expected = dense_scratch(graph, pattern, batch, semantics);
+
+    for strategy in [
+        Strategy::Scratch,
+        Strategy::IncGpnm,
+        Strategy::EhGpnm,
+        Strategy::UaGpnmNoPar,
+        Strategy::UaGpnm,
+    ] {
+        // Sparse backend — the headline equivalence.
+        let mut sparse =
+            GpnmEngine::<SparseIndex>::with_backend(graph.clone(), pattern.clone(), semantics);
+        sparse.initial_query();
+        sparse.subsequent_query(batch, strategy).expect("valid");
+        assert_eq!(
+            sparse.result(),
+            &expected,
+            "sparse backend under {strategy} disagrees with dense Scratch ({seed_info})"
+        );
+        // Plain dense backend — the trait plumbing itself.
+        let mut dense =
+            GpnmEngine::<IncrementalIndex>::with_backend(graph.clone(), pattern.clone(), semantics);
+        dense.initial_query();
+        dense.subsequent_query(batch, strategy).expect("valid");
+        assert_eq!(
+            dense.result(),
+            &expected,
+            "dense backend under {strategy} disagrees ({seed_info})"
+        );
+    }
+}
+
+#[test]
+fn randomized_backend_equivalence_simulation() {
+    let mut rng = StdRng::seed_from_u64(0x5AB5E);
+    for round in 0..25 {
+        let labels = rng.gen_range(2..6);
+        let nodes = rng.gen_range(8..40);
+        let edges = rng.gen_range(nodes / 2..nodes * 3);
+        let (graph, mut interner) = random_graph(&mut rng, nodes, edges, labels);
+        let pattern = random_pattern(&mut rng, &mut interner, labels);
+        let batch_len = rng.gen_range(1..12);
+        let batch = random_batch(&mut rng, &graph, &pattern, &interner, batch_len);
+        assert_backends_agree(
+            &graph,
+            &pattern,
+            &batch,
+            MatchSemantics::Simulation,
+            &format!("round {round}"),
+        );
+    }
+}
+
+#[test]
+fn randomized_backend_equivalence_dual() {
+    let mut rng = StdRng::seed_from_u64(0xD0A1);
+    for round in 0..25 {
+        let labels = rng.gen_range(2..6);
+        let nodes = rng.gen_range(8..40);
+        let edges = rng.gen_range(nodes / 2..nodes * 3);
+        let (graph, mut interner) = random_graph(&mut rng, nodes, edges, labels);
+        let pattern = random_pattern(&mut rng, &mut interner, labels);
+        let batch_len = rng.gen_range(1..12);
+        let batch = random_batch(&mut rng, &graph, &pattern, &interner, batch_len);
+        assert_backends_agree(
+            &graph,
+            &pattern,
+            &batch,
+            MatchSemantics::DualSimulation,
+            &format!("round {round}"),
+        );
+    }
+}
+
+#[test]
+fn unbounded_edge_falls_back_to_full_rows() {
+    // A pattern with a `*` edge forces depth = INF: sparse rows are
+    // untruncated (but still candidate-sources-only), and results must
+    // still match dense exactly.
+    let mut rng = StdRng::seed_from_u64(0xF0F0);
+    for round in 0..10 {
+        let labels = rng.gen_range(2..5);
+        let nodes = rng.gen_range(8..30);
+        let edges = rng.gen_range(nodes..nodes * 3);
+        let (graph, mut interner) = random_graph(&mut rng, nodes, edges, labels);
+        let mut pattern = random_pattern(&mut rng, &mut interner, labels);
+        // Rewire one random pattern edge as unbounded.
+        let pe: Vec<_> = pattern.edges().collect();
+        let e = pe[rng.gen_range(0..pe.len())];
+        pattern.remove_edge(e.from, e.to).expect("edge listed");
+        pattern
+            .add_edge(e.from, e.to, Bound::Unbounded)
+            .expect("re-insert");
+        let batch_len = rng.gen_range(1..8);
+        let batch = random_batch(&mut rng, &graph, &pattern, &interner, batch_len);
+        assert_backends_agree(
+            &graph,
+            &pattern,
+            &batch,
+            MatchSemantics::Simulation,
+            &format!("unbounded round {round}"),
+        );
+    }
+}
+
+#[test]
+fn chained_sparse_queries_stay_exact() {
+    // The long-running-engine story: requirements only widen, rows stay
+    // exact across many batches and strategy switches.
+    let mut rng = StdRng::seed_from_u64(77);
+    let (graph, mut interner) = random_graph(&mut rng, 25, 60, 4);
+    let pattern = random_pattern(&mut rng, &mut interner, 4);
+    let mut engine =
+        GpnmEngine::<SparseIndex>::with_backend(graph, pattern, MatchSemantics::Simulation);
+    engine.initial_query();
+    for round in 0..8 {
+        let batch_len = rng.gen_range(1..8);
+        let batch = random_batch(
+            &mut rng,
+            engine.graph(),
+            engine.pattern(),
+            &interner,
+            batch_len,
+        );
+        let strategy = [Strategy::UaGpnm, Strategy::EhGpnm, Strategy::IncGpnm][round % 3];
+        engine.subsequent_query(&batch, strategy).expect("valid");
+        // Compare against a fresh dense engine on the *current* state.
+        let mut dense = GpnmEngine::new(
+            engine.graph().clone(),
+            engine.pattern().clone(),
+            MatchSemantics::Simulation,
+        );
+        dense.initial_query();
+        assert_eq!(
+            engine.result(),
+            dense.result(),
+            "chained sparse round {round} with {strategy} diverged"
+        );
+    }
+}

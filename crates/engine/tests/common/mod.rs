@@ -1,0 +1,69 @@
+//! Shared random-generator helpers for the engine integration tests.
+//!
+//! `equivalence.rs` and `backend_equivalence.rs` fuzz over the same
+//! graph/pattern distributions; keeping the generators here means a
+//! validity fix (retry budgets, label interning) changes every suite's
+//! coverage together. Batch generators stay per-suite — their update
+//! mixes differ on purpose.
+
+use gpnm_graph::{Bound, DataGraph, Label, LabelInterner, NodeId, PatternGraph};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Random labeled digraph for equivalence fuzzing.
+pub fn random_graph(
+    rng: &mut StdRng,
+    nodes: usize,
+    edges: usize,
+    labels: usize,
+) -> (DataGraph, LabelInterner) {
+    let mut interner = LabelInterner::new();
+    let label_ids: Vec<Label> = (0..labels)
+        .map(|i| interner.intern(&format!("L{i}")))
+        .collect();
+    let mut g = DataGraph::new();
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|_| g.add_node(label_ids[rng.gen_range(0..labels)]))
+        .collect();
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < edges && attempts < edges * 20 {
+        attempts += 1;
+        let u = ids[rng.gen_range(0..nodes)];
+        let v = ids[rng.gen_range(0..nodes)];
+        if u != v && g.add_edge(u, v).is_ok() {
+            added += 1;
+        }
+    }
+    (g, interner)
+}
+
+/// Random small finite-bounded pattern over the same label alphabet.
+pub fn random_pattern(
+    rng: &mut StdRng,
+    interner: &mut LabelInterner,
+    labels: usize,
+) -> PatternGraph {
+    let n: usize = rng.gen_range(3..=5);
+    let mut p = PatternGraph::new();
+    let nodes: Vec<_> = (0..n)
+        .map(|_| {
+            let l = interner
+                .get(&format!("L{}", rng.gen_range(0..labels)))
+                .expect("label interned");
+            p.add_node(l)
+        })
+        .collect();
+    let edges = rng.gen_range(2..=n + 1);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < edges && attempts < 50 {
+        attempts += 1;
+        let a = nodes[rng.gen_range(0..n)];
+        let b = nodes[rng.gen_range(0..n)];
+        if a != b && p.add_edge(a, b, Bound::Hops(rng.gen_range(1..=3))).is_ok() {
+            added += 1;
+        }
+    }
+    p
+}

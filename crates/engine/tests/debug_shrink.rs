@@ -1,133 +1,125 @@
-//! Temporary debugging helper: replay the failing randomized round and
-//! shrink the batch to a minimal divergence. (Kept `#[ignore]`d once the
-//! underlying bug is fixed; run with `--ignored` to reuse.)
+//! Strategy-divergence property test — the retired manual shrinker.
+//!
+//! This file used to carry a hand-rolled greedy batch shrinker behind an
+//! `#[ignore]`d debugging test. The proptest shim now owns greedy
+//! shrinking (failing `Vec` inputs minimize themselves — see
+//! `shims/proptest/src/shrink.rs`), so what remains is a thin wrapper: a
+//! property test generating raw update-stream specs whose interpretation
+//! is always a valid batch, asserting every incremental strategy agrees
+//! with from-scratch recomputation. On failure, the reported counterexample
+//! arrives already minimized.
 
 use gpnm_engine::{GpnmEngine, Strategy};
 use gpnm_graph::{Bound, DataGraph, Label, LabelInterner, NodeId, PatternGraph};
 use gpnm_matcher::MatchSemantics;
-use gpnm_updates::{DataUpdate, PatternUpdate, Update, UpdateBatch};
+use gpnm_updates::{DataUpdate, PatternUpdate, UpdateBatch};
+use proptest::collection::vec;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn random_graph(
-    rng: &mut StdRng,
-    nodes: usize,
-    edges: usize,
-    labels: usize,
-) -> (DataGraph, LabelInterner) {
-    let mut interner = LabelInterner::new();
-    let label_ids: Vec<Label> = (0..labels)
-        .map(|i| interner.intern(&format!("L{i}")))
-        .collect();
-    let mut g = DataGraph::new();
-    let ids: Vec<NodeId> = (0..nodes)
-        .map(|_| g.add_node(label_ids[rng.gen_range(0..labels)]))
-        .collect();
-    let mut added = 0;
-    let mut attempts = 0;
-    while added < edges && attempts < edges * 20 {
-        attempts += 1;
-        let u = ids[rng.gen_range(0..nodes)];
-        let v = ids[rng.gen_range(0..nodes)];
-        if u != v && g.add_edge(u, v).is_ok() {
-            added += 1;
-        }
-    }
-    (g, interner)
+mod common;
+use common::{random_graph, random_pattern};
+
+/// Seeded base state: graph + pattern from the shared generators.
+fn base_state(seed: u64) -> (DataGraph, PatternGraph, LabelInterner) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: usize = rng.gen_range(2..6);
+    let nodes: usize = rng.gen_range(8..32);
+    let edges = rng.gen_range(nodes / 2..nodes * 3);
+    let (graph, mut interner) = random_graph(&mut rng, nodes, edges, labels);
+    let pattern = random_pattern(&mut rng, &mut interner, labels);
+    (graph, pattern, interner)
 }
 
-fn random_pattern(rng: &mut StdRng, interner: &mut LabelInterner, labels: usize) -> PatternGraph {
-    let n: usize = rng.gen_range(3..=5);
-    let mut p = PatternGraph::new();
-    let nodes: Vec<_> = (0..n)
-        .map(|_| {
-            let l = interner
-                .get(&format!("L{}", rng.gen_range(0..labels)))
-                .expect("label interned");
-            p.add_node(l)
-        })
-        .collect();
-    let edges = rng.gen_range(2..=n + 1);
-    let mut added = 0;
-    let mut attempts = 0;
-    while added < edges && attempts < 50 {
-        attempts += 1;
-        let a = nodes[rng.gen_range(0..n)];
-        let b = nodes[rng.gen_range(0..n)];
-        if a != b && p.add_edge(a, b, Bound::Hops(rng.gen_range(1..=3))).is_ok() {
-            added += 1;
-        }
-    }
-    p
-}
-
-fn random_batch(
-    rng: &mut StdRng,
+/// Interpret raw `(kind, a, b)` triples into a valid batch against the
+/// current graphs; out-of-range picks wrap, inapplicable ops drop out.
+/// Dropping any element of the spec still interprets to a valid batch,
+/// which is exactly what the shim's greedy shrinking relies on.
+fn realize(
     graph: &DataGraph,
     pattern: &PatternGraph,
     interner: &LabelInterner,
-    len: usize,
+    spec: &[(u8, u16, u16)],
 ) -> UpdateBatch {
     let mut g = graph.clone();
     let mut p = pattern.clone();
     let mut batch = UpdateBatch::new();
-    for _ in 0..len {
-        let choice = rng.gen_range(0..100);
-        let live: Vec<NodeId> = g.nodes().collect();
-        if choice < 40 && live.len() >= 2 {
-            let u = live[rng.gen_range(0..live.len())];
-            let v = live[rng.gen_range(0..live.len())];
-            if u != v && g.add_edge(u, v).is_ok() {
-                batch.push(DataUpdate::InsertEdge { from: u, to: v });
+    for &(kind, a, b) in spec {
+        let (a, b) = (a as usize, b as usize);
+        match kind % 8 {
+            0 => {
+                let live: Vec<NodeId> = g.nodes().collect();
+                if live.len() < 2 {
+                    continue;
+                }
+                let (u, v) = (live[a % live.len()], live[b % live.len()]);
+                if u != v && g.add_edge(u, v).is_ok() {
+                    batch.push(DataUpdate::InsertEdge { from: u, to: v });
+                }
             }
-        } else if choice < 65 {
-            let edges: Vec<_> = g.edges().collect();
-            if !edges.is_empty() {
-                let (u, v) = edges[rng.gen_range(0..edges.len())];
-                g.remove_edge(u, v).expect("edge just listed");
+            1 => {
+                let edges: Vec<_> = g.edges().collect();
+                if edges.is_empty() {
+                    continue;
+                }
+                let (u, v) = edges[a % edges.len()];
+                g.remove_edge(u, v).expect("listed");
                 batch.push(DataUpdate::DeleteEdge { from: u, to: v });
             }
-        } else if choice < 72 {
-            let l = Label(rng.gen_range(0..interner.len() as u32));
-            g.add_node(l);
-            batch.push(DataUpdate::InsertNode { label: l });
-        } else if choice < 78 && live.len() > 3 {
-            let v = live[rng.gen_range(0..live.len())];
-            g.remove_node(v).expect("node just listed");
-            batch.push(DataUpdate::DeleteNode { node: v });
-        } else if choice < 88 {
-            let pn: Vec<_> = p.nodes().collect();
-            if pn.len() >= 2 {
-                let a = pn[rng.gen_range(0..pn.len())];
-                let b = pn[rng.gen_range(0..pn.len())];
-                let bound = Bound::Hops(rng.gen_range(1..=4));
-                if a != b && p.add_edge(a, b, bound).is_ok() {
+            2 => {
+                let label = Label((a % interner.len()) as u32);
+                g.add_node(label);
+                batch.push(DataUpdate::InsertNode { label });
+            }
+            3 => {
+                let live: Vec<NodeId> = g.nodes().collect();
+                if live.len() <= 3 {
+                    continue;
+                }
+                let v = live[a % live.len()];
+                g.remove_node(v).expect("listed");
+                batch.push(DataUpdate::DeleteNode { node: v });
+            }
+            4 => {
+                let pn: Vec<_> = p.nodes().collect();
+                if pn.len() < 2 {
+                    continue;
+                }
+                let (x, y) = (pn[a % pn.len()], pn[b % pn.len()]);
+                let bound = Bound::Hops((b % 4) as u32 + 1);
+                if x != y && p.add_edge(x, y, bound).is_ok() {
                     batch.push(PatternUpdate::InsertEdge {
-                        from: a,
-                        to: b,
+                        from: x,
+                        to: y,
                         bound,
                     });
                 }
             }
-        } else if choice < 96 {
-            let pe: Vec<_> = p.edges().collect();
-            if !pe.is_empty() {
-                let e = pe[rng.gen_range(0..pe.len())];
-                p.remove_edge(e.from, e.to).expect("edge just listed");
+            5 => {
+                let pe: Vec<_> = p.edges().collect();
+                if pe.is_empty() {
+                    continue;
+                }
+                let e = pe[a % pe.len()];
+                p.remove_edge(e.from, e.to).expect("listed");
                 batch.push(PatternUpdate::DeleteEdge {
                     from: e.from,
                     to: e.to,
                 });
             }
-        } else if choice < 98 {
-            let l = Label(rng.gen_range(0..interner.len() as u32));
-            p.add_node(l);
-            batch.push(PatternUpdate::InsertNode { label: l });
-        } else {
-            let pn: Vec<_> = p.nodes().collect();
-            if pn.len() > 2 {
-                let node = pn[rng.gen_range(0..pn.len())];
-                p.remove_node(node).expect("node just listed");
+            6 => {
+                let label = Label((a % interner.len()) as u32);
+                p.add_node(label);
+                batch.push(PatternUpdate::InsertNode { label });
+            }
+            _ => {
+                let pn: Vec<_> = p.nodes().collect();
+                if pn.len() <= 2 {
+                    continue;
+                }
+                let node = pn[a % pn.len()];
+                p.remove_node(node).expect("listed");
                 batch.push(PatternUpdate::DeleteNode { node });
             }
         }
@@ -135,83 +127,38 @@ fn random_batch(
     batch
 }
 
-fn diverges(
-    graph: &DataGraph,
-    pattern: &PatternGraph,
-    batch: &UpdateBatch,
-    strategy: Strategy,
-) -> bool {
-    if batch.validate(graph, pattern).is_err() {
-        return false;
-    }
-    let mut reference = GpnmEngine::new(graph.clone(), pattern.clone(), MatchSemantics::Simulation);
-    reference.initial_query();
-    reference
-        .subsequent_query(batch, Strategy::Scratch)
-        .unwrap();
-    let expected = reference.result().clone();
-    let mut engine = GpnmEngine::new(graph.clone(), pattern.clone(), MatchSemantics::Simulation);
-    engine.initial_query();
-    engine.subsequent_query(batch, strategy).unwrap();
-    engine.result() != &expected
-}
+proptest! {
+    /// Every incremental strategy must agree with Scratch. A failing spec
+    /// shrinks itself to a minimal divergent update stream.
+    #[test]
+    fn strategies_never_diverge(
+        seed in proptest::strategy::any::<u64>(),
+        spec in vec(((0u8..8), (0u16..4096), (0u16..4096)), 1..12),
+    ) {
+        let (graph, pattern, interner) = base_state(seed);
+        let batch = realize(&graph, &pattern, &interner, &spec);
+        prop_assert!(batch.validate(&graph, &pattern).is_ok(), "realize produced an invalid batch");
 
-#[test]
-#[ignore = "debugging aid"]
-fn shrink_failing_round() {
-    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
-    for round in 0..30 {
-        let labels = rng.gen_range(2..6);
-        let nodes = rng.gen_range(8..40);
-        let edges = rng.gen_range(nodes / 2..nodes * 3);
-        let (graph, mut interner) = random_graph(&mut rng, nodes, edges, labels);
-        let pattern = random_pattern(&mut rng, &mut interner, labels);
-        let batch_len = rng.gen_range(1..12);
-        let batch = random_batch(&mut rng, &graph, &pattern, &interner, batch_len);
-        if !diverges(&graph, &pattern, &batch, Strategy::IncGpnm) {
-            continue;
-        }
-        println!("== round {round} diverges ==");
-        // Greedy shrink: drop updates while divergence persists.
-        let mut current: Vec<Update> = batch.updates().to_vec();
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for i in 0..current.len() {
-                let mut candidate = current.clone();
-                candidate.remove(i);
-                let cb = UpdateBatch::from_updates(candidate.clone());
-                if diverges(&graph, &pattern, &cb, Strategy::IncGpnm) {
-                    current = candidate;
-                    changed = true;
-                    break;
-                }
-            }
-        }
-        println!("pattern nodes:");
-        for u in pattern.nodes() {
-            println!("  {u:?} label {:?}", pattern.label(u));
-        }
-        println!("pattern edges:");
-        for e in pattern.edges() {
-            println!("  {:?} -> {:?} ({})", e.from, e.to, e.bound);
-        }
-        println!("minimal batch ({} updates):", current.len());
-        for u in &current {
-            println!("  {u:?}");
-        }
-        let cb = UpdateBatch::from_updates(current);
         let mut reference =
             GpnmEngine::new(graph.clone(), pattern.clone(), MatchSemantics::Simulation);
         reference.initial_query();
-        println!("IQuery: {:?}", reference.result());
-        reference.subsequent_query(&cb, Strategy::Scratch).unwrap();
-        println!("scratch: {:?}", reference.result());
-        let mut engine = GpnmEngine::new(graph, pattern, MatchSemantics::Simulation);
-        engine.initial_query();
-        engine.subsequent_query(&cb, Strategy::IncGpnm).unwrap();
-        println!("inc:     {:?}", engine.result());
-        panic!("divergence shrunk; see stdout");
+        reference
+            .subsequent_query(&batch, Strategy::Scratch)
+            .expect("valid batch");
+        let expected = reference.result().clone();
+
+        for strategy in [Strategy::IncGpnm, Strategy::EhGpnm, Strategy::UaGpnmNoPar, Strategy::UaGpnm] {
+            let mut engine =
+                GpnmEngine::new(graph.clone(), pattern.clone(), MatchSemantics::Simulation);
+            engine.initial_query();
+            engine.subsequent_query(&batch, strategy).expect("valid batch");
+            prop_assert_eq!(
+                engine.result(),
+                &expected,
+                "{} diverged from Scratch on {} updates",
+                strategy,
+                batch.len()
+            );
+        }
     }
-    println!("no divergence found");
 }

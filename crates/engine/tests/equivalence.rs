@@ -10,59 +10,8 @@ use gpnm_updates::{DataUpdate, PatternUpdate, UpdateBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Random labeled digraph for equivalence fuzzing.
-fn random_graph(
-    rng: &mut StdRng,
-    nodes: usize,
-    edges: usize,
-    labels: usize,
-) -> (DataGraph, LabelInterner) {
-    let mut interner = LabelInterner::new();
-    let label_ids: Vec<Label> = (0..labels)
-        .map(|i| interner.intern(&format!("L{i}")))
-        .collect();
-    let mut g = DataGraph::new();
-    let ids: Vec<NodeId> = (0..nodes)
-        .map(|_| g.add_node(label_ids[rng.gen_range(0..labels)]))
-        .collect();
-    let mut added = 0;
-    let mut attempts = 0;
-    while added < edges && attempts < edges * 20 {
-        attempts += 1;
-        let u = ids[rng.gen_range(0..nodes)];
-        let v = ids[rng.gen_range(0..nodes)];
-        if u != v && g.add_edge(u, v).is_ok() {
-            added += 1;
-        }
-    }
-    (g, interner)
-}
-
-/// Random small pattern over the same label alphabet.
-fn random_pattern(rng: &mut StdRng, interner: &mut LabelInterner, labels: usize) -> PatternGraph {
-    let n: usize = rng.gen_range(3..=5);
-    let mut p = PatternGraph::new();
-    let nodes: Vec<_> = (0..n)
-        .map(|_| {
-            let l = interner
-                .get(&format!("L{}", rng.gen_range(0..labels)))
-                .expect("label interned");
-            p.add_node(l)
-        })
-        .collect();
-    let edges = rng.gen_range(2..=n + 1);
-    let mut added = 0;
-    let mut attempts = 0;
-    while added < edges && attempts < 50 {
-        attempts += 1;
-        let a = nodes[rng.gen_range(0..n)];
-        let b = nodes[rng.gen_range(0..n)];
-        if a != b && p.add_edge(a, b, Bound::Hops(rng.gen_range(1..=3))).is_ok() {
-            added += 1;
-        }
-    }
-    p
-}
+mod common;
+use common::{random_graph, random_pattern};
 
 /// Random valid batch against the current graphs (applies to clones to
 /// track validity while generating).

@@ -1,11 +1,13 @@
 //! DER-II: affected nodes of data updates (paper Algorithm 2).
 //!
-//! The heavy lifting lives in [`gpnm_distance::IncrementalIndex`]; this
+//! The heavy lifting lives behind [`gpnm_distance::SlenBackend`]; this
 //! module adapts it to the update enum. Each probe evaluates one update
 //! against the *current* graph + `SLen` without mutating either, exactly
-//! as Example 8 derives Tables V–VII from Table III.
+//! as Example 8 derives Tables V–VII from Table III. Any backend works:
+//! the dense [`gpnm_distance::IncrementalIndex`] yields the paper's full
+//! `Aff_N` sets, the sparse backend their candidate-source projection.
 
-use gpnm_distance::{AffDelta, IncrementalIndex};
+use gpnm_distance::{AffDelta, SlenBackend};
 use gpnm_graph::DataGraph;
 
 use crate::update::DataUpdate;
@@ -15,9 +17,9 @@ use crate::update::DataUpdate;
 /// Returns `None` when the update is invalid against the current graph
 /// (missing endpoint, duplicate edge, …) — the caller decides whether to
 /// skip or error.
-pub fn affected_for(
+pub fn affected_for<B: SlenBackend>(
     graph: &DataGraph,
-    index: &mut IncrementalIndex,
+    index: &mut B,
     update: &DataUpdate,
 ) -> Option<AffDelta> {
     match *update {
@@ -25,13 +27,13 @@ pub fn affected_for(
             if !graph.contains(from) || !graph.contains(to) || graph.has_edge(from, to) {
                 return None;
             }
-            Some(index.probe_insert_edge(from, to))
+            Some(B::probe_insert_edge(index, graph, from, to))
         }
         DataUpdate::DeleteEdge { from, to } => {
             if !graph.has_edge(from, to) {
                 return None;
             }
-            Some(index.probe_delete_edge(graph, from, to))
+            Some(B::probe_delete_edge(index, graph, from, to))
         }
         // An isolated newcomer changes no distances (§IV-B analysis carries
         // over): empty delta.
@@ -40,7 +42,7 @@ pub fn affected_for(
             if !graph.contains(node) {
                 return None;
             }
-            Some(index.probe_delete_node(graph, node))
+            Some(B::probe_delete_node(index, graph, node))
         }
     }
 }
@@ -48,6 +50,7 @@ pub fn affected_for(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpnm_distance::IncrementalIndex;
     use gpnm_graph::paper::fig1;
     use gpnm_graph::NodeId;
 

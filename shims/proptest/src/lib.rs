@@ -8,10 +8,12 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case reports the generated inputs
-//!   verbatim (they are `Debug`-printed) instead of a minimized
-//!   counterexample. The workspace keeps its own shrinker for the hard
-//!   cases (`crates/engine/tests/debug_shrink.rs`).
+//! * **Greedy `Vec`-only shrinking.** A failing case is re-run with `Vec`
+//!   inputs greedily losing elements (see [`shrink`], including the
+//!   min-length caveat); the report shows both the minimized and the
+//!   original inputs. Non-`Vec` inputs are reported verbatim — unlike
+//!   real proptest's value-tree shrinking, scalars stay fixed. Inputs
+//!   must be `Clone` + `Debug`.
 //! * **Deterministic seeding.** Cases are generated from a fixed seed
 //!   stream; set `PROPTEST_SEED` to explore a different stream.
 //! * **`PROPTEST_CASES`** overrides the per-test case count. Unlike real
@@ -22,6 +24,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod collection;
+pub mod shrink;
 pub mod strategy;
 pub mod test_runner;
 
@@ -163,44 +166,129 @@ macro_rules! __proptest_fns {
             let config = $cfg;
             let cases = config.resolved_cases();
             let mut rng = $crate::rng::TestRng::for_test(stringify!($name));
+            // Each strategy expression is evaluated exactly once, into a
+            // tuple that both generates cases (the tuple Strategy impl
+            // draws components left to right, matching per-arg order) and
+            // anchors the body closure's parameter type via `bind_case`,
+            // so shrinking can replay the body with candidate inputs.
+            let strategies = ($($strat,)+);
+            let body = $crate::shrink::bind_case(
+                &strategies,
+                |args| -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    let ($($arg,)+) = args;
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
             for case in 0..cases {
-                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
-                let inputs = format!(
+                let ($($arg,)+) = $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let original = format!(
                     concat!($("\n  ", stringify!($arg), " = {:?}"),+),
                     $(&$arg),+
                 );
-                let outcome = ::std::panic::catch_unwind(
-                    ::std::panic::AssertUnwindSafe(move || -> ::std::result::Result<
-                        (),
-                        $crate::test_runner::TestCaseError,
-                    > {
-                        $body
-                        ::std::result::Result::Ok(())
-                    }),
+                let first_failure = $crate::shrink::run_case(
+                    || body(($(::std::clone::Clone::clone(&$arg),)+)),
                 );
-                match outcome {
-                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
-                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
-                        panic!(
-                            "proptest case {}/{} failed: {}\ninputs:{}",
-                            case + 1, cases, e, inputs
+                let ::std::option::Option::Some(mut message) = first_failure else {
+                    continue;
+                };
+                // Greedy shrink: Vec inputs lose elements while the
+                // failure persists; other inputs stay fixed (shrinking
+                // them could leave their strategy's range and fabricate
+                // artifact failures). Budgeted, panic-hook silenced.
+                $(
+                    #[allow(unused_mut)]
+                    let mut $arg = $arg;
+                )+
+                let mut budget: usize = 512;
+                {
+                    let _quiet = $crate::shrink::SilencedPanics::install();
+                    loop {
+                        let mut improved = false;
+                        $crate::__shrink_each!(
+                            (body, budget, message, improved)
+                            all($($arg),+)
+                            todo($($arg),+)
                         );
-                    }
-                    ::std::result::Result::Err(payload) => {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_owned())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "<non-string panic payload>".to_owned());
-                        panic!(
-                            "proptest case {}/{} panicked: {}\ninputs:{}",
-                            case + 1, cases, msg, inputs
-                        );
+                        if !improved || budget == 0 {
+                            break;
+                        }
                     }
                 }
+                panic!(
+                    "proptest case {}/{} failed: {}\nminimized inputs:{}\noriginal inputs:{}",
+                    case + 1,
+                    cases,
+                    message,
+                    format!(
+                        concat!($("\n  ", stringify!($arg), " = {:?}"),+),
+                        $(&$arg),+
+                    ),
+                    original
+                );
             }
         }
         $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
     };
     (@cfg($cfg:expr)) => {};
+}
+
+/// Internal: one greedy shrink sweep. Peels the `todo` list one input at a
+/// time; for the head input, repeatedly adopts the first candidate that
+/// still fails (re-running the body with all other inputs fixed), until no
+/// candidate fails or the budget runs out. Mutating `$head` in place works
+/// because it is also named in `all(..)`, so the next body call sees it.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __shrink_each {
+    (
+        ($body:ident, $budget:ident, $message:ident, $improved:ident)
+        all($($all:ident),+)
+        todo()
+    ) => {};
+    (
+        ($body:ident, $budget:ident, $message:ident, $improved:ident)
+        all($($all:ident),+)
+        todo($head:ident $(, $rest:ident)*)
+    ) => {
+        loop {
+            let candidates = {
+                #[allow(unused_imports)]
+                use $crate::shrink::{GreedyShrink, NoShrink};
+                (&$crate::shrink::ShrinkWrap(&$head)).shrink_candidates()
+            };
+            let mut adopted = false;
+            for candidate in candidates {
+                if $budget == 0 {
+                    break;
+                }
+                $budget -= 1;
+                let previous = ::std::mem::replace(&mut $head, candidate);
+                match $crate::shrink::run_case(
+                    || $body(($(::std::clone::Clone::clone(&$all),)+)),
+                ) {
+                    ::std::option::Option::Some(m) => {
+                        $message = m;
+                        adopted = true;
+                        $improved = true;
+                        break;
+                    }
+                    ::std::option::Option::None => {
+                        $head = previous;
+                    }
+                }
+            }
+            if !adopted {
+                break;
+            }
+        }
+        $crate::__shrink_each! {
+            ($body, $budget, $message, $improved)
+            all($($all),+)
+            todo($($rest),*)
+        }
+    };
 }

@@ -1,0 +1,189 @@
+//! Greedy input shrinking for failing cases.
+//!
+//! Real proptest shrinks through strategy value trees; this shim generates
+//! values directly, so it shrinks the *generated inputs* instead, with a
+//! deliberately narrow rule: only `Vec` inputs shrink, by dropping
+//! elements (first half, second half, then each single element), greedily
+//! re-running the case and keeping any candidate that still fails.
+//! Dropping elements from a `collection::vec` output keeps every
+//! *element* valid; the vector's *length* can shrink below the strategy's
+//! minimum, so a test body that requires a minimum length (e.g. indexes
+//! `v[2]` under `vec(.., 3..10)`) can see its shrink adopt an artifact
+//! out-of-range failure — write bodies to tolerate shorter vectors (all
+//! in-tree property tests interpret specs defensively). Scalars are left
+//! untouched entirely, because halving them could leave their strategy's
+//! range the same way with no defensive idiom available.
+//!
+//! This is exactly the greedy batch-shrinking the update-stream property
+//! tests need: their inputs are `Vec`s of update specs, and a failing
+//! 40-op stream typically minimizes to a handful of ops.
+//!
+//! The `Vec`-vs-everything-else dispatch uses autoref specialization (the
+//! `anyhow!`-style method-probe trick), so the `proptest!` macro can ask
+//! any input for candidates without naming its type.
+
+use crate::test_runner::TestCaseError;
+
+/// Borrow wrapper the shrink method probe dispatches on.
+pub struct ShrinkWrap<'a, T>(pub &'a T);
+
+/// Shrink rule for `Vec` inputs: candidate lists with elements dropped.
+/// Resolved at method-probe step 0 (`&ShrinkWrap<Vec<T>>` by value), so it
+/// wins over the [`NoShrink`] fallback.
+pub trait GreedyShrink<T> {
+    /// One round of smaller-but-maybe-still-failing candidates, most
+    /// aggressive first.
+    fn shrink_candidates(&self) -> Vec<T>;
+}
+
+impl<T: Clone> GreedyShrink<Vec<T>> for ShrinkWrap<'_, Vec<T>> {
+    fn shrink_candidates(&self) -> Vec<Vec<T>> {
+        let v = self.0;
+        let n = v.len();
+        let mut out = Vec::new();
+        if n > 1 {
+            out.push(v[n / 2..].to_vec()); // drop the first half
+            out.push(v[..n / 2].to_vec()); // drop the second half
+        }
+        for i in 0..n {
+            let mut candidate = v.clone();
+            candidate.remove(i);
+            out.push(candidate);
+        }
+        out
+    }
+}
+
+/// Fallback for non-`Vec` inputs: no candidates (the input stays fixed).
+/// Resolved one autoref later than [`GreedyShrink`], so it only applies
+/// when the specific impl doesn't.
+pub trait NoShrink<T> {
+    /// Always empty.
+    fn shrink_candidates(&self) -> Vec<T>;
+}
+
+impl<T> NoShrink<T> for &ShrinkWrap<'_, T> {
+    fn shrink_candidates(&self) -> Vec<T> {
+        Vec::new()
+    }
+}
+
+/// Pin a case closure's parameter to the value tuple of the strategy
+/// tuple it will be fed from, so the `proptest!` macro can define the
+/// re-runnable body *before* the first generated inputs exist (closure
+/// parameters used with method calls cannot wait for call-site inference).
+pub fn bind_case<S, F>(_strategies: &S, f: F) -> F
+where
+    S: crate::strategy::Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    f
+}
+
+/// Run one case attempt, normalizing assertion failures and panics into
+/// `Some(message)` (`None` = the case passed).
+pub fn run_case<F>(f: F) -> Option<String>
+where
+    F: FnOnce() -> Result<(), TestCaseError>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e.to_string()),
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_owned()),
+        ),
+    }
+}
+
+thread_local! {
+    /// Whether the *current thread* is inside a shrink phase.
+    static SHRINKING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install (once, permanently) a delegating panic hook that mutes panics
+/// only on threads currently shrinking. The previously registered hook —
+/// whatever it was — keeps handling every other thread's panics, so a
+/// concurrently failing unrelated test still prints its diagnostics, and
+/// no restore step can race with it.
+fn ensure_delegating_hook() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SHRINKING.with(std::cell::Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Guard that mutes panic-hook output for the current thread while
+/// shrinking re-runs an already-failing body (dozens of *expected* panics
+/// would otherwise spam backtraces). Muting is per-thread, so concurrent
+/// tests — shrinking or not — are unaffected. Dropping the guard
+/// un-mutes the thread; the delegating hook stays installed (it is
+/// transparent when no thread is shrinking).
+pub struct SilencedPanics {
+    _private: (),
+}
+
+impl SilencedPanics {
+    /// Mark this thread as shrinking.
+    pub fn install() -> Self {
+        ensure_delegating_hook();
+        SHRINKING.with(|s| s.set(true));
+        SilencedPanics { _private: () }
+    }
+}
+
+impl Drop for SilencedPanics {
+    fn drop(&mut self) {
+        SHRINKING.with(|s| s.set(false));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_candidates_cover_halves_and_singles() {
+        let v = vec![1, 2, 3, 4];
+        let wrap = ShrinkWrap(&v);
+        let cands = wrap.shrink_candidates();
+        assert!(cands.contains(&vec![3, 4]), "first half dropped");
+        assert!(cands.contains(&vec![1, 2]), "second half dropped");
+        assert!(cands.contains(&vec![2, 3, 4]), "single drops");
+        assert!(cands.contains(&vec![1, 2, 3]));
+        assert_eq!(cands.len(), 2 + 4);
+        let empty: Vec<u8> = Vec::new();
+        assert!(ShrinkWrap(&empty).shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn autoref_dispatch_separates_vec_from_scalar() {
+        use super::{GreedyShrink, NoShrink};
+        let v = vec![1u8, 2];
+        let vec_cands = ShrinkWrap(&v).shrink_candidates();
+        assert!(!vec_cands.is_empty());
+        let s = 17usize;
+        let scalar_cands: Vec<usize> = (&ShrinkWrap(&s)).shrink_candidates();
+        assert!(scalar_cands.is_empty(), "scalars never shrink");
+    }
+
+    #[test]
+    fn run_case_normalizes_outcomes() {
+        assert_eq!(run_case(|| Ok(())), None);
+        assert_eq!(
+            run_case(|| Err(TestCaseError::fail("boom"))),
+            Some("boom".to_owned())
+        );
+        let _quiet = SilencedPanics::install();
+        let msg = run_case(|| -> Result<(), TestCaseError> { panic!("kaput") });
+        assert_eq!(msg, Some("kaput".to_owned()));
+    }
+}

@@ -1,4 +1,5 @@
-//! The failure path: a false property must fail and report inputs.
+//! The failure path: a false property must fail, report inputs, and
+//! greedily minimize `Vec` inputs.
 
 use proptest::prelude::*;
 
@@ -17,5 +18,14 @@ proptest! {
     fn panicking_property_fails(n in 10usize..100) {
         let v = [0u8; 3];
         let _ = v[n]; // out of bounds -> panic, must be reported with inputs
+    }
+
+    /// Shrinking proof: the property fails whenever the vector contains a
+    /// 7. Greedy element-dropping must minimize any failing vector to
+    /// exactly `[7]`, which the expected panic message pins.
+    #[test]
+    #[should_panic(expected = "minimized inputs:\n  v = [7]")]
+    fn failing_vec_minimizes_to_single_culprit(v in proptest::collection::vec(0u8..10, 0..24)) {
+        prop_assert!(!v.contains(&7), "contains a 7: {:?}", v);
     }
 }

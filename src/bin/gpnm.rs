@@ -1,23 +1,35 @@
 //! `gpnm` — command-line GPNM over SNAP-style edge lists.
 //!
 //! ```text
-//! gpnm match  <edge-list> [--labels N] [--pattern-nodes N] [--seed S]
-//! gpnm bench  <edge-list> [--labels N] [--updates N] [--seed S]
+//! gpnm match  <edge-list> [--backend B] [--labels N] [--pattern-nodes N] [--seed S]
+//! gpnm bench  <edge-list> [--backend B] [--labels N] [--updates N] [--seed S]
+//! gpnm smoke  [--backend B] [--nodes N] [--edges M] [--labels N] [--updates N] [--seed S]
 //! gpnm demo
 //! ```
 //!
 //! `match` loads a whitespace edge list (labels assigned per DESIGN.md §5,
 //! since SNAP graphs are unlabeled), generates a random pattern and prints
 //! the match table. `bench` additionally generates an update batch and
-//! compares all four strategies. `demo` runs the paper's Figure 1 example.
+//! compares all four strategies. `smoke` generates a power-law social
+//! graph in-process (no file needed) and runs an initial + subsequent
+//! query — the large-graph CI entry point. `demo` runs the paper's
+//! Figure 1 example.
+//!
+//! `--backend {dense,partitioned,sparse}` selects the `SLen` backend. The
+//! dense backends materialize an `n × n` matrix; builds whose estimated
+//! matrix exceeds `--max-index-gb` (default 4 GiB) are refused with a
+//! pointer at `--backend sparse` instead of running into the OOM killer.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ua_gpnm::distance::{IncrementalIndex, PartitionedBackend, SlenBackend, SparseIndex};
+use ua_gpnm::engine::BackendKind;
 use ua_gpnm::matcher::render_match_table;
 use ua_gpnm::prelude::*;
 use ua_gpnm::workload::{
-    datasets::from_edge_list, generate_batch, generate_pattern, PatternConfig, UpdateProtocol,
+    datasets::from_edge_list, generate_batch, generate_pattern, generate_social_graph,
+    PatternConfig, SocialGraphConfig, UpdateProtocol,
 };
 
 struct Args {
@@ -25,32 +37,92 @@ struct Args {
     pattern_nodes: usize,
     updates: usize,
     seed: u64,
+    backend: BackendKind,
+    max_index_gb: f64,
+    nodes: usize,
+    edges: usize,
 }
 
-fn parse_flags(rest: &[String]) -> Result<Args, String> {
+/// Flag parsing differs per subcommand in two ways: the default backend
+/// (`smoke` defaults to 100k nodes, where only `sparse` fits the memory
+/// guard — a bare `gpnm smoke` must work out of the box), and whether the
+/// generator-shape flags `--nodes`/`--edges` are accepted at all
+/// (`match`/`bench` read their graph from an edge list; silently
+/// accepting a shape flag there would let users believe they subsampled).
+fn parse_flags(rest: &[String], default_backend: BackendKind, smoke: bool) -> Result<Args, String> {
     let mut args = Args {
         labels: 30,
         pattern_nodes: 6,
         updates: 40,
         seed: 7,
+        backend: default_backend,
+        max_index_gb: 4.0,
+        nodes: 100_000,
+        edges: 400_000,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
-        let mut take = |name: &str| -> Result<usize, String> {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))?
-                .parse::<usize>()
-                .map_err(|e| format!("{name}: {e}"))
+        let mut take_str = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
-            "--labels" => args.labels = take("--labels")?,
-            "--pattern-nodes" => args.pattern_nodes = take("--pattern-nodes")?,
-            "--updates" => args.updates = take("--updates")?,
-            "--seed" => args.seed = take("--seed")? as u64,
+            "--labels" => args.labels = parse_num(take_str("--labels")?, "--labels")?,
+            "--pattern-nodes" => {
+                args.pattern_nodes = parse_num(take_str("--pattern-nodes")?, "--pattern-nodes")?;
+            }
+            "--updates" => args.updates = parse_num(take_str("--updates")?, "--updates")?,
+            "--seed" => args.seed = parse_num(take_str("--seed")?, "--seed")? as u64,
+            "--nodes" | "--edges" if !smoke => {
+                return Err(format!(
+                    "{flag} only applies to `gpnm smoke` (match/bench take their \
+                     graph from the edge-list file)"
+                ));
+            }
+            "--nodes" => args.nodes = parse_num(take_str("--nodes")?, "--nodes")?,
+            "--edges" => args.edges = parse_num(take_str("--edges")?, "--edges")?,
+            "--backend" => args.backend = take_str("--backend")?.parse()?,
+            "--max-index-gb" => {
+                let v = take_str("--max-index-gb")?;
+                let parsed = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("--max-index-gb: {e}"))?;
+                // NaN would make the guard's `bytes > limit` comparison
+                // silently false — the exact OOM the guard exists to stop.
+                if !parsed.is_finite() || parsed <= 0.0 {
+                    return Err(format!(
+                        "--max-index-gb: expected a positive finite number, got {v}"
+                    ));
+                }
+                args.max_index_gb = parsed;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+fn parse_num(value: &str, name: &str) -> Result<usize, String> {
+    value.parse::<usize>().map_err(|e| format!("{name}: {e}"))
+}
+
+/// Refuse dense builds whose `n × n` matrix would blow the memory budget —
+/// a helpful error beats an OOM kill half an hour into APSP.
+fn guard_dense_build(backend: BackendKind, nodes: usize, max_index_gb: f64) -> Result<(), String> {
+    if !backend.is_dense() {
+        return Ok(());
+    }
+    let bytes = nodes as f64 * nodes as f64 * 4.0;
+    let limit = max_index_gb * (1u64 << 30) as f64;
+    if bytes > limit {
+        return Err(format!(
+            "refusing to build a dense SLen matrix for {nodes} nodes: \
+             {nodes}² × 4 B ≈ {:.1} GiB exceeds --max-index-gb {max_index_gb}. \
+             Use `--backend sparse` (bounded rows for pattern-labeled nodes only), \
+             or raise --max-index-gb if you really have the RAM.",
+            bytes / (1u64 << 30) as f64
+        ));
+    }
+    Ok(())
 }
 
 fn load(path: &str, args: &Args) -> Result<(DataGraph, LabelInterner), String> {
@@ -59,53 +131,56 @@ fn load(path: &str, args: &Args) -> Result<(DataGraph, LabelInterner), String> {
         .map_err(|e| format!("cannot load {}: {e}", path.display()))
 }
 
-fn cmd_match(path: &str, args: &Args) -> Result<(), String> {
-    let (graph, interner) = load(path, args)?;
-    eprintln!(
-        "loaded {} nodes / {} edges; building SLen index ...",
-        graph.node_count(),
-        graph.edge_count()
-    );
-    let pattern = generate_pattern(
+fn make_pattern(args: &Args, interner: &LabelInterner) -> PatternGraph {
+    generate_pattern(
         &PatternConfig {
             nodes: args.pattern_nodes,
             edges: args.pattern_nodes,
             bound_range: (1, 3),
             seed: args.seed,
         },
-        &interner,
+        interner,
+    )
+}
+
+fn run_match<B: SlenBackend>(
+    graph: DataGraph,
+    interner: &LabelInterner,
+    args: &Args,
+) -> Result<(), String> {
+    eprintln!(
+        "loaded {} nodes / {} edges; building {} SLen index ...",
+        graph.node_count(),
+        graph.edge_count(),
+        args.backend
     );
-    let mut engine = GpnmEngine::new(graph, pattern, MatchSemantics::Simulation);
+    let pattern = make_pattern(args, interner);
+    let mut engine = GpnmEngine::<B>::with_backend(graph, pattern, MatchSemantics::Simulation);
     engine.initial_query();
+    eprintln!(
+        "index: {} rows resident, ~{:.1} MiB",
+        engine.backend().resident_rows(),
+        engine.backend().mem_bytes() as f64 / (1u64 << 20) as f64
+    );
     println!(
         "{}",
-        render_match_table(engine.pattern(), engine.result(), &interner, |n| n
+        render_match_table(engine.pattern(), engine.result(), interner, |n| n
             .to_string())
     );
     Ok(())
 }
 
-fn cmd_bench(path: &str, args: &Args) -> Result<(), String> {
-    let (graph, interner) = load(path, args)?;
-    let pattern = generate_pattern(
-        &PatternConfig {
-            nodes: args.pattern_nodes,
-            edges: args.pattern_nodes,
-            bound_range: (1, 3),
-            seed: args.seed,
-        },
-        &interner,
-    );
-    let mut base = GpnmEngine::new(graph, pattern, MatchSemantics::Simulation);
+fn run_bench<B: SlenBackend + Clone>(
+    graph: DataGraph,
+    interner: &LabelInterner,
+    args: &Args,
+) -> Result<(), String> {
+    let pattern = make_pattern(args, interner);
+    let mut base = GpnmEngine::<B>::with_backend(graph, pattern, MatchSemantics::Simulation);
     base.initial_query();
     let protocol = UpdateProtocol::from_scale(args.pattern_nodes, args.updates);
-    let batch = generate_batch(
-        base.graph(),
-        base.pattern(),
-        &interner,
-        &protocol,
-        args.seed,
-    );
+    let batch = generate_batch(base.graph(), base.pattern(), interner, &protocol, args.seed);
+    println!("backend: {}", args.backend);
     println!("batch: {} updates", batch.len());
     println!(
         "{:<15} {:>14} {:>11} {:>8}",
@@ -130,6 +205,89 @@ fn cmd_bench(path: &str, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The large-graph end-to-end smoke: generate a power-law graph, answer
+/// `IQuery`, apply a generated batch, answer `SQuery` — printing the
+/// footprint numbers CI asserts on.
+fn run_smoke<B: SlenBackend>(args: &Args) -> Result<(), String> {
+    let t = std::time::Instant::now();
+    let (graph, interner) = generate_social_graph(&SocialGraphConfig {
+        nodes: args.nodes,
+        edges: args.edges,
+        labels: args.labels,
+        communities: args.labels,
+        seed: args.seed,
+        ..Default::default()
+    });
+    println!(
+        "generated {} nodes / {} edges in {:?}",
+        graph.node_count(),
+        graph.edge_count(),
+        t.elapsed()
+    );
+    let pattern = make_pattern(args, &interner);
+    let t = std::time::Instant::now();
+    let mut engine = GpnmEngine::<B>::with_backend(graph, pattern, MatchSemantics::Simulation);
+    let build_time = t.elapsed();
+    let t = std::time::Instant::now();
+    engine.initial_query();
+    println!(
+        "backend={} build={build_time:?} iquery={:?} matches={} resident_rows={} index_mib={:.1}",
+        args.backend,
+        t.elapsed(),
+        engine.result().total_matches(),
+        engine.backend().resident_rows(),
+        engine.backend().mem_bytes() as f64 / (1u64 << 20) as f64
+    );
+    let protocol = UpdateProtocol::from_scale(args.pattern_nodes, args.updates);
+    let batch = generate_batch(
+        engine.graph(),
+        engine.pattern(),
+        &interner,
+        &protocol,
+        args.seed,
+    );
+    let stats = engine
+        .subsequent_query(&batch, Strategy::UaGpnm)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "squery: {} — matches={} resident_rows={} index_mib={:.1}",
+        stats.summary(),
+        engine.result().total_matches(),
+        engine.backend().resident_rows(),
+        engine.backend().mem_bytes() as f64 / (1u64 << 20) as f64
+    );
+    Ok(())
+}
+
+fn cmd_match(path: &str, args: &Args) -> Result<(), String> {
+    let (graph, interner) = load(path, args)?;
+    guard_dense_build(args.backend, graph.slot_count(), args.max_index_gb)?;
+    match args.backend {
+        BackendKind::Dense => run_match::<IncrementalIndex>(graph, &interner, args),
+        BackendKind::Partitioned => run_match::<PartitionedBackend>(graph, &interner, args),
+        BackendKind::Sparse => run_match::<SparseIndex>(graph, &interner, args),
+    }
+}
+
+fn cmd_bench(path: &str, args: &Args) -> Result<(), String> {
+    let (graph, interner) = load(path, args)?;
+    guard_dense_build(args.backend, graph.slot_count(), args.max_index_gb)?;
+    match args.backend {
+        BackendKind::Dense => run_bench::<IncrementalIndex>(graph, &interner, args),
+        BackendKind::Partitioned => run_bench::<PartitionedBackend>(graph, &interner, args),
+        BackendKind::Sparse => run_bench::<SparseIndex>(graph, &interner, args),
+    }
+}
+
+fn cmd_smoke(args: &Args) -> Result<(), String> {
+    guard_dense_build(args.backend, args.nodes, args.max_index_gb)?;
+    match args.backend {
+        BackendKind::Dense => run_smoke::<IncrementalIndex>(args),
+        BackendKind::Partitioned => run_smoke::<PartitionedBackend>(args),
+        BackendKind::Sparse => run_smoke::<SparseIndex>(args),
+    }
+}
+
 fn cmd_demo() {
     let fig = ua_gpnm::graph::paper::fig1();
     let reverse: std::collections::HashMap<NodeId, String> =
@@ -151,17 +309,28 @@ fn main() -> ExitCode {
             cmd_demo();
             Ok(())
         }
-        Some((cmd, rest)) if cmd == "match" && !rest.is_empty() => match parse_flags(&rest[1..]) {
-            Ok(args) => cmd_match(&rest[0], &args),
-            Err(e) => Err(e),
-        },
-        Some((cmd, rest)) if cmd == "bench" && !rest.is_empty() => match parse_flags(&rest[1..]) {
-            Ok(args) => cmd_bench(&rest[0], &args),
+        Some((cmd, rest)) if cmd == "match" && !rest.is_empty() => {
+            match parse_flags(&rest[1..], BackendKind::Partitioned, false) {
+                Ok(args) => cmd_match(&rest[0], &args),
+                Err(e) => Err(e),
+            }
+        }
+        Some((cmd, rest)) if cmd == "bench" && !rest.is_empty() => {
+            match parse_flags(&rest[1..], BackendKind::Partitioned, false) {
+                Ok(args) => cmd_bench(&rest[0], &args),
+                Err(e) => Err(e),
+            }
+        }
+        Some((cmd, rest)) if cmd == "smoke" => match parse_flags(rest, BackendKind::Sparse, true) {
+            Ok(args) => cmd_smoke(&args),
             Err(e) => Err(e),
         },
         _ => Err(
-            "usage: gpnm demo | gpnm match <edge-list> [flags] | gpnm bench <edge-list> [flags]\n\
-             flags: --labels N --pattern-nodes N --updates N --seed S"
+            "usage: gpnm demo | gpnm match <edge-list> [flags] | gpnm bench <edge-list> [flags] \
+             | gpnm smoke [flags]\n\
+             flags: --backend dense|partitioned|sparse --max-index-gb G\n\
+             \x20      --labels N --pattern-nodes N --updates N --seed S\n\
+             \x20      --nodes N --edges M (smoke only)"
                 .to_owned(),
         ),
     };

@@ -65,7 +65,8 @@ pub use gpnm_workload as workload;
 
 /// Convenience re-exports covering the common API surface.
 pub mod prelude {
-    pub use gpnm_engine::{ExecStats, GpnmEngine, Strategy};
+    pub use gpnm_distance::{SlenBackend, SlenRequirements, SparseIndex};
+    pub use gpnm_engine::{BackendKind, ExecStats, GpnmEngine, Strategy};
     pub use gpnm_graph::{
         Bound, DataGraph, DataGraphBuilder, GraphError, Label, LabelInterner, NodeId, PatternGraph,
         PatternGraphBuilder, PatternNodeId,
