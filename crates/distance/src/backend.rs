@@ -57,6 +57,16 @@ pub struct SlenRequirements {
 }
 
 impl SlenRequirements {
+    /// The empty requirement set: no source labels, depth 0. The natural
+    /// starting point for a union that [`SlenRequirements::absorb`]s one
+    /// pattern at a time (the multi-pattern service's register path).
+    pub fn empty() -> Self {
+        SlenRequirements {
+            labels: Vec::new(),
+            depth: 0,
+        }
+    }
+
     /// Requirements of `pattern` as it stands.
     pub fn of_pattern(pattern: &PatternGraph) -> Self {
         let mut labels: Vec<Label> = pattern.nodes().filter_map(|u| pattern.label(u)).collect();
@@ -178,6 +188,13 @@ pub trait SlenBackend: DistanceOracle {
     /// Requirements only widen (extra coverage is harmless); dense
     /// backends no-op.
     fn sync_requirements(&mut self, _graph: &DataGraph, _reqs: &SlenRequirements) {}
+
+    /// Shrink (or re-target) coverage to exactly `reqs` — the
+    /// deregistration counterpart of [`SlenBackend::sync_requirements`].
+    /// After the call the backend must be exact for the `reqs` projection;
+    /// storage for anything outside it may be reclaimed. Dense backends
+    /// cover everything for free and no-op.
+    fn narrow_requirements(&mut self, _graph: &DataGraph, _reqs: &SlenRequirements) {}
 
     /// Ready whatever acceleration [`RepairHint::Accelerated`] commits
     /// will use (the §V partition build), outside the timed query path.

@@ -47,11 +47,13 @@
 #![warn(rust_2018_idioms)]
 
 mod aff;
+mod any;
 mod apsp;
 pub mod backend;
 mod dijkstra;
 mod hybrid;
 pub mod incremental;
+mod kind;
 mod label_range;
 mod matrix;
 mod oracle;
@@ -60,6 +62,7 @@ mod partitioned;
 mod sparse;
 
 pub use aff::AffDelta;
+pub use any::AnyBackend;
 pub use apsp::{
     apsp_matrix, bfs_row, bfs_row_skipping_edge, parallel_bfs_rows, parallel_bfs_rows_csr,
     parallel_bfs_rows_scoped,
@@ -68,6 +71,7 @@ pub use backend::{project_delta, PartitionedBackend, RepairHint, SlenBackend, Sl
 pub use dijkstra::{dijkstra, dijkstra_multi, WeightedAdj};
 pub use hybrid::HybridMatrix;
 pub use incremental::IncrementalIndex;
+pub use kind::BackendKind;
 pub use label_range::{LabelRangeIndex, RangeVerdict};
 pub use matrix::DistanceMatrix;
 pub use oracle::DistanceOracle;

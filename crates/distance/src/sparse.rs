@@ -536,6 +536,69 @@ impl SlenBackend for SparseIndex {
         }
     }
 
+    fn narrow_requirements(&mut self, graph: &DataGraph, reqs: &SlenRequirements) {
+        self.ensure_slots(graph);
+        if self.reqs == *reqs {
+            return;
+        }
+        let deeper = reqs.depth() > self.reqs.depth();
+        let shallower = reqs.depth() < self.reqs.depth();
+        self.reqs = reqs.clone();
+        let depth = self.reqs.depth();
+        let Self {
+            reqs,
+            rows,
+            snapshot,
+            dist_buf,
+            queue_buf,
+            ..
+        } = self;
+        let required =
+            |label: Option<Label>| label.is_some_and(|l| reqs.labels().binary_search(&l).is_ok());
+        // Drop rows whose source label left the requirement set. A shrunken
+        // horizon needs no BFS: a depth-B truncated row is exactly the full
+        // row filtered to `d ≤ B`, so retaining the near entries of a
+        // deeper row *is* the shallower row.
+        for (i, slot) in rows.iter_mut().enumerate() {
+            let Some(row) = slot.as_mut() else { continue };
+            if !required(graph.label(NodeId::from_index(i))) {
+                *slot = None;
+            } else if shallower {
+                row.entries.retain(|&(_, d)| d <= depth);
+            }
+        }
+        // A deeper horizon (or a label the old set lacked) needs fresh BFS.
+        let mut todo: Vec<NodeId> = Vec::new();
+        if deeper {
+            todo.extend(
+                rows.iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.is_some())
+                    .map(|(i, _)| NodeId::from_index(i)),
+            );
+        }
+        for &label in reqs.labels() {
+            for &x in graph.nodes_with_label(label) {
+                if rows[x.index()].is_none() {
+                    todo.push(x);
+                }
+            }
+        }
+        if !todo.is_empty() {
+            let csr = snapshot.get(graph);
+            for x in todo {
+                rows[x.index()] = Some(bfs_truncated(
+                    csr,
+                    x,
+                    depth,
+                    Skip::Nothing,
+                    dist_buf,
+                    queue_buf,
+                ));
+            }
+        }
+    }
+
     fn probe_insert_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
         debug_assert!(!graph.has_edge(u, v), "probe_insert_edge on present edge");
         self.insert_edge_delta(graph, u, v, false)
@@ -718,6 +781,50 @@ mod tests {
         s.sync_requirements(&f.graph, &narrow);
         assert_eq!(s.resident_rows(), 8);
         assert_eq!(s.depth(), 6);
+    }
+
+    #[test]
+    fn narrow_requirements_matches_a_fresh_build() {
+        let (f, mut s) = fig1_sparse();
+        // Widen first: DB becomes a source label, the horizon deepens to 6.
+        let mut wide = SlenRequirements::of_pattern(&f.pattern);
+        wide.absorb_label(f.interner.get("DB").unwrap());
+        wide.absorb_bound(gpnm_graph::Bound::Hops(6));
+        s.sync_requirements(&f.graph, &wide);
+        assert_eq!(s.resident_rows(), 8);
+        assert_eq!(s.depth(), 6);
+        // Narrow back to the bare pattern: rows drop, entries re-truncate,
+        // and the result is indistinguishable from building fresh.
+        let narrow = SlenRequirements::of_pattern(&f.pattern);
+        s.narrow_requirements(&f.graph, &narrow);
+        let fresh = SparseIndex::build(&f.graph, &narrow);
+        assert_eq!(s.resident_rows(), fresh.resident_rows());
+        assert_eq!(s.depth(), fresh.depth());
+        assert_eq!(s.entry_count(), fresh.entry_count());
+        let n = f.graph.slot_count();
+        for i in 0..n {
+            for j in 0..n {
+                let (x, y) = (NodeId::from_index(i), NodeId::from_index(j));
+                assert_eq!(s.distance(x, y), fresh.distance(x, y), "d({x:?},{y:?})");
+            }
+        }
+        assert_projection(&s, &f.graph, &apsp_matrix(&f.graph));
+    }
+
+    #[test]
+    fn narrow_requirements_can_widen_too() {
+        // "Narrow" re-targets: a requirement set that is wider on one axis
+        // and absent on another still lands exactly.
+        let (f, mut s) = fig1_sparse();
+        let mut only_db = SlenRequirements::empty();
+        only_db.absorb_label(f.interner.get("DB").unwrap());
+        only_db.absorb_bound(gpnm_graph::Bound::Hops(6));
+        s.narrow_requirements(&f.graph, &only_db);
+        assert_eq!(s.resident_rows(), 1, "only DB1's row survives");
+        assert_eq!(s.depth(), 6);
+        let fresh = SparseIndex::build(&f.graph, &only_db);
+        assert_eq!(s.entry_count(), fresh.entry_count());
+        assert_eq!(s.distance(f.db1, f.se2), fresh.distance(f.db1, f.se2));
     }
 
     #[test]

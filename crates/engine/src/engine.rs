@@ -12,16 +12,18 @@
 use std::time::Instant;
 
 use gpnm_distance::{
-    AffDelta, DistanceMatrix, IncrementalIndex, PartitionedBackend, RepairHint, SlenBackend,
-    SlenRequirements, SparseIndex,
+    AffDelta, AnyBackend, BackendKind, DistanceMatrix, IncrementalIndex, PartitionedBackend,
+    RepairHint, SlenBackend, SlenRequirements, SparseIndex,
 };
-use gpnm_graph::{DataGraph, GraphError, NodeId, NodeSet, PatternGraph};
+use gpnm_graph::{DataGraph, NodeId, NodeSet, PatternGraph};
 use gpnm_matcher::{match_graph, repair, MatchResult, MatchSemantics, RepairPlan};
 use gpnm_updates::{
     candidates_for, cross_eliminates, reduce_batch, Candidates, DataUpdate, EhTree,
     EliminationGraph, PatternUpdate, Update, UpdateBatch, UpdateEffect,
 };
 
+use crate::error::EngineError;
+use crate::pipeline;
 use crate::plan_builder::{plan_for_data_update, plan_for_pattern_update};
 use crate::stats::ExecStats;
 use crate::strategy::Strategy;
@@ -71,6 +73,11 @@ impl GpnmEngine<PartitionedBackend> {
 impl GpnmEngine<IncrementalIndex> {
     /// Build an engine on the plain dense backend (no §V accelerator:
     /// `UA-GPNM` degenerates to `UA-GPNM-NoPar` repair behavior).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `GpnmEngine::with_backend_kind(BackendKind::Dense, ..)` or \
+                `GpnmEngine::<IncrementalIndex>::with_backend(..)`"
+    )]
     pub fn new_dense(graph: DataGraph, pattern: PatternGraph, semantics: MatchSemantics) -> Self {
         Self::with_backend(graph, pattern, semantics)
     }
@@ -86,8 +93,30 @@ impl GpnmEngine<SparseIndex> {
     /// are materialized only for nodes whose label occurs in `pattern`,
     /// truncated at the pattern's maximum finite bound — the configuration
     /// for graphs too large for an `n × n` matrix.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `GpnmEngine::with_backend_kind(BackendKind::Sparse, ..)` or \
+                `GpnmEngine::<SparseIndex>::with_backend(..)`"
+    )]
     pub fn new_sparse(graph: DataGraph, pattern: PatternGraph, semantics: MatchSemantics) -> Self {
         Self::with_backend(graph, pattern, semantics)
+    }
+}
+
+impl GpnmEngine<AnyBackend> {
+    /// Build an engine whose backend is chosen at runtime by `kind` — the
+    /// one constructor behind every `--backend`-style configuration knob.
+    /// Statically-typed callers keep [`GpnmEngine::with_backend`]; this
+    /// replaces the deprecated `new_dense`/`new_sparse` constructor zoo.
+    pub fn with_backend_kind(
+        kind: BackendKind,
+        graph: DataGraph,
+        pattern: PatternGraph,
+        semantics: MatchSemantics,
+    ) -> Self {
+        let reqs = SlenRequirements::of_pattern(&pattern);
+        let index = AnyBackend::of_kind(kind, &graph, &reqs);
+        Self::from_backend(graph, pattern, semantics, index)
     }
 }
 
@@ -175,12 +204,12 @@ impl<B: SlenBackend> GpnmEngine<B> {
     ///
     /// On success the engine's graphs, `SLen` and result reflect the
     /// post-batch state. An invalid batch (duplicate edge, missing node,
-    /// …) fails *before* any mutation.
+    /// …) fails *before* any mutation, as a typed [`EngineError`].
     pub fn subsequent_query(
         &mut self,
         batch: &UpdateBatch,
         strategy: Strategy,
-    ) -> Result<ExecStats, GraphError> {
+    ) -> Result<ExecStats, EngineError> {
         batch.validate(&self.graph, &self.pattern)?;
         if !self.queried {
             self.initial_query();
@@ -525,41 +554,15 @@ impl<B: SlenBackend> GpnmEngine<B> {
             }
         }
 
-        let mut first = true;
-        for plan in survivor_plans {
-            let mut call_plan = RepairPlan {
-                verify: plan.verify.clone(),
-                addition_sources: Vec::new(),
-            };
-            if first {
-                call_plan
-                    .addition_sources
-                    .clone_from(&all_additions.addition_sources);
-                first = false;
-            }
-            repair(
-                &self.pattern,
-                &self.graph,
-                &self.index,
-                self.semantics,
-                &mut self.result,
-                &call_plan,
-            );
-            stats.repair_calls += 1;
-        }
-        if first && !all_additions.addition_sources.is_empty() {
-            // No survivors (empty reduced batch) but additions pending —
-            // cannot happen with a non-empty tree, guarded for safety.
-            repair(
-                &self.pattern,
-                &self.graph,
-                &self.index,
-                self.semantics,
-                &mut self.result,
-                &all_additions,
-            );
-            stats.repair_calls += 1;
-        }
+        stats.repair_calls += pipeline::run_survivor_repairs(
+            &self.pattern,
+            &self.graph,
+            &self.index,
+            self.semantics,
+            &mut self.result,
+            &survivor_plans,
+            &all_additions,
+        );
         stats.repair_time = t.elapsed();
         stats
     }
@@ -588,34 +591,13 @@ impl<B: SlenBackend> GpnmEngine<B> {
     }
 
     /// Apply one data update to the graph and repair `SLen` through the
-    /// backend, forwarding the strategy's repair `hint`.
+    /// backend, forwarding the strategy's repair `hint`. Delegates to the
+    /// shared [`pipeline::commit_data_update`] step; the batch was
+    /// validated up front, so failure here is a bug.
     fn commit_data(&mut self, update: &DataUpdate, hint: RepairHint) -> (AffDelta, Option<NodeId>) {
-        match *update {
-            DataUpdate::InsertEdge { from, to } => {
-                self.graph.add_edge(from, to).expect("batch validated");
-                (
-                    self.index.commit_insert_edge(&self.graph, from, to, hint),
-                    None,
-                )
-            }
-            DataUpdate::DeleteEdge { from, to } => {
-                self.graph.remove_edge(from, to).expect("batch validated");
-                (
-                    self.index.commit_delete_edge(&self.graph, from, to, hint),
-                    None,
-                )
-            }
-            DataUpdate::InsertNode { label } => {
-                let id = self.graph.add_node(label);
-                (
-                    self.index.commit_insert_node(&self.graph, id, hint),
-                    Some(id),
-                )
-            }
-            DataUpdate::DeleteNode { node } => {
-                self.graph.remove_node(node).expect("batch validated");
-                (self.index.commit_delete_node(&self.graph, node, hint), None)
-            }
-        }
+        let committed =
+            pipeline::commit_data_update(&mut self.graph, &mut self.index, update, hint)
+                .expect("batch validated");
+        (committed.delta, committed.created)
     }
 }

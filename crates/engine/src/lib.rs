@@ -8,8 +8,8 @@
 //! | strategy | reduction | eliminations | SLen repair | repair calls |
 //! |---|---|---|---|---|
 //! | `Scratch` | — | — | full rebuild | 1 (full match) |
-//! | `IncGpnm` [13] | none | none | dense per update | one per update |
-//! | `EhGpnm` [14] | data side | Type II only | dense per update | pattern updates + surviving data updates |
+//! | `IncGpnm` \[13\] | none | none | dense per update | one per update |
+//! | `EhGpnm` \[14\] | data side | Type II only | dense per update | pattern updates + surviving data updates |
 //! | `UaGpnmNoPar` | full | Types I+II+III, EH-Tree | dense per update | surviving updates |
 //! | `UaGpnm` (this paper) | full | Types I+II+III, EH-Tree | partitioned per update | surviving updates |
 //!
@@ -25,12 +25,18 @@
 #![warn(rust_2018_idioms)]
 
 mod engine;
+mod error;
+pub mod pipeline;
 mod plan_builder;
 mod stats;
 mod strategy;
 mod topk;
 
 pub use engine::GpnmEngine;
+pub use error::EngineError;
+// `BackendKind` moved to `gpnm-distance` (runtime selection lives next to
+// the backends themselves); re-exported here so existing imports hold.
+pub use gpnm_distance::BackendKind;
 pub use stats::ExecStats;
-pub use strategy::{BackendKind, Strategy};
+pub use strategy::Strategy;
 pub use topk::{top_k_matches, RankedMatch};

@@ -1,11 +1,11 @@
-//! Strategy and backend selection for subsequent queries.
+//! Strategy selection for subsequent queries.
 //!
 //! Two independent axes configure a run: the [`Strategy`] (which
-//! elimination analysis answers `SQuery`) and the [`BackendKind`] (which
-//! `SLen` backend maintains distances underneath — see
-//! [`gpnm_distance::backend`] for the trait and the per-backend
-//! trade-offs). Every strategy runs on every backend and produces the same
-//! match results; they differ in time and memory.
+//! elimination analysis answers `SQuery`) and the
+//! [`gpnm_distance::BackendKind`] (which `SLen` backend maintains distances
+//! underneath — see [`gpnm_distance::backend`] for the trait and the
+//! per-backend trade-offs). Every strategy runs on every backend and
+//! produces the same match results; they differ in time and memory.
 
 /// Which algorithm answers the subsequent query. See the crate docs for
 /// the capability matrix.
@@ -76,71 +76,6 @@ impl std::fmt::Display for Strategy {
     }
 }
 
-/// Which `SLen` backend an engine runs on — the second configuration axis
-/// next to [`Strategy`].
-///
-/// * [`BackendKind::Dense`] — `n × n` matrix, exact everywhere; `4n²`
-///   bytes (≈40 GB at 100k nodes).
-/// * [`BackendKind::Partitioned`] — dense matrix + the §V partition
-///   accelerator for deletion repair (the paper's `UA-GPNM` setup).
-/// * [`BackendKind::Sparse`] — bounded rows for pattern-labeled sources
-///   only; memory ∝ candidate rows × bounded ball, the only fit past
-///   ~50k nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum BackendKind {
-    /// Plain dense incremental matrix.
-    Dense,
-    /// Dense matrix with the §V partition accelerator (default).
-    Partitioned,
-    /// Bounded-row sparse index over candidate sources.
-    Sparse,
-}
-
-impl BackendKind {
-    /// All backends, smallest-memory last.
-    pub const ALL: [BackendKind; 3] = [
-        BackendKind::Dense,
-        BackendKind::Partitioned,
-        BackendKind::Sparse,
-    ];
-
-    /// CLI name (`--backend` value).
-    pub fn name(&self) -> &'static str {
-        match self {
-            BackendKind::Dense => "dense",
-            BackendKind::Partitioned => "partitioned",
-            BackendKind::Sparse => "sparse",
-        }
-    }
-
-    /// Whether this backend materializes a full `n × n` matrix (and so
-    /// needs a memory guard on large graphs).
-    pub fn is_dense(&self) -> bool {
-        matches!(self, BackendKind::Dense | BackendKind::Partitioned)
-    }
-}
-
-impl std::str::FromStr for BackendKind {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "dense" => Ok(BackendKind::Dense),
-            "partitioned" => Ok(BackendKind::Partitioned),
-            "sparse" => Ok(BackendKind::Sparse),
-            other => Err(format!(
-                "unknown backend {other:?} (expected dense, partitioned or sparse)"
-            )),
-        }
-    }
-}
-
-impl std::fmt::Display for BackendKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,17 +96,5 @@ mod tests {
         assert!(!Strategy::IncGpnm.eliminates());
         assert_eq!(Strategy::ALL.len(), 5);
         assert_eq!(Strategy::PAPER.len(), 4);
-    }
-
-    #[test]
-    fn backend_kinds_round_trip_through_names() {
-        for kind in BackendKind::ALL {
-            assert_eq!(kind.name().parse::<BackendKind>(), Ok(kind));
-            assert_eq!(kind.to_string(), kind.name());
-        }
-        assert!("matrix".parse::<BackendKind>().is_err());
-        assert!(BackendKind::Dense.is_dense());
-        assert!(BackendKind::Partitioned.is_dense());
-        assert!(!BackendKind::Sparse.is_dense());
     }
 }

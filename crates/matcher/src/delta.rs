@@ -1,0 +1,132 @@
+//! Result deltas: what one tick changed in a pattern's match sets.
+
+use gpnm_graph::{NodeId, PatternNodeId};
+
+use crate::result::MatchResult;
+
+/// The difference between two [`MatchResult`]s, as explicit
+/// `(pattern node, data node)` pairs — the continuous-query answer shape:
+/// a standing-query subscriber wants *what changed*, not the full table.
+///
+/// Invariant (checked by the service equivalence suite):
+/// `new = added ∪ (prev ∖ removed)`, with `added ∩ prev = ∅` and
+/// `removed ⊆ prev` — see [`MatchDelta::apply_to`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchDelta {
+    /// Pairs present now but not before, ascending by (slot, node).
+    pub added: Vec<(PatternNodeId, NodeId)>,
+    /// Pairs present before but not now, ascending by (slot, node).
+    pub removed: Vec<(PatternNodeId, NodeId)>,
+    /// Monotone version of the result this delta advances *to*; version
+    /// `v` is reconstructed by applying deltas `1..=v` in order to the
+    /// initial (version-0) result.
+    pub result_version: u64,
+}
+
+impl MatchDelta {
+    /// Whether the tick changed nothing for this pattern.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total changed pairs.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Reconstruct the post-tick result from the pre-tick one:
+    /// `added ∪ (prev ∖ removed)`.
+    pub fn apply_to(&self, prev: &MatchResult) -> MatchResult {
+        let mut next = prev.clone();
+        if let Some(max_slot) = self.added.iter().map(|&(p, _)| p.index()).max() {
+            next.grow(max_slot + 1);
+        }
+        for &(p, v) in &self.removed {
+            next.set_mut(p).remove(v);
+        }
+        for &(p, v) in &self.added {
+            next.set_mut(p).insert(v);
+        }
+        next
+    }
+}
+
+impl MatchResult {
+    /// The delta from `prev` to `self`, stamped `result_version`.
+    pub fn delta_from(&self, prev: &MatchResult, result_version: u64) -> MatchDelta {
+        let mut delta = MatchDelta {
+            result_version,
+            ..Default::default()
+        };
+        for (p, v, added) in prev.diff(self) {
+            if added {
+                delta.added.push((p, v));
+            } else {
+                delta.removed.push((p, v));
+            }
+        }
+        delta.added.sort_unstable();
+        delta.removed.sort_unstable();
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpnm_graph::{LabelInterner, PatternGraph};
+
+    fn pattern2() -> PatternGraph {
+        let mut li = LabelInterner::new();
+        let a = li.intern("A");
+        let b = li.intern("B");
+        let mut p = PatternGraph::new();
+        p.add_node(a);
+        p.add_node(b);
+        p
+    }
+
+    #[test]
+    fn delta_round_trips() {
+        let p = pattern2();
+        let mut prev = MatchResult::for_pattern(&p);
+        prev.set_mut(PatternNodeId(0)).insert(NodeId(1));
+        prev.set_mut(PatternNodeId(1)).insert(NodeId(5));
+        let mut next = prev.clone();
+        next.set_mut(PatternNodeId(0)).remove(NodeId(1));
+        next.set_mut(PatternNodeId(0)).insert(NodeId(2));
+        next.set_mut(PatternNodeId(1)).insert(NodeId(6));
+
+        let delta = next.delta_from(&prev, 3);
+        assert_eq!(delta.result_version, 3);
+        assert_eq!(
+            delta.added,
+            vec![(PatternNodeId(0), NodeId(2)), (PatternNodeId(1), NodeId(6))]
+        );
+        assert_eq!(delta.removed, vec![(PatternNodeId(0), NodeId(1))]);
+        assert_eq!(delta.len(), 3);
+        assert_eq!(delta.apply_to(&prev), next);
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let p = pattern2();
+        let mut r = MatchResult::for_pattern(&p);
+        r.set_mut(PatternNodeId(1)).insert(NodeId(9));
+        let delta = r.delta_from(&r, 1);
+        assert!(delta.is_empty());
+        assert_eq!(delta.apply_to(&r), r);
+    }
+
+    #[test]
+    fn apply_grows_for_new_slots() {
+        let p = pattern2();
+        let prev = MatchResult::for_pattern(&p);
+        let mut next = prev.clone();
+        next.grow(4);
+        next.set_mut(PatternNodeId(3)).insert(NodeId(2));
+        let delta = next.delta_from(&prev, 1);
+        assert_eq!(delta.added, vec![(PatternNodeId(3), NodeId(2))]);
+        assert_eq!(delta.apply_to(&prev), next);
+    }
+}

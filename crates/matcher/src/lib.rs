@@ -12,7 +12,7 @@
 //!   correctness argument (documented on the function) is load-bearing.
 //!
 //! Both support two [`MatchSemantics`] (see DESIGN.md §2): successor-only
-//! `Simulation` (faithful to BGS [4]; the default) and `DualSimulation`
+//! `Simulation` (faithful to BGS \[4\]; the default) and `DualSimulation`
 //! (successor + predecessor partners, matching the paper's candidate
 //! examples).
 
@@ -20,12 +20,14 @@
 #![warn(rust_2018_idioms)]
 
 mod bgs;
+mod delta;
 mod plan;
 mod render;
 mod result;
 mod semantics;
 
 pub use bgs::{match_graph, repair, verify_node};
+pub use delta::MatchDelta;
 pub use plan::RepairPlan;
 pub use render::render_match_table;
 pub use result::MatchResult;

@@ -4,7 +4,7 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MatchSemantics {
     /// Successor-only bounded graph simulation, exactly as defined by
-    /// Fan et al. [4]: a matcher of `u` needs a partner for every
+    /// Fan et al. \[4\]: a matcher of `u` needs a partner for every
     /// *outgoing* pattern edge `(u, u')`. Reproduces the paper's Table I.
     #[default]
     Simulation,

@@ -1,0 +1,630 @@
+//! The continuous-query service: many standing patterns, one shared
+//! single-pass repair per tick.
+
+use std::time::{Duration, Instant};
+
+use gpnm_distance::{
+    AnyBackend, BackendKind, PartitionedBackend, RepairHint, SlenBackend, SlenRequirements,
+};
+use gpnm_engine::pipeline::{
+    commit_data_update, plan_for_data_update, refresh_pattern_shared, CommittedUpdate,
+    SharedElimination,
+};
+use gpnm_graph::{DataGraph, PatternGraph};
+use gpnm_matcher::{match_graph, MatchDelta, MatchResult, MatchSemantics, RepairPlan};
+use gpnm_updates::{reduce_batch, Update, UpdateBatch};
+
+use crate::error::ServiceError;
+
+/// Opaque id of one registered standing pattern. Handles are unique for
+/// the lifetime of the service — a deregistered handle is never reissued,
+/// so a stale one can only ever yield [`ServiceError::UnknownHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternHandle(u64);
+
+impl PatternHandle {
+    /// The numeric id (stable, ascending in registration order).
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PatternHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pattern #{}", self.0)
+    }
+}
+
+/// One registered pattern's standing state.
+#[derive(Debug, Clone)]
+struct PatternSession {
+    pattern: PatternGraph,
+    semantics: MatchSemantics,
+    result: MatchResult,
+    version: u64,
+}
+
+/// What one [`GpnmService::apply`] tick did: shared-work accounting plus
+/// one [`MatchDelta`] per registered pattern.
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// 1-based tick number (the batch count applied so far).
+    pub tick: u64,
+    /// Updates in the submitted batch.
+    pub updates_submitted: usize,
+    /// Updates surviving net-effect reduction (the ones committed).
+    pub updates_applied: usize,
+    /// Distance pairs the shared `SLen` repair changed.
+    pub slen_changes: usize,
+    /// Per-pattern repair passes the EH-Trees eliminated, summed.
+    pub eliminated: usize,
+    /// Per-pattern repair passes run, summed.
+    pub repair_calls: usize,
+    /// Net-effect reduction time.
+    pub reduce_time: Duration,
+    /// Shared graph + `SLen` commit time (paid once, not per pattern).
+    pub slen_time: Duration,
+    /// Per-pattern detection + repair + diff time, summed.
+    pub refresh_time: Duration,
+    /// End-to-end wall time of the tick.
+    pub total_time: Duration,
+    /// Per-pattern deltas, in registration order.
+    pub deltas: Vec<(PatternHandle, MatchDelta)>,
+}
+
+impl TickReport {
+    /// The delta of one registered pattern, if it is part of this tick.
+    pub fn delta_for(&self, handle: PatternHandle) -> Option<&MatchDelta> {
+        self.deltas
+            .iter()
+            .find(|(h, _)| *h == handle)
+            .map(|(_, d)| d)
+    }
+
+    /// Match pairs gained across all patterns.
+    pub fn total_added(&self) -> usize {
+        self.deltas.iter().map(|(_, d)| d.added.len()).sum()
+    }
+
+    /// Match pairs lost across all patterns.
+    pub fn total_removed(&self) -> usize {
+        self.deltas.iter().map(|(_, d)| d.removed.len()).sum()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "tick {}: ΔG={} (net {}), slen_changes={}, patterns={}, +{} −{}, total={:?}",
+            self.tick,
+            self.updates_submitted,
+            self.updates_applied,
+            self.slen_changes,
+            self.deltas.len(),
+            self.total_added(),
+            self.total_removed(),
+            self.total_time,
+        )
+    }
+}
+
+/// Fallible, builder-style construction of a runtime-configured service —
+/// replaces the panicking constructor zoo for deployments that pick the
+/// backend from configuration.
+///
+/// ```
+/// use gpnm_distance::BackendKind;
+/// use gpnm_service::GpnmService;
+///
+/// let fig = gpnm_graph::paper::fig1();
+/// let service = GpnmService::builder()
+///     .backend(BackendKind::Sparse)
+///     .max_index_gb(4)
+///     .build(fig.graph)
+///     .expect("sparse builds are never refused");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    kind: BackendKind,
+    max_index_gb: f64,
+    hint: RepairHint,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder {
+            kind: BackendKind::Partitioned,
+            max_index_gb: 4.0,
+            hint: RepairHint::Accelerated,
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// A builder with the defaults: partitioned backend, 4 GiB dense-index
+    /// budget, accelerated repair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the `SLen` backend.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Memory budget for dense backends, in GiB. [`ServiceBuilder::build`]
+    /// refuses a dense matrix whose estimate exceeds it (instead of
+    /// handing the OOM killer a 40 GiB allocation); sparse backends are
+    /// never refused.
+    pub fn max_index_gb(mut self, gb: impl Into<f64>) -> Self {
+        self.max_index_gb = gb.into();
+        self
+    }
+
+    /// Choose how deletion rows are recomputed (default
+    /// [`RepairHint::Accelerated`]).
+    pub fn repair_hint(mut self, hint: RepairHint) -> Self {
+        self.hint = hint;
+        self
+    }
+
+    /// Build the service over `graph`. Fails — instead of panicking or
+    /// OOMing — when the configuration cannot be honored.
+    pub fn build(self, graph: DataGraph) -> Result<GpnmService<AnyBackend>, ServiceError> {
+        if !self.max_index_gb.is_finite() || self.max_index_gb <= 0.0 {
+            return Err(ServiceError::InvalidConfig(format!(
+                "max_index_gb must be a positive finite number, got {}",
+                self.max_index_gb
+            )));
+        }
+        if let Some(estimated_bytes) = self.kind.estimated_index_bytes(graph.slot_count()) {
+            let limit_bytes = (self.max_index_gb * (1u64 << 30) as f64) as u128;
+            if estimated_bytes > limit_bytes {
+                return Err(ServiceError::IndexTooLarge {
+                    nodes: graph.slot_count(),
+                    estimated_bytes,
+                    limit_bytes,
+                });
+            }
+        }
+        let reqs = SlenRequirements::empty();
+        let index = AnyBackend::of_kind(self.kind, &graph, &reqs);
+        Ok(GpnmService::from_parts(graph, index, reqs, self.hint))
+    }
+}
+
+/// A continuous-query GPNM service: **one** data graph and **one** `SLen`
+/// backend serving **many** registered standing patterns.
+///
+/// Where a [`gpnm_engine::GpnmEngine`] answers "what does this one pattern
+/// match after this batch", the service answers "what changed for *every*
+/// standing pattern" — and pays the expensive part (graph mutation +
+/// `SLen` repair) once per batch instead of once per pattern. Each
+/// [`GpnmService::apply`] tick:
+///
+/// 1. rejects pattern updates and invalid data updates with a typed
+///    [`ServiceError`], before any mutation;
+/// 2. net-reduces the batch and commits it through one shared
+///    probe-free repair pass over the backend;
+/// 3. refreshes every registered pattern via its own elimination/affected
+///    pipeline (DER-II containment → EH-Tree → survivor repairs);
+/// 4. returns a [`MatchDelta`] per handle — added/removed pairs plus a
+///    monotone `result_version` — instead of k full result tables.
+///
+/// The backend covers the *union* of all registered patterns'
+/// [`SlenRequirements`]; registration widens it in place
+/// ([`SlenBackend::sync_requirements`]) and deregistration narrows it
+/// ([`SlenBackend::narrow_requirements`]), so a bounded sparse index stays
+/// proportional to what the surviving patterns actually consult.
+#[derive(Debug, Clone)]
+pub struct GpnmService<B: SlenBackend = PartitionedBackend> {
+    graph: DataGraph,
+    index: B,
+    reqs: SlenRequirements,
+    hint: RepairHint,
+    sessions: Vec<(PatternHandle, PatternSession)>,
+    next_handle: u64,
+    tick: u64,
+}
+
+impl GpnmService<AnyBackend> {
+    /// Start configuring a runtime-backed service — see [`ServiceBuilder`].
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+}
+
+impl<B: SlenBackend> GpnmService<B> {
+    /// A service over `graph` with a statically-chosen backend and no
+    /// registered patterns: `GpnmService::<SparseIndex>::new(graph)`.
+    /// Runtime configuration goes through [`GpnmService::builder`].
+    pub fn new(graph: DataGraph) -> Self {
+        let reqs = SlenRequirements::empty();
+        let index = B::build(&graph, &reqs);
+        Self::from_parts(graph, index, reqs, RepairHint::Accelerated)
+    }
+
+    fn from_parts(graph: DataGraph, index: B, reqs: SlenRequirements, hint: RepairHint) -> Self {
+        GpnmService {
+            graph,
+            index,
+            reqs,
+            hint,
+            sessions: Vec::new(),
+            next_handle: 0,
+            tick: 0,
+        }
+    }
+
+    /// The current data graph.
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// The shared `SLen` backend.
+    pub fn backend(&self) -> &B {
+        &self.index
+    }
+
+    /// The union requirement set the backend currently covers.
+    pub fn requirements(&self) -> &SlenRequirements {
+        &self.reqs
+    }
+
+    /// Batches applied so far.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Number of registered patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Handles of every registered pattern, in registration order.
+    pub fn handles(&self) -> impl Iterator<Item = PatternHandle> + '_ {
+        self.sessions.iter().map(|(h, _)| *h)
+    }
+
+    fn session(&self, handle: PatternHandle) -> Result<&PatternSession, ServiceError> {
+        self.sessions
+            .iter()
+            .find(|(h, _)| *h == handle)
+            .map(|(_, s)| s)
+            .ok_or(ServiceError::UnknownHandle(handle))
+    }
+
+    /// The registered pattern behind `handle`.
+    pub fn pattern(&self, handle: PatternHandle) -> Result<&PatternGraph, ServiceError> {
+        Ok(&self.session(handle)?.pattern)
+    }
+
+    /// The semantics `handle` was registered under.
+    pub fn semantics(&self, handle: PatternHandle) -> Result<MatchSemantics, ServiceError> {
+        Ok(self.session(handle)?.semantics)
+    }
+
+    /// The full current result of `handle` (version
+    /// [`GpnmService::result_version`]). Deltas are the streaming answer;
+    /// this is the snapshot for late joiners.
+    pub fn result(&self, handle: PatternHandle) -> Result<&MatchResult, ServiceError> {
+        Ok(&self.session(handle)?.result)
+    }
+
+    /// How many ticks `handle`'s result has absorbed since registration.
+    pub fn result_version(&self, handle: PatternHandle) -> Result<u64, ServiceError> {
+        Ok(self.session(handle)?.version)
+    }
+
+    /// Register a standing pattern: widen the backend's requirement union,
+    /// run the initial match, and return the handle its deltas will be
+    /// keyed by. Cost is one initial query for *this* pattern (plus any
+    /// sparse rows the widened union now demands) — existing patterns are
+    /// untouched.
+    pub fn register_pattern(
+        &mut self,
+        pattern: PatternGraph,
+        semantics: MatchSemantics,
+    ) -> Result<PatternHandle, ServiceError> {
+        if pattern.node_count() == 0 {
+            return Err(ServiceError::EmptyPattern);
+        }
+        self.reqs.absorb(&SlenRequirements::of_pattern(&pattern));
+        self.index.sync_requirements(&self.graph, &self.reqs);
+        let result = match_graph(&pattern, &self.graph, &self.index, semantics);
+        let handle = PatternHandle(self.next_handle);
+        self.next_handle += 1;
+        self.sessions.push((
+            handle,
+            PatternSession {
+                pattern,
+                semantics,
+                result,
+                version: 0,
+            },
+        ));
+        Ok(handle)
+    }
+
+    /// Deregister a standing pattern and narrow the backend's requirement
+    /// union to what the remaining patterns need — on a sparse backend
+    /// this reclaims rows (and row depth) only the departed pattern
+    /// consulted.
+    pub fn deregister(&mut self, handle: PatternHandle) -> Result<(), ServiceError> {
+        let pos = self
+            .sessions
+            .iter()
+            .position(|(h, _)| *h == handle)
+            .ok_or(ServiceError::UnknownHandle(handle))?;
+        self.sessions.remove(pos);
+        let mut union = SlenRequirements::empty();
+        for (_, s) in &self.sessions {
+            union.absorb(&SlenRequirements::of_pattern(&s.pattern));
+        }
+        self.reqs = union;
+        self.index.narrow_requirements(&self.graph, &self.reqs);
+        Ok(())
+    }
+
+    /// Apply one data-update batch — **once** — and refresh every
+    /// registered pattern, returning per-handle [`MatchDelta`]s.
+    ///
+    /// The batch is validated up front and rejected (typed, mutation-free)
+    /// if it contains a pattern update or an invalid data update. On
+    /// success the graph, the backend and every result reflect the
+    /// post-batch state; per-pattern results are bitwise what a dedicated
+    /// [`gpnm_engine::GpnmEngine`] running the same batch would hold, but
+    /// the graph mutation and `SLen` repair were paid once, not
+    /// once per pattern.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<TickReport, ServiceError> {
+        if let Some(index) = batch.first_pattern_update() {
+            return Err(ServiceError::PatternUpdateInBatch { index });
+        }
+        batch.validate_data(&self.graph)?;
+        let start = Instant::now();
+
+        // Net-effect reduction. Data-update cancellation never consults the
+        // pattern graph, so reducing against an empty pattern is exactly
+        // what every per-pattern engine would compute.
+        let t = Instant::now();
+        let reduced = reduce_batch(&self.graph, &PatternGraph::new(), batch);
+        let reduce_time = t.elapsed();
+
+        if self.hint == RepairHint::Accelerated {
+            self.index.prepare_accelerator(&self.graph);
+        }
+
+        // The shared single pass: each surviving update mutates the graph
+        // and repairs the backend exactly once; every pattern derives its
+        // repair plan from the shared delta *at this update's post-state*,
+        // which is precisely where the single-pattern engine derives its
+        // own.
+        let mut slen_time = Duration::ZERO;
+        let mut committed: Vec<CommittedUpdate> = Vec::with_capacity(reduced.len());
+        let mut plans: Vec<Vec<RepairPlan>> = self
+            .sessions
+            .iter()
+            .map(|_| Vec::with_capacity(reduced.len()))
+            .collect();
+        for u in reduced.updates() {
+            let Update::Data(du) = u else {
+                unreachable!("pattern updates rejected above");
+            };
+            let t = Instant::now();
+            let cu = commit_data_update(&mut self.graph, &mut self.index, du, self.hint)?;
+            slen_time += t.elapsed();
+            for ((_, sess), pattern_plans) in self.sessions.iter().zip(plans.iter_mut()) {
+                pattern_plans.push(plan_for_data_update(
+                    du,
+                    &cu.delta,
+                    &sess.pattern,
+                    &self.graph,
+                    &sess.result,
+                    cu.created,
+                ));
+            }
+            committed.push(cu);
+        }
+        let slen_changes = committed.iter().map(|c| c.delta.len()).sum();
+
+        // Per-pattern refresh over the shared committed records. The
+        // elimination analysis (DER-II containment + EH-Tree) consumes only
+        // the shared deltas, so it is computed once and reused by every
+        // pattern's survivor-repair pass; then delta extraction.
+        let t = Instant::now();
+        let shared = SharedElimination::detect(&committed);
+        let mut eliminated = 0;
+        let mut repair_calls = 0;
+        let mut deltas = Vec::with_capacity(self.sessions.len());
+        for ((handle, sess), pattern_plans) in self.sessions.iter_mut().zip(plans.iter()) {
+            let prev = sess.result.clone();
+            let stats = refresh_pattern_shared(
+                &sess.pattern,
+                &self.graph,
+                &self.index,
+                sess.semantics,
+                &mut sess.result,
+                pattern_plans,
+                &shared,
+            );
+            eliminated += stats.eliminated;
+            repair_calls += stats.repair_calls;
+            sess.version += 1;
+            deltas.push((*handle, sess.result.delta_from(&prev, sess.version)));
+        }
+        let refresh_time = t.elapsed();
+
+        self.tick += 1;
+        Ok(TickReport {
+            tick: self.tick,
+            updates_submitted: batch.len(),
+            updates_applied: reduced.len(),
+            slen_changes,
+            eliminated,
+            repair_calls,
+            reduce_time,
+            slen_time,
+            refresh_time,
+            total_time: start.elapsed(),
+            deltas,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpnm_distance::SparseIndex;
+    use gpnm_graph::paper::fig1;
+    use gpnm_graph::GraphError;
+    use gpnm_updates::{DataUpdate, PatternUpdate};
+
+    #[test]
+    fn register_apply_deregister_lifecycle() {
+        let f = fig1();
+        let mut service = GpnmService::<SparseIndex>::new(f.graph.clone());
+        assert_eq!(service.pattern_count(), 0);
+        let h = service
+            .register_pattern(f.pattern.clone(), MatchSemantics::Simulation)
+            .expect("register");
+        assert_eq!(service.pattern_count(), 1);
+        assert_eq!(service.result_version(h).unwrap(), 0);
+        // Initial result equals a direct match.
+        let direct = match_graph(
+            &f.pattern,
+            &f.graph,
+            &SparseIndex::build(&f.graph, &SlenRequirements::of_pattern(&f.pattern)),
+            MatchSemantics::Simulation,
+        );
+        assert_eq!(service.result(h).unwrap(), &direct);
+
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        let report = service.apply(&batch).expect("valid batch");
+        assert_eq!(report.tick, 1);
+        assert_eq!(report.updates_applied, 1);
+        assert!(report.slen_changes > 0);
+        assert_eq!(service.result_version(h).unwrap(), 1);
+        assert_eq!(report.delta_for(h).unwrap().result_version, 1);
+
+        service.deregister(h).expect("deregister");
+        assert_eq!(service.pattern_count(), 0);
+        assert_eq!(
+            service.result(h),
+            Err(ServiceError::UnknownHandle(h)),
+            "stale handle is a typed error"
+        );
+        assert_eq!(service.backend().resident_rows(), 0, "rows reclaimed");
+    }
+
+    #[test]
+    fn pattern_updates_are_rejected_with_position() {
+        let f = fig1();
+        let mut service = GpnmService::<SparseIndex>::new(f.graph.clone());
+        service
+            .register_pattern(f.pattern.clone(), MatchSemantics::Simulation)
+            .unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        batch.push(PatternUpdate::DeleteEdge {
+            from: f.p_pm,
+            to: f.p_se,
+        });
+        let err = service.apply(&batch).expect_err("pattern update refused");
+        assert_eq!(err, ServiceError::PatternUpdateInBatch { index: 1 });
+        assert_eq!(service.tick(), 0, "nothing applied");
+        assert!(!service.graph().has_edge(f.se1, f.te2));
+    }
+
+    #[test]
+    fn invalid_batches_are_atomic() {
+        let f = fig1();
+        let mut service = GpnmService::<SparseIndex>::new(f.graph.clone());
+        let h = service
+            .register_pattern(f.pattern.clone(), MatchSemantics::Simulation)
+            .unwrap();
+        let before = service.result(h).unwrap().clone();
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        }); // fine alone
+        batch.push(DataUpdate::InsertEdge {
+            from: f.pm1,
+            to: f.se2, // duplicate
+        });
+        let err = service.apply(&batch).expect_err("duplicate edge");
+        assert_eq!(
+            err,
+            ServiceError::InvalidBatch(GraphError::DuplicateEdge(f.pm1, f.se2))
+        );
+        assert!(!service.graph().has_edge(f.se1, f.te2), "no partial apply");
+        assert_eq!(service.result(h).unwrap(), &before);
+        // Still usable afterwards.
+        let mut good = UpdateBatch::new();
+        good.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        service.apply(&good).expect("valid batch after rejection");
+    }
+
+    #[test]
+    fn builder_guards_dense_memory() {
+        let f = fig1();
+        // An absurdly small budget refuses even the 8-node dense build.
+        let err = GpnmService::builder()
+            .backend(BackendKind::Dense)
+            .max_index_gb(1.0e-9)
+            .build(f.graph.clone())
+            .expect_err("tiny budget");
+        assert!(matches!(err, ServiceError::IndexTooLarge { .. }));
+        // Sparse is never refused.
+        let service = GpnmService::builder()
+            .backend(BackendKind::Sparse)
+            .max_index_gb(1.0e-9)
+            .build(f.graph.clone())
+            .expect("sparse ignores the dense budget");
+        assert_eq!(service.backend().backend_kind(), BackendKind::Sparse);
+        // Nonsense budgets are a typed error, not a silent pass.
+        assert!(matches!(
+            GpnmService::builder()
+                .max_index_gb(f64::NAN)
+                .build(f.graph.clone()),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        assert!(GpnmService::builder().build(f.graph).is_ok());
+    }
+
+    #[test]
+    fn empty_pattern_is_refused() {
+        let f = fig1();
+        let mut service = GpnmService::<SparseIndex>::new(f.graph);
+        assert_eq!(
+            service.register_pattern(PatternGraph::new(), MatchSemantics::Simulation),
+            Err(ServiceError::EmptyPattern)
+        );
+    }
+
+    #[test]
+    fn handles_are_never_reissued() {
+        let f = fig1();
+        let mut service = GpnmService::<SparseIndex>::new(f.graph);
+        let a = service
+            .register_pattern(f.pattern.clone(), MatchSemantics::Simulation)
+            .unwrap();
+        service.deregister(a).unwrap();
+        let b = service
+            .register_pattern(f.pattern.clone(), MatchSemantics::DualSimulation)
+            .unwrap();
+        assert_ne!(a, b);
+        assert!(service.result(a).is_err());
+        assert!(service.result(b).is_ok());
+    }
+}

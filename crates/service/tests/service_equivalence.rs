@@ -1,0 +1,291 @@
+//! Service/engine equivalence: a `GpnmService` hosting k registered
+//! patterns must produce, per handle and per tick, results **bitwise
+//! identical** to k independent `GpnmEngine`s fed the same batches — on
+//! every backend and under both semantics. On top of result equality the
+//! suite asserts the delta contract: each tick's `MatchDelta` reconstructs
+//! the new result from the previous one (`added ∪ (prev ∖ removed)`), with
+//! a monotone `result_version`.
+//!
+//! This is the load-bearing proof that the shared single-pass repair
+//! changes *cost*, not *answers*.
+
+use proptest::prelude::*;
+
+use gpnm_distance::{BackendKind, IncrementalIndex, PartitionedBackend, SlenBackend, SparseIndex};
+use gpnm_engine::{GpnmEngine, Strategy};
+use gpnm_graph::{Bound, DataGraph, Label, LabelInterner, NodeId, PatternGraph};
+use gpnm_matcher::{MatchResult, MatchSemantics};
+use gpnm_service::{GpnmService, ServiceError};
+use gpnm_updates::{DataUpdate, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random labeled digraph (the engine equivalence suites' distribution).
+fn random_graph(
+    rng: &mut StdRng,
+    nodes: usize,
+    edges: usize,
+    labels: usize,
+) -> (DataGraph, LabelInterner) {
+    let mut interner = LabelInterner::new();
+    let label_ids: Vec<Label> = (0..labels)
+        .map(|i| interner.intern(&format!("L{i}")))
+        .collect();
+    let mut g = DataGraph::new();
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|_| g.add_node(label_ids[rng.gen_range(0..labels)]))
+        .collect();
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < edges && attempts < edges * 20 {
+        attempts += 1;
+        let u = ids[rng.gen_range(0..nodes)];
+        let v = ids[rng.gen_range(0..nodes)];
+        if u != v && g.add_edge(u, v).is_ok() {
+            added += 1;
+        }
+    }
+    (g, interner)
+}
+
+/// Random small finite-bounded pattern over the same label alphabet.
+fn random_pattern(rng: &mut StdRng, interner: &LabelInterner, labels: usize) -> PatternGraph {
+    let n: usize = rng.gen_range(2..=4);
+    let mut p = PatternGraph::new();
+    let nodes: Vec<_> = (0..n)
+        .map(|_| {
+            let l = interner
+                .get(&format!("L{}", rng.gen_range(0..labels)))
+                .expect("label interned");
+            p.add_node(l)
+        })
+        .collect();
+    let edges = rng.gen_range(1..=n);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < edges && attempts < 50 {
+        attempts += 1;
+        let a = nodes[rng.gen_range(0..n)];
+        let b = nodes[rng.gen_range(0..n)];
+        if a != b && p.add_edge(a, b, Bound::Hops(rng.gen_range(1..=4))).is_ok() {
+            added += 1;
+        }
+    }
+    p
+}
+
+/// Random *data-only* batch, valid by construction against `graph`.
+fn random_data_batch(
+    rng: &mut StdRng,
+    graph: &DataGraph,
+    interner: &LabelInterner,
+    len: usize,
+) -> UpdateBatch {
+    let mut g = graph.clone();
+    let mut batch = UpdateBatch::new();
+    for _ in 0..len {
+        let choice = rng.gen_range(0..100);
+        let live: Vec<NodeId> = g.nodes().collect();
+        if choice < 40 && live.len() >= 2 {
+            let u = live[rng.gen_range(0..live.len())];
+            let v = live[rng.gen_range(0..live.len())];
+            if u != v && g.add_edge(u, v).is_ok() {
+                batch.push(DataUpdate::InsertEdge { from: u, to: v });
+            }
+        } else if choice < 70 {
+            let edges: Vec<_> = g.edges().collect();
+            if !edges.is_empty() {
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                g.remove_edge(u, v).expect("edge just listed");
+                batch.push(DataUpdate::DeleteEdge { from: u, to: v });
+            }
+        } else if choice < 85 {
+            let l = Label(rng.gen_range(0..interner.len() as u32));
+            g.add_node(l);
+            batch.push(DataUpdate::InsertNode { label: l });
+        } else if live.len() > 3 {
+            let v = live[rng.gen_range(0..live.len())];
+            g.remove_node(v).expect("node just listed");
+            batch.push(DataUpdate::DeleteNode { node: v });
+        }
+    }
+    batch
+}
+
+/// The per-tick engine strategies exercised against the service pipeline.
+const STRATEGIES: [Strategy; 4] = [
+    Strategy::UaGpnm,
+    Strategy::UaGpnmNoPar,
+    Strategy::EhGpnm,
+    Strategy::IncGpnm,
+];
+
+/// Run k patterns through one service and k independent engines (backend
+/// `B` on both sides), assert bitwise-equal results per handle per tick,
+/// plus the delta-reconstruction invariant.
+fn check_equivalence<B: SlenBackend>(seed: u64, k: usize, ticks: usize, semantics: MatchSemantics) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels = rng.gen_range(2..6);
+    let nodes = rng.gen_range(8..32);
+    let edges = rng.gen_range(nodes / 2..nodes * 3);
+    let (graph, interner) = random_graph(&mut rng, nodes, edges, labels);
+
+    let mut service = GpnmService::<B>::new(graph.clone());
+    let mut engines: Vec<GpnmEngine<B>> = Vec::new();
+    let mut handles = Vec::new();
+    for i in 0..k {
+        let pattern = random_pattern(&mut rng, &interner, labels);
+        let handle = service
+            .register_pattern(pattern.clone(), semantics)
+            .expect("non-empty pattern");
+        let mut engine = GpnmEngine::<B>::with_backend(graph.clone(), pattern, semantics);
+        engine.initial_query();
+        assert_eq!(
+            service.result(handle).unwrap(),
+            engine.result(),
+            "initial result diverged (seed {seed}, pattern {i})"
+        );
+        handles.push(handle);
+        engines.push(engine);
+    }
+
+    let mut prev: Vec<MatchResult> = handles
+        .iter()
+        .map(|&h| service.result(h).unwrap().clone())
+        .collect();
+    for tick in 0..ticks {
+        let len = rng.gen_range(1..8);
+        let batch = random_data_batch(&mut rng, service.graph(), &interner, len);
+        let report = service.apply(&batch).expect("valid data batch");
+        assert_eq!(report.tick, tick as u64 + 1);
+        assert_eq!(report.deltas.len(), k, "one delta per registered pattern");
+        let strategy = STRATEGIES[tick % STRATEGIES.len()];
+        for i in 0..k {
+            engines[i]
+                .subsequent_query(&batch, strategy)
+                .expect("valid batch");
+            let got = service.result(handles[i]).unwrap();
+            assert_eq!(
+                got,
+                engines[i].result(),
+                "tick {tick} pattern {i} diverged from its engine \
+                 (seed {seed}, {strategy}, {semantics:?})"
+            );
+            // Delta contract: added ∪ (prev ∖ removed) = new, version moves.
+            let delta = report.delta_for(handles[i]).expect("handle in report");
+            assert_eq!(delta.result_version, tick as u64 + 1);
+            assert_eq!(
+                &delta.apply_to(&prev[i]),
+                got,
+                "delta does not reconstruct the result (seed {seed}, tick {tick}, pattern {i})"
+            );
+            for &(p, v) in &delta.added {
+                assert!(!prev[i].contains(p, v), "added pair was already present");
+            }
+            for &(p, v) in &delta.removed {
+                assert!(prev[i].contains(p, v), "removed pair was not present");
+            }
+            prev[i] = got.clone();
+        }
+        // The graphs walked the same trajectory.
+        assert_eq!(
+            service.graph().node_count(),
+            engines[0].graph().node_count()
+        );
+        assert_eq!(
+            service.graph().edge_count(),
+            engines[0].graph().edge_count()
+        );
+    }
+}
+
+proptest! {
+    // Each case runs 3 backends (+ both semantics split across two props),
+    // k engines and several ticks; 12 cases keeps the default run under a
+    // few seconds while PROPTEST_CASES still scales it in CI.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn service_matches_k_engines_simulation(seed in any::<u64>(), k in 1usize..4) {
+        check_equivalence::<IncrementalIndex>(seed, k, 3, MatchSemantics::Simulation);
+        check_equivalence::<PartitionedBackend>(seed, k, 3, MatchSemantics::Simulation);
+        check_equivalence::<SparseIndex>(seed, k, 3, MatchSemantics::Simulation);
+    }
+
+    #[test]
+    fn service_matches_k_engines_dual(seed in any::<u64>(), k in 1usize..4) {
+        check_equivalence::<IncrementalIndex>(seed, k, 3, MatchSemantics::DualSimulation);
+        check_equivalence::<PartitionedBackend>(seed, k, 3, MatchSemantics::DualSimulation);
+        check_equivalence::<SparseIndex>(seed, k, 3, MatchSemantics::DualSimulation);
+    }
+
+    /// The runtime-dispatched backend behind the builder path obeys the
+    /// same equivalence (and the dense memory guard stays out of the way
+    /// at test scale).
+    #[test]
+    fn any_backend_service_matches_engines(seed in any::<u64>()) {
+        for kind in BackendKind::ALL {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (graph, interner) = random_graph(&mut rng, 20, 40, 4);
+            let mut service = GpnmService::builder()
+                .backend(kind)
+                .max_index_gb(1)
+                .build(graph.clone())
+                .expect("tiny graph fits any budget");
+            let pattern = random_pattern(&mut rng, &interner, 4);
+            let h = service
+                .register_pattern(pattern.clone(), MatchSemantics::Simulation)
+                .unwrap();
+            let mut engine = GpnmEngine::with_backend_kind(
+                kind,
+                graph,
+                pattern,
+                MatchSemantics::Simulation,
+            );
+            engine.initial_query();
+            for _ in 0..2 {
+                let batch = random_data_batch(&mut rng, service.graph(), &interner, 5);
+                service.apply(&batch).expect("valid");
+                engine.subsequent_query(&batch, Strategy::UaGpnm).expect("valid");
+                prop_assert_eq!(service.result(h).unwrap(), engine.result());
+            }
+            let _ = engine; // engine and service walked the same trajectory
+            prop_assert_eq!(service.backend().backend_kind(), kind);
+        }
+    }
+
+    /// Deregistering mid-stream narrows the shared requirement union
+    /// without perturbing the surviving patterns' results.
+    #[test]
+    fn deregister_mid_stream_preserves_survivors(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (graph, interner) = random_graph(&mut rng, 18, 40, 4);
+        let mut service = GpnmService::<SparseIndex>::new(graph.clone());
+        let p1 = random_pattern(&mut rng, &interner, 4);
+        let p2 = random_pattern(&mut rng, &interner, 4);
+        let h1 = service.register_pattern(p1, MatchSemantics::Simulation).unwrap();
+        let h2 = service
+            .register_pattern(p2.clone(), MatchSemantics::Simulation)
+            .unwrap();
+        let mut engine2 =
+            GpnmEngine::<SparseIndex>::with_backend(graph, p2, MatchSemantics::Simulation);
+        engine2.initial_query();
+
+        let batch = random_data_batch(&mut rng, service.graph(), &interner, 5);
+        service.apply(&batch).expect("valid");
+        engine2.subsequent_query(&batch, Strategy::UaGpnm).expect("valid");
+
+        let rows_before = service.backend().resident_rows();
+        service.deregister(h1).expect("registered");
+        prop_assert!(service.backend().resident_rows() <= rows_before);
+        prop_assert_eq!(service.result(h1), Err(ServiceError::UnknownHandle(h1)));
+
+        // Survivor keeps matching its dedicated engine after the narrow.
+        let batch = random_data_batch(&mut rng, service.graph(), &interner, 5);
+        let report = service.apply(&batch).expect("valid");
+        engine2.subsequent_query(&batch, Strategy::UaGpnm).expect("valid");
+        prop_assert_eq!(service.result(h2).unwrap(), engine2.result());
+        prop_assert_eq!(report.deltas.len(), 1);
+        prop_assert!(report.delta_for(h1).is_none());
+    }
+}

@@ -88,11 +88,36 @@ impl UpdateBatch {
     }
 
     /// Validate the batch against clones of the graphs without touching the
-    /// originals. Returns the first error, if any.
+    /// originals. Returns the first error, if any — validation never
+    /// panics, whatever the batch contains.
     pub fn validate(&self, graph: &DataGraph, pattern: &PatternGraph) -> Result<(), GraphError> {
         let mut g = graph.clone();
         let mut p = pattern.clone();
         self.apply_all(&mut g, &mut p).map(|_| ())
+    }
+
+    /// Index of the first pattern update, if any — the check a data-only
+    /// consumer (the multi-pattern service, which has no single "the
+    /// pattern" to route a pattern update to) runs before
+    /// [`UpdateBatch::validate_data`].
+    pub fn first_pattern_update(&self) -> Option<usize> {
+        self.updates.iter().position(|u| u.is_pattern())
+    }
+
+    /// Validate the batch's *data* updates against a clone of `graph`
+    /// alone, without needing a pattern graph. Pattern updates are ignored
+    /// (callers that must reject them check
+    /// [`UpdateBatch::first_pattern_update`] first); the pattern and data
+    /// id spaces are disjoint, so skipping them cannot change a data
+    /// update's validity.
+    pub fn validate_data(&self, graph: &DataGraph) -> Result<(), GraphError> {
+        let mut g = graph.clone();
+        for u in &self.updates {
+            if let Update::Data(d) = u {
+                apply_data(d, &mut g)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -210,6 +235,31 @@ mod tests {
         assert!(batch.validate(&f.graph, &f.pattern).is_err());
         let err = batch.apply_all(&mut f.graph, &mut f.pattern);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn validate_data_ignores_pattern_updates() {
+        let f = fig1();
+        let mut batch = UpdateBatch::new();
+        batch.push(PatternUpdate::InsertEdge {
+            from: f.p_pm,
+            to: f.p_te,
+            bound: Bound::Hops(2),
+        });
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        assert_eq!(batch.first_pattern_update(), Some(0));
+        batch.validate_data(&f.graph).expect("data side is valid");
+        // An invalid data update still surfaces.
+        let mut bad = UpdateBatch::new();
+        bad.push(DataUpdate::InsertEdge {
+            from: f.pm1,
+            to: f.se2, // exists
+        });
+        assert!(bad.first_pattern_update().is_none());
+        assert!(bad.validate_data(&f.graph).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! "controlled by 3 parameters: (1) the number of nodes, (2) the number of
 //! edges, and (3) the bounded path length on each edge. [...] they are set
-//! between 6 and 10 [...] the bounded path length on each edge [is]
+//! between 6 and 10 [...] the bounded path length on each edge \[is\]
 //! randomly set from 1 to 3."
 
 use gpnm_graph::{Bound, Label, LabelInterner, PatternGraph, PatternNodeId};

@@ -5,7 +5,7 @@
 //! * **degree skew** — a few hubs, many low-degree nodes (drives `SLen`
 //!   sparsity, §IV-B remark); modeled with preferential attachment.
 //! * **label-community locality** — "people with the same role usually
-//!   connect with each other closely" (Brandes et al. [36], the §V
+//!   connect with each other closely" (Brandes et al. \[36\], the §V
 //!   partition premise); modeled by giving each community a dominant
 //!   label and biasing edges to stay within the community.
 

@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no crates.io access, so this shim implements
-//! the subset of proptest's API this workspace uses: the [`Strategy`]
+//! the subset of proptest's API this workspace uses: the [`strategy::Strategy`]
 //! trait with `prop_map`/`prop_flat_map`, integer-range and tuple
 //! strategies, [`collection::vec`], `prop_oneof!`, `any`, the `proptest!`
 //! test-definition macro, and `prop_assert!`/`prop_assert_eq!`.

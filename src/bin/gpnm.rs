@@ -4,6 +4,8 @@
 //! gpnm match  <edge-list> [--backend B] [--labels N] [--pattern-nodes N] [--seed S]
 //! gpnm bench  <edge-list> [--backend B] [--labels N] [--updates N] [--seed S]
 //! gpnm smoke  [--backend B] [--nodes N] [--edges M] [--labels N] [--updates N] [--seed S]
+//! gpnm replay [--backend B] [--nodes N] [--edges M] [--patterns K] [--ticks T]
+//!             [--updates N] [--trace FILE] [--labels N] [--seed S]
 //! gpnm demo
 //! ```
 //!
@@ -12,7 +14,11 @@
 //! the match table. `bench` additionally generates an update batch and
 //! compares all four strategies. `smoke` generates a power-law social
 //! graph in-process (no file needed) and runs an initial + subsequent
-//! query — the large-graph CI entry point. `demo` runs the paper's
+//! query — the large-graph CI entry point. `replay` is the
+//! continuous-query mode: register `--patterns` standing patterns on one
+//! `GpnmService`, stream `--ticks` data-update batches (generated, or
+//! parsed from a `--trace` file of `---`-separated trace chunks), and
+//! print the per-tick, per-pattern match deltas. `demo` runs the paper's
 //! Figure 1 example.
 //!
 //! `--backend {dense,partitioned,sparse}` selects the `SLen` backend. The
@@ -28,7 +34,7 @@ use ua_gpnm::engine::BackendKind;
 use ua_gpnm::matcher::render_match_table;
 use ua_gpnm::prelude::*;
 use ua_gpnm::workload::{
-    datasets::from_edge_list, generate_batch, generate_pattern, generate_social_graph,
+    datasets::from_edge_list, generate_batch, generate_pattern, generate_social_graph, read_trace,
     PatternConfig, SocialGraphConfig, UpdateProtocol,
 };
 
@@ -41,15 +47,32 @@ struct Args {
     max_index_gb: f64,
     nodes: usize,
     edges: usize,
+    patterns: usize,
+    ticks: usize,
+    trace: Option<String>,
+}
+
+/// Which subcommand the flags are parsed for — gates subcommand-specific
+/// flags so e.g. `gpnm match x --ticks 3` fails loudly instead of
+/// silently ignoring the knob.
+#[derive(Clone, Copy, PartialEq)]
+enum Cmd {
+    /// `match`/`bench`: graph comes from an edge-list file.
+    FromFile,
+    /// `smoke`: in-process generator, single pattern.
+    Smoke,
+    /// `replay`: in-process generator, k standing patterns + tick stream.
+    Replay,
 }
 
 /// Flag parsing differs per subcommand in two ways: the default backend
-/// (`smoke` defaults to 100k nodes, where only `sparse` fits the memory
-/// guard — a bare `gpnm smoke` must work out of the box), and whether the
-/// generator-shape flags `--nodes`/`--edges` are accepted at all
-/// (`match`/`bench` read their graph from an edge list; silently
-/// accepting a shape flag there would let users believe they subsampled).
-fn parse_flags(rest: &[String], default_backend: BackendKind, smoke: bool) -> Result<Args, String> {
+/// (`smoke`/`replay` default to 100k nodes, where only `sparse` fits the
+/// memory guard — a bare `gpnm smoke` must work out of the box), and which
+/// flags are accepted at all (`match`/`bench` read their graph from an
+/// edge list; silently accepting a generator-shape flag there would let
+/// users believe they subsampled).
+fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Result<Args, String> {
+    let generated = cmd != Cmd::FromFile;
     let mut args = Args {
         labels: 30,
         pattern_nodes: 6,
@@ -59,6 +82,9 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, smoke: bool) -> Re
         max_index_gb: 4.0,
         nodes: 100_000,
         edges: 400_000,
+        patterns: 3,
+        ticks: 5,
+        trace: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -72,14 +98,20 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, smoke: bool) -> Re
             }
             "--updates" => args.updates = parse_num(take_str("--updates")?, "--updates")?,
             "--seed" => args.seed = parse_num(take_str("--seed")?, "--seed")? as u64,
-            "--nodes" | "--edges" if !smoke => {
+            "--nodes" | "--edges" if !generated => {
                 return Err(format!(
-                    "{flag} only applies to `gpnm smoke` (match/bench take their \
-                     graph from the edge-list file)"
+                    "{flag} only applies to `gpnm smoke`/`gpnm replay` (match/bench take \
+                     their graph from the edge-list file)"
                 ));
             }
             "--nodes" => args.nodes = parse_num(take_str("--nodes")?, "--nodes")?,
             "--edges" => args.edges = parse_num(take_str("--edges")?, "--edges")?,
+            "--patterns" | "--ticks" | "--trace" if cmd != Cmd::Replay => {
+                return Err(format!("{flag} only applies to `gpnm replay`"));
+            }
+            "--patterns" => args.patterns = parse_num(take_str("--patterns")?, "--patterns")?,
+            "--ticks" => args.ticks = parse_num(take_str("--ticks")?, "--ticks")?,
+            "--trace" => args.trace = Some(take_str("--trace")?.clone()),
             "--backend" => args.backend = take_str("--backend")?.parse()?,
             "--max-index-gb" => {
                 let v = take_str("--max-index-gb")?;
@@ -106,20 +138,21 @@ fn parse_num(value: &str, name: &str) -> Result<usize, String> {
 }
 
 /// Refuse dense builds whose `n × n` matrix would blow the memory budget —
-/// a helpful error beats an OOM kill half an hour into APSP.
+/// a helpful error beats an OOM kill half an hour into APSP. The size
+/// model is `BackendKind::estimated_index_bytes`, the same estimate the
+/// service builder's guard enforces, so the subcommands cannot drift.
 fn guard_dense_build(backend: BackendKind, nodes: usize, max_index_gb: f64) -> Result<(), String> {
-    if !backend.is_dense() {
+    let Some(bytes) = backend.estimated_index_bytes(nodes) else {
         return Ok(());
-    }
-    let bytes = nodes as f64 * nodes as f64 * 4.0;
+    };
     let limit = max_index_gb * (1u64 << 30) as f64;
-    if bytes > limit {
+    if bytes as f64 > limit {
         return Err(format!(
             "refusing to build a dense SLen matrix for {nodes} nodes: \
              {nodes}² × 4 B ≈ {:.1} GiB exceeds --max-index-gb {max_index_gb}. \
              Use `--backend sparse` (bounded rows for pattern-labeled nodes only), \
              or raise --max-index-gb if you really have the RAM.",
-            bytes / (1u64 << 30) as f64
+            bytes as f64 / (1u64 << 30) as f64
         ));
     }
     Ok(())
@@ -259,6 +292,130 @@ fn run_smoke<B: SlenBackend>(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The continuous-query mode: one `GpnmService`, k standing patterns,
+/// a stream of data-update batches, per-tick per-pattern deltas.
+fn run_replay(args: &Args) -> Result<(), String> {
+    let t = std::time::Instant::now();
+    let (graph, mut interner) = generate_social_graph(&SocialGraphConfig {
+        nodes: args.nodes,
+        edges: args.edges,
+        labels: args.labels,
+        communities: args.labels,
+        seed: args.seed,
+        ..Default::default()
+    });
+    println!(
+        "generated {} nodes / {} edges in {:?}",
+        graph.node_count(),
+        graph.edge_count(),
+        t.elapsed()
+    );
+
+    // The builder is the fallible construction path: a dense backend on a
+    // 100k-node graph comes back as a typed refusal, not an OOM kill.
+    let mut service = GpnmService::builder()
+        .backend(args.backend)
+        .max_index_gb(args.max_index_gb)
+        .build(graph)
+        .map_err(|e| e.to_string())?;
+
+    for i in 0..args.patterns {
+        let pattern = generate_pattern(
+            &PatternConfig {
+                nodes: args.pattern_nodes,
+                edges: args.pattern_nodes,
+                bound_range: (1, 3),
+                seed: args.seed + i as u64,
+            },
+            &interner,
+        );
+        let t = std::time::Instant::now();
+        let handle = service
+            .register_pattern(pattern, MatchSemantics::Simulation)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "registered {handle}: {} matches in {:?}",
+            service
+                .result(handle)
+                .map_err(|e| e.to_string())?
+                .total_matches(),
+            t.elapsed()
+        );
+    }
+    println!(
+        "union requirements: {} labels, depth {}; index: {} rows resident, {:.1} MiB ({})",
+        service.requirements().labels().len(),
+        service.requirements().depth(),
+        service.backend().resident_rows(),
+        service.backend().mem_bytes() as f64 / (1u64 << 20) as f64,
+        service.backend().kind(),
+    );
+
+    // Batches come from a trace file (chunks separated by `---` lines) or
+    // from the generator, one batch per tick. Split line-wise: only an
+    // all-dash line is a separator — deletion ops (`-DE ...`) legitimately
+    // start with a dash and must survive intact.
+    let trace_chunks: Option<Vec<String>> = match &args.trace {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace {path}: {e}"))?;
+            let mut chunks = vec![String::new()];
+            for line in text.lines() {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() && trimmed.chars().all(|c| c == '-') {
+                    chunks.push(String::new());
+                } else {
+                    let current = chunks.last_mut().expect("starts non-empty");
+                    current.push_str(line);
+                    current.push('\n');
+                }
+            }
+            // Blank/comment-only chunks (e.g. a trailing separator) carry
+            // no tick.
+            chunks.retain(|c| {
+                c.lines()
+                    .any(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+            });
+            Some(chunks)
+        }
+        None => None,
+    };
+    let ticks = trace_chunks.as_ref().map_or(args.ticks, Vec::len);
+    let protocol = UpdateProtocol::from_scale(0, args.updates);
+
+    for tick in 0..ticks {
+        let batch = match &trace_chunks {
+            Some(chunks) => read_trace(&chunks[tick], &mut interner)
+                .map_err(|e| format!("trace tick {tick}: {e}"))?,
+            None => generate_batch(
+                service.graph(),
+                &PatternGraph::new(),
+                &interner,
+                &protocol,
+                args.seed + 1000 + tick as u64,
+            ),
+        };
+        let report = service.apply(&batch).map_err(|e| e.to_string())?;
+        println!("{}", report.summary());
+        for (handle, delta) in &report.deltas {
+            println!(
+                "  {handle}: +{} -{} (v{})",
+                delta.added.len(),
+                delta.removed.len(),
+                delta.result_version
+            );
+        }
+    }
+    println!(
+        "final: {} nodes / {} edges, index {} rows resident, {:.1} MiB",
+        service.graph().node_count(),
+        service.graph().edge_count(),
+        service.backend().resident_rows(),
+        service.backend().mem_bytes() as f64 / (1u64 << 20) as f64,
+    );
+    Ok(())
+}
+
 fn cmd_match(path: &str, args: &Args) -> Result<(), String> {
     let (graph, interner) = load(path, args)?;
     guard_dense_build(args.backend, graph.slot_count(), args.max_index_gb)?;
@@ -310,27 +467,36 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some((cmd, rest)) if cmd == "match" && !rest.is_empty() => {
-            match parse_flags(&rest[1..], BackendKind::Partitioned, false) {
+            match parse_flags(&rest[1..], BackendKind::Partitioned, Cmd::FromFile) {
                 Ok(args) => cmd_match(&rest[0], &args),
                 Err(e) => Err(e),
             }
         }
         Some((cmd, rest)) if cmd == "bench" && !rest.is_empty() => {
-            match parse_flags(&rest[1..], BackendKind::Partitioned, false) {
+            match parse_flags(&rest[1..], BackendKind::Partitioned, Cmd::FromFile) {
                 Ok(args) => cmd_bench(&rest[0], &args),
                 Err(e) => Err(e),
             }
         }
-        Some((cmd, rest)) if cmd == "smoke" => match parse_flags(rest, BackendKind::Sparse, true) {
-            Ok(args) => cmd_smoke(&args),
-            Err(e) => Err(e),
-        },
+        Some((cmd, rest)) if cmd == "smoke" => {
+            match parse_flags(rest, BackendKind::Sparse, Cmd::Smoke) {
+                Ok(args) => cmd_smoke(&args),
+                Err(e) => Err(e),
+            }
+        }
+        Some((cmd, rest)) if cmd == "replay" => {
+            match parse_flags(rest, BackendKind::Sparse, Cmd::Replay) {
+                Ok(args) => run_replay(&args),
+                Err(e) => Err(e),
+            }
+        }
         _ => Err(
             "usage: gpnm demo | gpnm match <edge-list> [flags] | gpnm bench <edge-list> [flags] \
-             | gpnm smoke [flags]\n\
+             | gpnm smoke [flags] | gpnm replay [flags]\n\
              flags: --backend dense|partitioned|sparse --max-index-gb G\n\
              \x20      --labels N --pattern-nodes N --updates N --seed S\n\
-             \x20      --nodes N --edges M (smoke only)"
+             \x20      --nodes N --edges M (smoke/replay only)\n\
+             \x20      --patterns K --ticks T --trace FILE (replay only)"
                 .to_owned(),
         ),
     };

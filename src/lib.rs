@@ -19,6 +19,8 @@
 //!   EH-Tree.
 //! * [`engine`] — end-to-end strategies: `UA-GPNM` and the `INC-GPNM`,
 //!   `EH-GPNM`, `UA-GPNM-NoPar` baselines.
+//! * [`service`] — the continuous-query layer: many standing patterns over
+//!   one graph, shared single-pass repair, per-tick [`prelude::MatchDelta`]s.
 //! * [`workload`] — synthetic SNAP stand-ins and the paper's experiment
 //!   protocol.
 //!
@@ -35,6 +37,10 @@
 //! let pms: Vec<_> = iquery.matches_of(fig.p_pm).collect();
 //! assert_eq!(pms, vec![fig.pm1, fig.pm2]);
 //! ```
+//!
+//! For the continuous-query shape — register k standing patterns once,
+//! stream update batches, receive per-pattern added/removed deltas — see
+//! [`prelude::GpnmService`] and `examples/continuous_queries.rs`.
 //!
 //! ## Building and verifying
 //!
@@ -60,17 +66,19 @@ pub use gpnm_distance as distance;
 pub use gpnm_engine as engine;
 pub use gpnm_graph as graph;
 pub use gpnm_matcher as matcher;
+pub use gpnm_service as service;
 pub use gpnm_updates as updates;
 pub use gpnm_workload as workload;
 
 /// Convenience re-exports covering the common API surface.
 pub mod prelude {
-    pub use gpnm_distance::{SlenBackend, SlenRequirements, SparseIndex};
-    pub use gpnm_engine::{BackendKind, ExecStats, GpnmEngine, Strategy};
+    pub use gpnm_distance::{AnyBackend, BackendKind, SlenBackend, SlenRequirements, SparseIndex};
+    pub use gpnm_engine::{EngineError, ExecStats, GpnmEngine, Strategy};
     pub use gpnm_graph::{
         Bound, DataGraph, DataGraphBuilder, GraphError, Label, LabelInterner, NodeId, PatternGraph,
         PatternGraphBuilder, PatternNodeId,
     };
-    pub use gpnm_matcher::{MatchResult, MatchSemantics};
+    pub use gpnm_matcher::{MatchDelta, MatchResult, MatchSemantics};
+    pub use gpnm_service::{GpnmService, PatternHandle, ServiceBuilder, ServiceError, TickReport};
     pub use gpnm_updates::{DataUpdate, PatternUpdate, Update, UpdateBatch};
 }
