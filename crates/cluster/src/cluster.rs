@@ -1,0 +1,646 @@
+//! The sharded serving layer: k [`GpnmService`] shards behind one
+//! cluster-level register/apply surface, with parallel fan-out ticks.
+
+use std::time::{Duration, Instant};
+
+use gpnm_distance::{AnyBackend, BackendKind, RepairHint, SlenBackend, SlenRequirements};
+use gpnm_graph::{DataGraph, PatternGraph};
+use gpnm_matcher::{MatchDelta, MatchResult, MatchSemantics};
+use gpnm_pool::WorkerPool;
+use gpnm_service::{GpnmService, PatternHandle, ServiceError, TickReport};
+use gpnm_updates::UpdateBatch;
+
+use crate::error::ClusterError;
+use crate::placement::{LeastLoaded, ShardLoad, ShardPlacement};
+
+/// Opaque cluster-wide id of one registered standing pattern. Like the
+/// service's [`PatternHandle`], handles are unique for the cluster's
+/// lifetime and never reissued; unlike it, a cluster handle also pins the
+/// shard the pattern lives on (query it with
+/// [`GpnmCluster::shard_of`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterHandle(u64);
+
+impl ClusterHandle {
+    /// The numeric id (stable, ascending in registration order).
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ClusterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pattern #{}", self.0)
+    }
+}
+
+/// What one [`GpnmCluster::apply`] tick did: the merged view of every
+/// shard's [`TickReport`], with deltas keyed by stable cluster handles in
+/// cluster registration order.
+#[derive(Debug, Clone)]
+pub struct ClusterTickReport {
+    /// 1-based cluster tick number.
+    pub tick: u64,
+    /// Updates in the submitted batch.
+    pub updates_submitted: usize,
+    /// Updates surviving net-effect reduction (identical on every shard —
+    /// reduction is pattern-independent and the replicas share one
+    /// trajectory).
+    pub updates_applied: usize,
+    /// Distance pairs repaired, summed across shards. Narrowed shard
+    /// indices make this *less* than `shards ×` a single union index's
+    /// changes — the per-shard isolation win.
+    pub slen_changes: usize,
+    /// Eliminated repair passes, summed across shards and patterns.
+    pub eliminated: usize,
+    /// Repair passes run, summed across shards and patterns.
+    pub repair_calls: usize,
+    /// End-to-end wall time of the fan-out tick.
+    pub total_time: Duration,
+    /// Per-pattern deltas, in cluster registration order.
+    pub deltas: Vec<(ClusterHandle, MatchDelta)>,
+    /// Each shard's own report, in shard order — per-shard `TickStats`
+    /// live here.
+    pub shard_reports: Vec<TickReport>,
+}
+
+impl ClusterTickReport {
+    /// The delta of one registered pattern, if it is part of this tick.
+    pub fn delta_for(&self, handle: ClusterHandle) -> Option<&MatchDelta> {
+        self.deltas
+            .iter()
+            .find(|(h, _)| *h == handle)
+            .map(|(_, d)| d)
+    }
+
+    /// Match pairs gained across all patterns of all shards.
+    pub fn total_added(&self) -> usize {
+        self.deltas.iter().map(|(_, d)| d.added.len()).sum()
+    }
+
+    /// Match pairs lost across all patterns of all shards.
+    pub fn total_removed(&self) -> usize {
+        self.deltas.iter().map(|(_, d)| d.removed.len()).sum()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "tick {}: ΔG={} (net {}), shards={}, slen_changes={}, patterns={}, +{} −{}, total={:?}",
+            self.tick,
+            self.updates_submitted,
+            self.updates_applied,
+            self.shard_reports.len(),
+            self.slen_changes,
+            self.deltas.len(),
+            self.total_added(),
+            self.total_removed(),
+            self.total_time,
+        )
+    }
+}
+
+/// Fallible, builder-style construction of a [`GpnmCluster`].
+///
+/// ```
+/// use gpnm_cluster::GpnmCluster;
+/// use gpnm_distance::BackendKind;
+///
+/// let fig = gpnm_graph::paper::fig1();
+/// let cluster = GpnmCluster::builder()
+///     .shards(2)
+///     .backend(BackendKind::Sparse)
+///     .refresh_threads(2)
+///     .build(fig.graph)
+///     .expect("sparse builds are never refused");
+/// assert_eq!(cluster.shard_count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    shards: usize,
+    kind: BackendKind,
+    max_index_gb: f64,
+    hint: RepairHint,
+    refresh_threads: usize,
+    placement: Box<dyn ShardPlacement>,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            shards: 1,
+            kind: BackendKind::Sparse,
+            max_index_gb: 4.0,
+            hint: RepairHint::Accelerated,
+            refresh_threads: 0,
+            placement: Box::new(LeastLoaded::new()),
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// A builder with the defaults: 1 shard, sparse backend (sharding
+    /// exists to bound per-shard index size, which only a requirement-
+    /// narrowed backend delivers), 4 GiB dense budget, least-loaded
+    /// placement, sequential refresh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of shards (must be ≥ 1). Each shard owns a full replica of
+    /// the data graph and an index narrowed to its own patterns.
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = k;
+        self
+    }
+
+    /// Select every shard's `SLen` backend.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Per-shard dense-index memory budget, in GiB (see
+    /// [`gpnm_service::ServiceBuilder::max_index_gb`]).
+    pub fn max_index_gb(mut self, gb: impl Into<f64>) -> Self {
+        self.max_index_gb = gb.into();
+        self
+    }
+
+    /// Choose how deletion rows are recomputed (default
+    /// [`RepairHint::Accelerated`]).
+    pub fn repair_hint(mut self, hint: RepairHint) -> Self {
+        self.hint = hint;
+        self
+    }
+
+    /// Per-shard refresh parallelism (see
+    /// [`gpnm_service::ServiceBuilder::refresh_threads`]). The two levels
+    /// compose: a tick fans out across shards, and each shard fans its
+    /// patterns out across this many further lanes of the same pool.
+    pub fn refresh_threads(mut self, n: usize) -> Self {
+        self.refresh_threads = n;
+        self
+    }
+
+    /// Plug in a placement strategy (default [`LeastLoaded`]).
+    pub fn placement(mut self, placement: impl ShardPlacement + 'static) -> Self {
+        self.placement = Box::new(placement);
+        self
+    }
+
+    /// Build the cluster over `graph`: every shard gets its own replica
+    /// and an (initially empty-requirement) backend of the configured
+    /// kind.
+    pub fn build(self, graph: DataGraph) -> Result<GpnmCluster, ClusterError> {
+        if self.shards == 0 {
+            return Err(ClusterError::InvalidConfig(
+                "a cluster needs at least one shard".to_owned(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            let service = GpnmService::builder()
+                .backend(self.kind)
+                .max_index_gb(self.max_index_gb)
+                .repair_hint(self.hint)
+                .refresh_threads(self.refresh_threads)
+                .build(graph.clone())?;
+            shards.push(service);
+        }
+        Ok(GpnmCluster {
+            shards,
+            placement: self.placement,
+            patterns: Vec::new(),
+            next_handle: 0,
+            tick: 0,
+        })
+    }
+}
+
+/// A sharded GPNM serving cluster: k [`GpnmService`] shards, each with its
+/// own [`DataGraph`] replica and an index narrowed to only *that shard's*
+/// patterns' [`SlenRequirements`], behind one register/apply surface.
+///
+/// Where a single [`GpnmService`] pays one shared repair pass over the
+/// *union* of every registered pattern's requirements,
+/// [`GpnmCluster::apply`] validates the batch once and fans it out to all
+/// shards **in parallel** on the shared [`gpnm_pool::WorkerPool`]; each
+/// shard commits the same batch to its replica and repairs only its own
+/// narrowed index, then refreshes its patterns (themselves parallel when
+/// `refresh_threads > 0`). The speedup composes twice:
+///
+/// * **across shards** — k repair passes run concurrently, and each is
+///   *smaller* than the union pass (a shard's index only keeps rows for
+///   its own patterns' labels, truncated at its own patterns' max bound —
+///   one deep or label-hungry pattern no longer taxes every other
+///   pattern's repair);
+/// * **within a shard** — per-pattern refresh rides the same pool.
+///
+/// Per-pattern results are bitwise identical to a single service (and to
+/// k independent engines) — asserted by the `cluster_equivalence` proptest
+/// suite; sharding changes *cost and isolation*, not answers. The price is
+/// graph memory: every shard owns a replica (distance index memory, the
+/// dominant term, is *partitioned*, not replicated).
+#[derive(Debug)]
+pub struct GpnmCluster {
+    shards: Vec<GpnmService<AnyBackend>>,
+    placement: Box<dyn ShardPlacement>,
+    /// Registration-ordered routing table: cluster handle → (shard,
+    /// shard-local handle).
+    patterns: Vec<(ClusterHandle, usize, PatternHandle)>,
+    next_handle: u64,
+    tick: u64,
+}
+
+impl GpnmCluster {
+    /// Start configuring a cluster — see [`ClusterBuilder`].
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of registered patterns across all shards.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Batches applied so far.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Handles of every registered pattern, in registration order.
+    pub fn handles(&self) -> impl Iterator<Item = ClusterHandle> + '_ {
+        self.patterns.iter().map(|&(h, _, _)| h)
+    }
+
+    /// The shards, in shard order — read-only introspection (footprints,
+    /// requirements, per-shard pattern counts).
+    pub fn shards(&self) -> &[GpnmService<AnyBackend>] {
+        &self.shards
+    }
+
+    /// Shard 0's graph replica. All replicas walk the same trajectory, so
+    /// this *is* the cluster's data graph.
+    pub fn graph(&self) -> &DataGraph {
+        self.shards[0].graph()
+    }
+
+    /// Current load snapshot per shard, with `projected_rows` computed
+    /// for `candidate` (what each shard's index would grow to if the
+    /// pattern were placed there).
+    pub fn loads(&self, candidate: &PatternGraph) -> Vec<ShardLoad> {
+        let candidate_reqs = SlenRequirements::of_pattern(candidate);
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, service)| {
+                let mut union = service.requirements().clone();
+                union.absorb(&candidate_reqs);
+                ShardLoad {
+                    shard,
+                    patterns: service.pattern_count(),
+                    resident_rows: service.backend().resident_rows(),
+                    mem_bytes: service.backend().mem_bytes(),
+                    projected_rows: union.covered_rows(service.graph()),
+                }
+            })
+            .collect()
+    }
+
+    /// Distance rows resident across all shards — the cluster's total
+    /// index footprint in rows.
+    pub fn total_resident_rows(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.backend().resident_rows())
+            .sum()
+    }
+
+    /// Approximate heap footprint of all shard indices, in bytes.
+    pub fn total_index_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.backend().mem_bytes()).sum()
+    }
+
+    fn route(&self, handle: ClusterHandle) -> Result<(usize, PatternHandle), ClusterError> {
+        self.patterns
+            .iter()
+            .find(|&&(h, _, _)| h == handle)
+            .map(|&(_, shard, local)| (shard, local))
+            .ok_or(ClusterError::UnknownHandle(handle))
+    }
+
+    /// The shard `handle`'s pattern lives on.
+    pub fn shard_of(&self, handle: ClusterHandle) -> Result<usize, ClusterError> {
+        Ok(self.route(handle)?.0)
+    }
+
+    /// The registered pattern behind `handle`.
+    pub fn pattern(&self, handle: ClusterHandle) -> Result<&PatternGraph, ClusterError> {
+        let (shard, local) = self.route(handle)?;
+        Ok(self.shards[shard].pattern(local)?)
+    }
+
+    /// The semantics `handle` was registered under.
+    pub fn semantics(&self, handle: ClusterHandle) -> Result<MatchSemantics, ClusterError> {
+        let (shard, local) = self.route(handle)?;
+        Ok(self.shards[shard].semantics(local)?)
+    }
+
+    /// The full current result of `handle` — the snapshot for late
+    /// joiners; deltas are the streaming answer.
+    pub fn result(&self, handle: ClusterHandle) -> Result<&MatchResult, ClusterError> {
+        let (shard, local) = self.route(handle)?;
+        Ok(self.shards[shard].result(local)?)
+    }
+
+    /// How many ticks `handle`'s result has absorbed since registration.
+    pub fn result_version(&self, handle: ClusterHandle) -> Result<u64, ClusterError> {
+        let (shard, local) = self.route(handle)?;
+        Ok(self.shards[shard].result_version(local)?)
+    }
+
+    /// Register a standing pattern: consult the placement strategy, widen
+    /// only the chosen shard's requirement union, run the initial match
+    /// there, and return the cluster handle its deltas will be keyed by.
+    /// Every other shard is untouched — registration cost is local to one
+    /// shard.
+    pub fn register_pattern(
+        &mut self,
+        pattern: PatternGraph,
+        semantics: MatchSemantics,
+    ) -> Result<ClusterHandle, ClusterError> {
+        if pattern.node_count() == 0 {
+            return Err(ServiceError::EmptyPattern.into());
+        }
+        let loads = self.loads(&pattern);
+        let shard = self.placement.place(&pattern, &loads);
+        if shard >= self.shards.len() {
+            return Err(ClusterError::PlacementOutOfRange {
+                shard,
+                shards: self.shards.len(),
+            });
+        }
+        let local = self.shards[shard].register_pattern(pattern, semantics)?;
+        let handle = ClusterHandle(self.next_handle);
+        self.next_handle += 1;
+        self.patterns.push((handle, shard, local));
+        Ok(handle)
+    }
+
+    /// Deregister a standing pattern and narrow its shard's requirement
+    /// union to what that shard's remaining patterns need.
+    pub fn deregister(&mut self, handle: ClusterHandle) -> Result<(), ClusterError> {
+        let (shard, local) = self.route(handle)?;
+        self.shards[shard].deregister(local)?;
+        self.patterns.retain(|&(h, _, _)| h != handle);
+        Ok(())
+    }
+
+    /// Apply one data-update batch across the whole cluster: validate it
+    /// **once** (typed, mutation-free refusal — exactly
+    /// [`GpnmService::apply`]'s contract), fan the validated batch out to
+    /// every shard **in parallel** on the shared worker pool, and merge
+    /// the per-shard [`TickReport`]s into one [`ClusterTickReport`] keyed
+    /// by cluster handles.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<ClusterTickReport, ClusterError> {
+        if let Some(index) = batch.first_pattern_update() {
+            return Err(ServiceError::PatternUpdateInBatch { index }.into());
+        }
+        // One validation serves every replica: they share one trajectory.
+        batch.validate_data(self.shards[0].graph())?;
+        let start = Instant::now();
+
+        let mut slots: Vec<Option<Result<TickReport, ServiceError>>> = Vec::new();
+        slots.resize_with(self.shards.len(), || None);
+        WorkerPool::global().scope(|scope| {
+            for (shard, slot) in self.shards.iter_mut().zip(slots.iter_mut()) {
+                scope.spawn(move || *slot = Some(shard.apply_prevalidated(batch)));
+            }
+        });
+
+        let mut shard_reports = Vec::with_capacity(slots.len());
+        for (shard, slot) in slots.into_iter().enumerate() {
+            match slot.expect("fan-out scope joins every shard task") {
+                Ok(report) => shard_reports.push(report),
+                Err(error) => return Err(ClusterError::ShardFailed { shard, error }),
+            }
+        }
+
+        let mut deltas = Vec::with_capacity(self.patterns.len());
+        for &(handle, shard, local) in &self.patterns {
+            let delta = shard_reports[shard]
+                .delta_for(local)
+                .expect("every shard reports every registered pattern")
+                .clone();
+            deltas.push((handle, delta));
+        }
+
+        self.tick += 1;
+        Ok(ClusterTickReport {
+            tick: self.tick,
+            updates_submitted: batch.len(),
+            updates_applied: shard_reports[0].updates_applied,
+            slen_changes: shard_reports.iter().map(|r| r.slen_changes).sum(),
+            eliminated: shard_reports.iter().map(|r| r.eliminated).sum(),
+            repair_calls: shard_reports.iter().map(|r| r.repair_calls).sum(),
+            total_time: start.elapsed(),
+            deltas,
+            shard_reports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::RoundRobin;
+    use gpnm_graph::paper::fig1;
+    use gpnm_graph::GraphError;
+    use gpnm_updates::{DataUpdate, PatternUpdate};
+
+    fn two_shard_cluster() -> (gpnm_graph::paper::Fig1, GpnmCluster) {
+        let f = fig1();
+        let cluster = GpnmCluster::builder()
+            .shards(2)
+            .backend(BackendKind::Sparse)
+            .placement(RoundRobin::new())
+            .build(f.graph.clone())
+            .expect("sparse never refused");
+        (f, cluster)
+    }
+
+    #[test]
+    fn register_apply_deregister_lifecycle() {
+        let (f, mut cluster) = two_shard_cluster();
+        let a = cluster
+            .register_pattern(f.pattern.clone(), MatchSemantics::Simulation)
+            .expect("register");
+        let b = cluster
+            .register_pattern(f.pattern.clone(), MatchSemantics::DualSimulation)
+            .expect("register");
+        assert_eq!(cluster.pattern_count(), 2);
+        // Round-robin spread them across both shards.
+        assert_eq!(cluster.shard_of(a).unwrap(), 0);
+        assert_eq!(cluster.shard_of(b).unwrap(), 1);
+        assert_eq!(cluster.shards()[0].pattern_count(), 1);
+        assert_eq!(cluster.shards()[1].pattern_count(), 1);
+
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        let report = cluster.apply(&batch).expect("valid batch");
+        assert_eq!(report.tick, 1);
+        assert_eq!(report.updates_applied, 1);
+        assert_eq!(report.deltas.len(), 2);
+        assert_eq!(report.shard_reports.len(), 2);
+        assert!(report.slen_changes > 0);
+        assert_eq!(report.delta_for(a).unwrap().result_version, 1);
+        assert_eq!(cluster.result_version(b).unwrap(), 1);
+
+        cluster.deregister(a).expect("deregister");
+        assert_eq!(cluster.pattern_count(), 1);
+        assert_eq!(cluster.result(a), Err(ClusterError::UnknownHandle(a)));
+        assert_eq!(
+            cluster.shards()[0].backend().resident_rows(),
+            0,
+            "shard 0's rows reclaimed"
+        );
+        assert!(cluster.result(b).is_ok());
+    }
+
+    #[test]
+    fn invalid_batches_are_refused_atomically() {
+        let (f, mut cluster) = two_shard_cluster();
+        let h = cluster
+            .register_pattern(f.pattern.clone(), MatchSemantics::Simulation)
+            .unwrap();
+        let before = cluster.result(h).unwrap().clone();
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        batch.push(DataUpdate::InsertEdge {
+            from: f.pm1,
+            to: f.se2, // duplicate
+        });
+        let err = cluster.apply(&batch).expect_err("duplicate edge");
+        assert_eq!(
+            err,
+            ClusterError::Service(ServiceError::InvalidBatch(GraphError::DuplicateEdge(
+                f.pm1, f.se2
+            )))
+        );
+        assert_eq!(cluster.tick(), 0);
+        for shard in cluster.shards() {
+            assert!(!shard.graph().has_edge(f.se1, f.te2), "no partial apply");
+        }
+        assert_eq!(cluster.result(h).unwrap(), &before);
+
+        let mut bad = UpdateBatch::new();
+        bad.push(PatternUpdate::DeleteEdge {
+            from: f.p_pm,
+            to: f.p_se,
+        });
+        assert_eq!(
+            cluster.apply(&bad).expect_err("pattern update refused"),
+            ClusterError::Service(ServiceError::PatternUpdateInBatch { index: 0 })
+        );
+    }
+
+    #[test]
+    fn builder_guards_config() {
+        let f = fig1();
+        assert!(matches!(
+            GpnmCluster::builder().shards(0).build(f.graph.clone()),
+            Err(ClusterError::InvalidConfig(_))
+        ));
+        // The per-shard dense budget propagates.
+        assert!(matches!(
+            GpnmCluster::builder()
+                .shards(2)
+                .backend(BackendKind::Dense)
+                .max_index_gb(1.0e-9)
+                .build(f.graph.clone()),
+            Err(ClusterError::Service(ServiceError::IndexTooLarge { .. }))
+        ));
+        let cluster = GpnmCluster::builder()
+            .shards(3)
+            .build(f.graph)
+            .expect("sparse default");
+        assert_eq!(cluster.shard_count(), 3);
+        assert_eq!(cluster.total_resident_rows(), 0, "no patterns yet");
+    }
+
+    #[test]
+    fn placement_out_of_range_is_typed() {
+        #[derive(Debug)]
+        struct Broken;
+        impl ShardPlacement for Broken {
+            fn place(&mut self, _p: &PatternGraph, loads: &[ShardLoad]) -> usize {
+                loads.len() + 5
+            }
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+        }
+        let f = fig1();
+        let mut cluster = GpnmCluster::builder()
+            .shards(2)
+            .placement(Broken)
+            .build(f.graph)
+            .unwrap();
+        assert_eq!(
+            cluster.register_pattern(f.pattern, MatchSemantics::Simulation),
+            Err(ClusterError::PlacementOutOfRange {
+                shard: 7,
+                shards: 2
+            })
+        );
+        assert_eq!(cluster.pattern_count(), 0, "nothing registered");
+    }
+
+    #[test]
+    fn least_loaded_colocates_same_label_patterns() {
+        let f = fig1();
+        let mut cluster = GpnmCluster::builder()
+            .shards(2)
+            .backend(BackendKind::Sparse)
+            .build(f.graph.clone())
+            .unwrap();
+        // Two identical patterns: the second's labels are already covered
+        // by shard 0, so least-loaded keeps them together (marginal 0)
+        // instead of duplicating the rows on shard 1.
+        let a = cluster
+            .register_pattern(f.pattern.clone(), MatchSemantics::Simulation)
+            .unwrap();
+        let b = cluster
+            .register_pattern(f.pattern.clone(), MatchSemantics::DualSimulation)
+            .unwrap();
+        assert_eq!(cluster.shard_of(a).unwrap(), cluster.shard_of(b).unwrap());
+        assert_eq!(
+            cluster.total_resident_rows(),
+            cluster.shards()[cluster.shard_of(a).unwrap()]
+                .backend()
+                .resident_rows(),
+            "the other shard stayed empty"
+        );
+    }
+
+    #[test]
+    fn empty_pattern_is_refused() {
+        let (_, mut cluster) = two_shard_cluster();
+        assert_eq!(
+            cluster.register_pattern(PatternGraph::new(), MatchSemantics::Simulation),
+            Err(ClusterError::Service(ServiceError::EmptyPattern))
+        );
+    }
+}

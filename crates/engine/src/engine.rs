@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use gpnm_distance::{
     AffDelta, AnyBackend, BackendKind, DistanceMatrix, IncrementalIndex, PartitionedBackend,
-    RepairHint, SlenBackend, SlenRequirements, SparseIndex,
+    RepairHint, SlenBackend, SlenRequirements,
 };
 use gpnm_graph::{DataGraph, NodeId, NodeSet, PatternGraph};
 use gpnm_matcher::{match_graph, repair, MatchResult, MatchSemantics, RepairPlan};
@@ -71,43 +71,17 @@ impl GpnmEngine<PartitionedBackend> {
 }
 
 impl GpnmEngine<IncrementalIndex> {
-    /// Build an engine on the plain dense backend (no §V accelerator:
-    /// `UA-GPNM` degenerates to `UA-GPNM-NoPar` repair behavior).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `GpnmEngine::with_backend_kind(BackendKind::Dense, ..)` or \
-                `GpnmEngine::<IncrementalIndex>::with_backend(..)`"
-    )]
-    pub fn new_dense(graph: DataGraph, pattern: PatternGraph, semantics: MatchSemantics) -> Self {
-        Self::with_backend(graph, pattern, semantics)
-    }
-
     /// The current dense `SLen` matrix.
     pub fn slen(&self) -> &DistanceMatrix {
         self.index.matrix()
     }
 }
 
-impl GpnmEngine<SparseIndex> {
-    /// Build an engine on the sparse bounded-row backend: distance rows
-    /// are materialized only for nodes whose label occurs in `pattern`,
-    /// truncated at the pattern's maximum finite bound — the configuration
-    /// for graphs too large for an `n × n` matrix.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `GpnmEngine::with_backend_kind(BackendKind::Sparse, ..)` or \
-                `GpnmEngine::<SparseIndex>::with_backend(..)`"
-    )]
-    pub fn new_sparse(graph: DataGraph, pattern: PatternGraph, semantics: MatchSemantics) -> Self {
-        Self::with_backend(graph, pattern, semantics)
-    }
-}
-
 impl GpnmEngine<AnyBackend> {
     /// Build an engine whose backend is chosen at runtime by `kind` — the
     /// one constructor behind every `--backend`-style configuration knob.
-    /// Statically-typed callers keep [`GpnmEngine::with_backend`]; this
-    /// replaces the deprecated `new_dense`/`new_sparse` constructor zoo.
+    /// Statically-typed callers keep [`GpnmEngine::with_backend`]
+    /// (`GpnmEngine::<SparseIndex>::with_backend(..)` and friends).
     pub fn with_backend_kind(
         kind: BackendKind,
         graph: DataGraph,

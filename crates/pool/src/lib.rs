@@ -43,6 +43,14 @@
 //!   serial execution on the caller, nested scopes cannot deadlock the
 //!   pool, and `available_parallelism` minus one workers plus the caller
 //!   saturates the machine without oversubscribing it.
+//! * **Nesting, including from worker context.** A task running *on a pool
+//!   worker* may open its own [`WorkerPool::scope`] on the same pool — the
+//!   shape a sharded tick produces (shard tasks fan out per-pattern refresh
+//!   scopes). This cannot deadlock: a scope's waiter executes queued tasks
+//!   itself before sleeping, so every blocked waiter either drains its own
+//!   pending work or is waiting on a strictly deeper scope, and the
+//!   innermost blocked scope always has its tasks queued where its waiter
+//!   can reach them.
 //! * **Panic propagation.** A panicking task poisons its scope; the scope
 //!   re-panics on the submitting thread after all sibling tasks finish,
 //!   matching the `crossbeam::thread::scope(...).expect(...)` behavior the
@@ -426,6 +434,54 @@ mod tests {
             }
         });
         assert_eq!(grand_total.into_inner(), 120);
+    }
+
+    #[test]
+    fn nested_scope_from_worker_context_completes() {
+        // The sharded-tick shape: an outer scope's tasks run on pool
+        // workers and each opens an inner scope on the *same* pool. With
+        // more outer tasks than lanes, some inner scopes necessarily run
+        // from worker context while every worker is busy — progress then
+        // depends on waiters helping, which is what this test pins down.
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            for _ in 0..8 {
+                let total = &total;
+                let pool = &pool;
+                outer.spawn(move || {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 32);
+
+        // Three levels deep, zero workers: everything degenerates to the
+        // caller without hanging.
+        let pool = WorkerPool::new(0);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|a| {
+            let hits = &hits;
+            let pool = &pool;
+            a.spawn(move || {
+                pool.scope(|b| {
+                    b.spawn(move || {
+                        pool.scope(|c| {
+                            c.spawn(move || {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        });
+                    });
+                });
+            });
+        });
+        assert_eq!(hits.into_inner(), 1);
     }
 
     #[test]

@@ -83,4 +83,4 @@ mod error;
 mod service;
 
 pub use error::ServiceError;
-pub use service::{GpnmService, PatternHandle, ServiceBuilder, TickReport};
+pub use service::{GpnmService, PatternHandle, ServiceBuilder, TickReport, TickStats};

@@ -12,6 +12,7 @@ use gpnm_engine::pipeline::{
 };
 use gpnm_graph::{DataGraph, PatternGraph};
 use gpnm_matcher::{match_graph, MatchDelta, MatchResult, MatchSemantics, RepairPlan};
+use gpnm_pool::WorkerPool;
 use gpnm_updates::{reduce_batch, Update, UpdateBatch};
 
 use crate::error::ServiceError;
@@ -44,6 +45,76 @@ struct PatternSession {
     version: u64,
 }
 
+/// Fine-grained accounting of where one tick spent its time — the
+/// observability a serving deployment tunes shard counts and
+/// `refresh_threads` against. Printed by `gpnm replay --stats`.
+///
+/// All durations are nanoseconds (`u128` so they sum safely when a
+/// cluster aggregates shard stats).
+#[derive(Debug, Clone, Default)]
+pub struct TickStats {
+    /// Net-effect batch reduction.
+    pub reduce_ns: u128,
+    /// The shared graph + `SLen` commit pass — paid once per tick, the
+    /// part a per-pattern-engine deployment would pay k times.
+    pub shared_repair_ns: u128,
+    /// DER-II elimination detection + EH-Tree build (also shared).
+    pub detect_ns: u128,
+    /// Per-pattern refresh time, in registration order. Summed this is
+    /// the embarrassingly parallel half of the tick; the max entry bounds
+    /// its ideal parallel wall time.
+    pub per_pattern_refresh_ns: Vec<(PatternHandle, u128)>,
+    /// Parallel lanes the refresh phase ran on (1 = sequential baseline).
+    pub refresh_lanes: usize,
+    /// Updates whose repair pass the EH-Tree eliminated, summed over
+    /// patterns.
+    pub eliminated: usize,
+    /// Repair passes actually run, summed over patterns.
+    pub repair_calls: usize,
+    /// Nodes in the union of the committed updates' `Aff_N` sets (with
+    /// multiplicity across updates) — how much of the graph the batch
+    /// disturbed.
+    pub affected_nodes: usize,
+}
+
+impl TickStats {
+    /// Summed per-pattern refresh time.
+    pub fn refresh_total_ns(&self) -> u128 {
+        self.per_pattern_refresh_ns.iter().map(|&(_, ns)| ns).sum()
+    }
+
+    /// The slowest single pattern's refresh time — the critical path of a
+    /// perfectly parallel refresh phase.
+    pub fn refresh_max_ns(&self) -> u128 {
+        self.per_pattern_refresh_ns
+            .iter()
+            .map(|&(_, ns)| ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Multi-line human rendering (the `--stats` output).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "  stats: reduce={}µs shared_repair={}µs detect={}µs refresh(Σ)={}µs \
+             refresh(max)={}µs lanes={} eliminated={} repairs={} affected={}",
+            self.reduce_ns / 1_000,
+            self.shared_repair_ns / 1_000,
+            self.detect_ns / 1_000,
+            self.refresh_total_ns() / 1_000,
+            self.refresh_max_ns() / 1_000,
+            self.refresh_lanes,
+            self.eliminated,
+            self.repair_calls,
+            self.affected_nodes,
+        );
+        for (handle, ns) in &self.per_pattern_refresh_ns {
+            out.push_str(&format!("\n    {handle}: refresh {}µs", ns / 1_000));
+        }
+        out
+    }
+}
+
 /// What one [`GpnmService::apply`] tick did: shared-work accounting plus
 /// one [`MatchDelta`] per registered pattern.
 #[derive(Debug, Clone)]
@@ -70,6 +141,8 @@ pub struct TickReport {
     pub total_time: Duration,
     /// Per-pattern deltas, in registration order.
     pub deltas: Vec<(PatternHandle, MatchDelta)>,
+    /// Fine-grained timing/counters for the tick.
+    pub stats: TickStats,
 }
 
 impl TickReport {
@@ -127,6 +200,7 @@ pub struct ServiceBuilder {
     kind: BackendKind,
     max_index_gb: f64,
     hint: RepairHint,
+    refresh_threads: usize,
 }
 
 impl Default for ServiceBuilder {
@@ -135,6 +209,7 @@ impl Default for ServiceBuilder {
             kind: BackendKind::Partitioned,
             max_index_gb: 4.0,
             hint: RepairHint::Accelerated,
+            refresh_threads: 0,
         }
     }
 }
@@ -168,6 +243,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Parallel lanes for the per-pattern refresh phase (default `0` =
+    /// the sequential baseline, kept for ablations). After the shared
+    /// commit pass the graph and index are read-only, so each registered
+    /// pattern's refresh is independent; `n > 0` fans them out over up to
+    /// `n` lanes of the shared [`gpnm_pool::WorkerPool`]. Results are
+    /// bitwise identical either way — the knob trades wall time only.
+    pub fn refresh_threads(mut self, n: usize) -> Self {
+        self.refresh_threads = n;
+        self
+    }
+
     /// Build the service over `graph`. Fails — instead of panicking or
     /// OOMing — when the configuration cannot be honored.
     pub fn build(self, graph: DataGraph) -> Result<GpnmService<AnyBackend>, ServiceError> {
@@ -189,7 +275,9 @@ impl ServiceBuilder {
         }
         let reqs = SlenRequirements::empty();
         let index = AnyBackend::of_kind(self.kind, &graph, &reqs);
-        Ok(GpnmService::from_parts(graph, index, reqs, self.hint))
+        let mut service = GpnmService::from_parts(graph, index, reqs, self.hint);
+        service.set_refresh_threads(self.refresh_threads);
+        Ok(service)
     }
 }
 
@@ -225,6 +313,7 @@ pub struct GpnmService<B: SlenBackend = PartitionedBackend> {
     sessions: Vec<(PatternHandle, PatternSession)>,
     next_handle: u64,
     tick: u64,
+    refresh_threads: usize,
 }
 
 impl GpnmService<AnyBackend> {
@@ -253,7 +342,20 @@ impl<B: SlenBackend> GpnmService<B> {
             sessions: Vec::new(),
             next_handle: 0,
             tick: 0,
+            refresh_threads: 0,
         }
+    }
+
+    /// Set the parallel-lane budget for the per-pattern refresh phase —
+    /// see [`ServiceBuilder::refresh_threads`]. `0` keeps the sequential
+    /// baseline. Safe to change between ticks.
+    pub fn set_refresh_threads(&mut self, n: usize) {
+        self.refresh_threads = n;
+    }
+
+    /// The configured refresh parallelism (`0` = sequential).
+    pub fn refresh_threads(&self) -> usize {
+        self.refresh_threads
     }
 
     /// The current data graph.
@@ -377,10 +479,26 @@ impl<B: SlenBackend> GpnmService<B> {
     /// the graph mutation and `SLen` repair were paid once, not
     /// once per pattern.
     pub fn apply(&mut self, batch: &UpdateBatch) -> Result<TickReport, ServiceError> {
+        batch.validate_data(&self.graph)?;
+        self.apply_prevalidated(batch)
+    }
+
+    /// [`GpnmService::apply`] minus the up-front *data* validation — the
+    /// seam a cluster uses to validate a batch **once** and fan the same
+    /// committed work out to every shard replica.
+    ///
+    /// The caller promises the batch's data updates are valid against the
+    /// current graph (i.e. [`gpnm_updates::UpdateBatch::validate_data`]
+    /// passed on an identical replica). An invalid batch still surfaces a
+    /// typed error — pattern updates are always refused mutation-free,
+    /// exactly like [`GpnmService::apply`] — but an invalid *data* update
+    /// surfaces possibly after part of the batch has mutated this
+    /// service's state, so atomic refusal is the validating caller's
+    /// responsibility.
+    pub fn apply_prevalidated(&mut self, batch: &UpdateBatch) -> Result<TickReport, ServiceError> {
         if let Some(index) = batch.first_pattern_update() {
             return Err(ServiceError::PatternUpdateInBatch { index });
         }
-        batch.validate_data(&self.graph)?;
         let start = Instant::now();
 
         // Net-effect reduction. Data-update cancellation never consults the
@@ -430,29 +548,31 @@ impl<B: SlenBackend> GpnmService<B> {
         // Per-pattern refresh over the shared committed records. The
         // elimination analysis (DER-II containment + EH-Tree) consumes only
         // the shared deltas, so it is computed once and reused by every
-        // pattern's survivor-repair pass; then delta extraction.
+        // pattern's survivor-repair pass; then delta extraction. From here
+        // the graph and index are read-only, so the per-pattern work is
+        // independent and fans out across `refresh_threads` pool lanes.
         let t = Instant::now();
         let shared = SharedElimination::detect(&committed);
+        let outcomes = refresh_sessions(
+            &self.graph,
+            &self.index,
+            &mut self.sessions,
+            &plans,
+            &shared,
+            self.refresh_threads,
+        );
+        let refresh_time = t.elapsed();
+
         let mut eliminated = 0;
         let mut repair_calls = 0;
-        let mut deltas = Vec::with_capacity(self.sessions.len());
-        for ((handle, sess), pattern_plans) in self.sessions.iter_mut().zip(plans.iter()) {
-            let prev = sess.result.clone();
-            let stats = refresh_pattern_shared(
-                &sess.pattern,
-                &self.graph,
-                &self.index,
-                sess.semantics,
-                &mut sess.result,
-                pattern_plans,
-                &shared,
-            );
-            eliminated += stats.eliminated;
-            repair_calls += stats.repair_calls;
-            sess.version += 1;
-            deltas.push((*handle, sess.result.delta_from(&prev, sess.version)));
+        let mut per_pattern_refresh_ns = Vec::with_capacity(outcomes.len());
+        let mut deltas = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            eliminated += outcome.stats.eliminated;
+            repair_calls += outcome.stats.repair_calls;
+            per_pattern_refresh_ns.push((outcome.handle, outcome.refresh_ns));
+            deltas.push((outcome.handle, outcome.delta));
         }
-        let refresh_time = t.elapsed();
 
         self.tick += 1;
         Ok(TickReport {
@@ -467,8 +587,117 @@ impl<B: SlenBackend> GpnmService<B> {
             refresh_time,
             total_time: start.elapsed(),
             deltas,
+            stats: TickStats {
+                reduce_ns: reduce_time.as_nanos(),
+                shared_repair_ns: slen_time.as_nanos(),
+                detect_ns: (shared.detect_time + shared.tree_time).as_nanos(),
+                per_pattern_refresh_ns,
+                refresh_lanes: refresh_lanes(self.refresh_threads, self.sessions.len()),
+                eliminated,
+                repair_calls,
+                affected_nodes: committed.iter().map(|c| c.delta.affected.len()).sum(),
+            },
         })
     }
+}
+
+/// Parallel tasks the refresh phase actually spawns for `k` sessions
+/// under the `refresh_threads` knob (`0` = sequential baseline = one
+/// lane). Sessions are dealt in contiguous chunks of `⌈k / min(threads,
+/// k)⌉`, so the spawned-task count can be *below* the requested thread
+/// count (e.g. 4 sessions over 3 requested lanes → chunks of 2 → 2
+/// tasks) — this reports the real number, which is what `TickStats`
+/// consumers tune against.
+fn refresh_lanes(refresh_threads: usize, k: usize) -> usize {
+    if refresh_threads == 0 || k <= 1 {
+        return 1;
+    }
+    let chunk = k.div_ceil(refresh_threads.min(k));
+    k.div_ceil(chunk)
+}
+
+/// One pattern's refresh outcome, produced on whichever lane ran it.
+struct RefreshOutcome {
+    handle: PatternHandle,
+    stats: gpnm_engine::pipeline::RefreshStats,
+    delta: MatchDelta,
+    refresh_ns: u128,
+}
+
+/// Refresh every session against the post-commit graph/index, sequentially
+/// (`refresh_threads == 0`) or fanned out in contiguous chunks across the
+/// shared worker pool. The two paths run the same per-session code on the
+/// same inputs, so their outputs are bitwise identical — asserted by the
+/// cluster equivalence proptests.
+fn refresh_sessions<B: SlenBackend>(
+    graph: &DataGraph,
+    index: &B,
+    sessions: &mut [(PatternHandle, PatternSession)],
+    plans: &[Vec<RepairPlan>],
+    shared: &SharedElimination,
+    refresh_threads: usize,
+) -> Vec<RefreshOutcome> {
+    let refresh_one = |(handle, sess): &mut (PatternHandle, PatternSession),
+                       pattern_plans: &Vec<RepairPlan>|
+     -> RefreshOutcome {
+        let t = Instant::now();
+        let prev = sess.result.clone();
+        let stats = refresh_pattern_shared(
+            &sess.pattern,
+            graph,
+            index,
+            sess.semantics,
+            &mut sess.result,
+            pattern_plans,
+            shared,
+        );
+        sess.version += 1;
+        RefreshOutcome {
+            handle: *handle,
+            stats,
+            delta: sess.result.delta_from(&prev, sess.version),
+            refresh_ns: t.elapsed().as_nanos(),
+        }
+    };
+
+    let lanes = refresh_lanes(refresh_threads, sessions.len());
+    if lanes <= 1 || sessions.len() <= 1 {
+        return sessions
+            .iter_mut()
+            .zip(plans.iter())
+            .map(|(entry, pattern_plans)| refresh_one(entry, pattern_plans))
+            .collect();
+    }
+
+    // Chunked fan-out: one task per lane over contiguous session slices,
+    // each writing into its own pre-allocated outcome slot. `chunks_mut`
+    // hands every task a disjoint `&mut` view, so no locking is needed;
+    // the pool scope joins all tasks before the borrows end.
+    let mut slots: Vec<Option<RefreshOutcome>> = Vec::new();
+    slots.resize_with(sessions.len(), || None);
+    let chunk = sessions.len().div_ceil(lanes);
+    WorkerPool::global().scope(|scope| {
+        for ((session_chunk, plan_chunk), slot_chunk) in sessions
+            .chunks_mut(chunk)
+            .zip(plans.chunks(chunk))
+            .zip(slots.chunks_mut(chunk))
+        {
+            let refresh_one = &refresh_one;
+            scope.spawn(move || {
+                for ((entry, pattern_plans), slot) in session_chunk
+                    .iter_mut()
+                    .zip(plan_chunk.iter())
+                    .zip(slot_chunk.iter_mut())
+                {
+                    *slot = Some(refresh_one(entry, pattern_plans));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every chunk task filled its slots"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -537,6 +766,14 @@ mod tests {
             to: f.p_se,
         });
         let err = service.apply(&batch).expect_err("pattern update refused");
+        assert_eq!(err, ServiceError::PatternUpdateInBatch { index: 1 });
+        assert_eq!(service.tick(), 0, "nothing applied");
+        assert!(!service.graph().has_edge(f.se1, f.te2));
+        // The prevalidated seam refuses pattern updates the same typed,
+        // mutation-free way — it only skips *data* validation.
+        let err = service
+            .apply_prevalidated(&batch)
+            .expect_err("pattern update refused on the prevalidated seam too");
         assert_eq!(err, ServiceError::PatternUpdateInBatch { index: 1 });
         assert_eq!(service.tick(), 0, "nothing applied");
         assert!(!service.graph().has_edge(f.se1, f.te2));
@@ -610,6 +847,78 @@ mod tests {
             service.register_pattern(PatternGraph::new(), MatchSemantics::Simulation),
             Err(ServiceError::EmptyPattern)
         );
+    }
+
+    #[test]
+    fn parallel_refresh_matches_sequential_bitwise() {
+        let f = fig1();
+        let mut seq = GpnmService::<SparseIndex>::new(f.graph.clone());
+        let mut par = GpnmService::<SparseIndex>::new(f.graph.clone());
+        par.set_refresh_threads(4);
+        assert_eq!(par.refresh_threads(), 4);
+        let mut handles = Vec::new();
+        for semantics in [MatchSemantics::Simulation, MatchSemantics::DualSimulation] {
+            let a = seq.register_pattern(f.pattern.clone(), semantics).unwrap();
+            let b = par.register_pattern(f.pattern.clone(), semantics).unwrap();
+            assert_eq!(a, b);
+            handles.push(a);
+        }
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        batch.push(DataUpdate::DeleteEdge {
+            from: f.se1,
+            to: f.s1,
+        });
+        let seq_report = seq.apply(&batch).expect("valid");
+        let par_report = par.apply(&batch).expect("valid");
+        assert_eq!(seq_report.stats.refresh_lanes, 1);
+        assert_eq!(par_report.stats.refresh_lanes, 2, "capped at k sessions");
+        for &h in &handles {
+            assert_eq!(seq.result(h).unwrap(), par.result(h).unwrap());
+            assert_eq!(
+                seq_report.delta_for(h).unwrap(),
+                par_report.delta_for(h).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_lanes_reports_actual_tasks() {
+        assert_eq!(refresh_lanes(0, 8), 1, "sequential baseline");
+        assert_eq!(refresh_lanes(4, 0), 1);
+        assert_eq!(refresh_lanes(4, 1), 1);
+        assert_eq!(refresh_lanes(3, 4), 2, "chunks of 2 → 2 tasks, not 3");
+        assert_eq!(refresh_lanes(3, 5), 3, "chunks 2+2+1");
+        assert_eq!(refresh_lanes(16, 4), 4);
+    }
+
+    #[test]
+    fn tick_stats_account_the_tick() {
+        let f = fig1();
+        let mut service = GpnmService::<SparseIndex>::new(f.graph.clone());
+        let h = service
+            .register_pattern(f.pattern.clone(), MatchSemantics::Simulation)
+            .unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        let report = service.apply(&batch).expect("valid");
+        let stats = &report.stats;
+        assert_eq!(stats.per_pattern_refresh_ns.len(), 1);
+        assert_eq!(stats.per_pattern_refresh_ns[0].0, h);
+        assert_eq!(stats.shared_repair_ns, report.slen_time.as_nanos());
+        assert_eq!(stats.eliminated, report.eliminated);
+        assert_eq!(stats.repair_calls, report.repair_calls);
+        assert!(stats.affected_nodes > 0, "the insert disturbed distances");
+        assert!(stats.refresh_total_ns() >= stats.refresh_max_ns());
+        let rendered = stats.render();
+        assert!(rendered.contains("shared_repair"));
+        assert!(rendered.contains("pattern #0"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! gpnm smoke  [--backend B] [--nodes N] [--edges M] [--labels N] [--updates N] [--seed S]
 //! gpnm replay [--backend B] [--nodes N] [--edges M] [--patterns K] [--ticks T]
 //!             [--updates N] [--trace FILE] [--labels N] [--seed S]
+//!             [--shards K] [--threads T] [--stats]
 //! gpnm demo
 //! ```
 //!
@@ -18,8 +19,13 @@
 //! continuous-query mode: register `--patterns` standing patterns on one
 //! `GpnmService`, stream `--ticks` data-update batches (generated, or
 //! parsed from a `--trace` file of `---`-separated trace chunks), and
-//! print the per-tick, per-pattern match deltas. `demo` runs the paper's
-//! Figure 1 example.
+//! print the per-tick, per-pattern match deltas. With `--shards K` the
+//! patterns are placed across a K-shard `GpnmCluster` (round-robin spread
+//! by default; `--placement least-loaded` packs by marginal index growth
+//! instead) and every tick fans out to all shards in parallel;
+//! `--threads T` fans each shard's (or the single service's) per-pattern
+//! refresh out over T pool lanes, and `--stats` prints the per-tick
+//! `TickStats` accounting. `demo` runs the paper's Figure 1 example.
 //!
 //! `--backend {dense,partitioned,sparse}` selects the `SLen` backend. The
 //! dense backends materialize an `n × n` matrix; builds whose estimated
@@ -50,6 +56,20 @@ struct Args {
     patterns: usize,
     ticks: usize,
     trace: Option<String>,
+    shards: Option<usize>,
+    threads: usize,
+    stats: bool,
+    placement: PlacementKind,
+}
+
+/// Which `ShardPlacement` strategy `--placement` selects.
+#[derive(Clone, Copy, PartialEq)]
+enum PlacementKind {
+    /// Spread patterns evenly across shards (maximum fan-out parallelism).
+    RoundRobin,
+    /// Minimize marginal resident-row growth (maximum index locality —
+    /// co-locates patterns over the same label families).
+    LeastLoaded,
 }
 
 /// Which subcommand the flags are parsed for — gates subcommand-specific
@@ -85,6 +105,10 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
         patterns: 3,
         ticks: 5,
         trace: None,
+        shards: None,
+        threads: 0,
+        stats: false,
+        placement: PlacementKind::RoundRobin,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -106,12 +130,35 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
             }
             "--nodes" => args.nodes = parse_num(take_str("--nodes")?, "--nodes")?,
             "--edges" => args.edges = parse_num(take_str("--edges")?, "--edges")?,
-            "--patterns" | "--ticks" | "--trace" if cmd != Cmd::Replay => {
+            "--patterns" | "--ticks" | "--trace" | "--shards" | "--threads" | "--stats"
+            | "--placement"
+                if cmd != Cmd::Replay =>
+            {
                 return Err(format!("{flag} only applies to `gpnm replay`"));
             }
             "--patterns" => args.patterns = parse_num(take_str("--patterns")?, "--patterns")?,
             "--ticks" => args.ticks = parse_num(take_str("--ticks")?, "--ticks")?,
             "--trace" => args.trace = Some(take_str("--trace")?.clone()),
+            "--shards" => {
+                let k = parse_num(take_str("--shards")?, "--shards")?;
+                if k == 0 {
+                    return Err("--shards: a cluster needs at least one shard".to_owned());
+                }
+                args.shards = Some(k);
+            }
+            "--threads" => args.threads = parse_num(take_str("--threads")?, "--threads")?,
+            "--stats" => args.stats = true,
+            "--placement" => {
+                args.placement = match take_str("--placement")?.as_str() {
+                    "round-robin" => PlacementKind::RoundRobin,
+                    "least-loaded" => PlacementKind::LeastLoaded,
+                    other => {
+                        return Err(format!(
+                            "--placement: expected round-robin or least-loaded, got {other}"
+                        ))
+                    }
+                };
+            }
             "--backend" => args.backend = take_str("--backend")?.parse()?,
             "--max-index-gb" => {
                 let v = take_str("--max-index-gb")?;
@@ -292,8 +339,76 @@ fn run_smoke<B: SlenBackend>(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// The continuous-query mode: one `GpnmService`, k standing patterns,
-/// a stream of data-update batches, per-tick per-pattern deltas.
+/// Parse a trace file into per-tick chunks (separated by `---` lines).
+/// Split line-wise: only an all-dash line is a separator — deletion ops
+/// (`-DE ...`) legitimately start with a dash and must survive intact.
+fn parse_trace_chunks(path: &str) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    let mut chunks = vec![String::new()];
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && trimmed.chars().all(|c| c == '-') {
+            chunks.push(String::new());
+        } else {
+            let current = chunks.last_mut().expect("starts non-empty");
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    // Blank/comment-only chunks (e.g. a trailing separator) carry no tick.
+    chunks.retain(|c| {
+        c.lines()
+            .any(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+    });
+    Ok(chunks)
+}
+
+/// One tick's batch: the next trace chunk, or a generated batch against
+/// the current graph state.
+fn tick_batch(
+    args: &Args,
+    trace_chunks: &Option<Vec<String>>,
+    tick: usize,
+    graph: &DataGraph,
+    interner: &mut LabelInterner,
+    protocol: &UpdateProtocol,
+) -> Result<UpdateBatch, String> {
+    match trace_chunks {
+        Some(chunks) => {
+            read_trace(&chunks[tick], interner).map_err(|e| format!("trace tick {tick}: {e}"))
+        }
+        None => Ok(generate_batch(
+            graph,
+            &PatternGraph::new(),
+            interner,
+            protocol,
+            args.seed + 1000 + tick as u64,
+        )),
+    }
+}
+
+/// The k standing patterns a replay registers, in registration order.
+fn replay_patterns(args: &Args, interner: &LabelInterner) -> Vec<PatternGraph> {
+    (0..args.patterns)
+        .map(|i| {
+            generate_pattern(
+                &PatternConfig {
+                    nodes: args.pattern_nodes,
+                    edges: args.pattern_nodes,
+                    bound_range: (1, 3),
+                    seed: args.seed + i as u64,
+                },
+                interner,
+            )
+        })
+        .collect()
+}
+
+/// The continuous-query mode: k standing patterns over a stream of
+/// data-update batches, per-tick per-pattern deltas — on one
+/// `GpnmService`, or (with `--shards`) on a `GpnmCluster` whose ticks fan
+/// out across the shards in parallel.
 fn run_replay(args: &Args) -> Result<(), String> {
     let t = std::time::Instant::now();
     let (graph, mut interner) = generate_social_graph(&SocialGraphConfig {
@@ -310,25 +425,32 @@ fn run_replay(args: &Args) -> Result<(), String> {
         graph.edge_count(),
         t.elapsed()
     );
+    let trace_chunks: Option<Vec<String>> = match &args.trace {
+        Some(path) => Some(parse_trace_chunks(path)?),
+        None => None,
+    };
+    match args.shards {
+        Some(shards) => run_replay_cluster(args, graph, interner, trace_chunks, shards),
+        None => run_replay_service(args, graph, &mut interner, trace_chunks),
+    }
+}
 
+fn run_replay_service(
+    args: &Args,
+    graph: DataGraph,
+    interner: &mut LabelInterner,
+    trace_chunks: Option<Vec<String>>,
+) -> Result<(), String> {
     // The builder is the fallible construction path: a dense backend on a
     // 100k-node graph comes back as a typed refusal, not an OOM kill.
     let mut service = GpnmService::builder()
         .backend(args.backend)
         .max_index_gb(args.max_index_gb)
+        .refresh_threads(args.threads)
         .build(graph)
         .map_err(|e| e.to_string())?;
 
-    for i in 0..args.patterns {
-        let pattern = generate_pattern(
-            &PatternConfig {
-                nodes: args.pattern_nodes,
-                edges: args.pattern_nodes,
-                bound_range: (1, 3),
-                seed: args.seed + i as u64,
-            },
-            &interner,
-        );
+    for pattern in replay_patterns(args, interner) {
         let t = std::time::Instant::now();
         let handle = service
             .register_pattern(pattern, MatchSemantics::Simulation)
@@ -351,50 +473,17 @@ fn run_replay(args: &Args) -> Result<(), String> {
         service.backend().kind(),
     );
 
-    // Batches come from a trace file (chunks separated by `---` lines) or
-    // from the generator, one batch per tick. Split line-wise: only an
-    // all-dash line is a separator — deletion ops (`-DE ...`) legitimately
-    // start with a dash and must survive intact.
-    let trace_chunks: Option<Vec<String>> = match &args.trace {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read trace {path}: {e}"))?;
-            let mut chunks = vec![String::new()];
-            for line in text.lines() {
-                let trimmed = line.trim();
-                if !trimmed.is_empty() && trimmed.chars().all(|c| c == '-') {
-                    chunks.push(String::new());
-                } else {
-                    let current = chunks.last_mut().expect("starts non-empty");
-                    current.push_str(line);
-                    current.push('\n');
-                }
-            }
-            // Blank/comment-only chunks (e.g. a trailing separator) carry
-            // no tick.
-            chunks.retain(|c| {
-                c.lines()
-                    .any(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
-            });
-            Some(chunks)
-        }
-        None => None,
-    };
     let ticks = trace_chunks.as_ref().map_or(args.ticks, Vec::len);
     let protocol = UpdateProtocol::from_scale(0, args.updates);
-
     for tick in 0..ticks {
-        let batch = match &trace_chunks {
-            Some(chunks) => read_trace(&chunks[tick], &mut interner)
-                .map_err(|e| format!("trace tick {tick}: {e}"))?,
-            None => generate_batch(
-                service.graph(),
-                &PatternGraph::new(),
-                &interner,
-                &protocol,
-                args.seed + 1000 + tick as u64,
-            ),
-        };
+        let batch = tick_batch(
+            args,
+            &trace_chunks,
+            tick,
+            service.graph(),
+            interner,
+            &protocol,
+        )?;
         let report = service.apply(&batch).map_err(|e| e.to_string())?;
         println!("{}", report.summary());
         for (handle, delta) in &report.deltas {
@@ -405,6 +494,9 @@ fn run_replay(args: &Args) -> Result<(), String> {
                 delta.result_version
             );
         }
+        if args.stats {
+            println!("{}", report.stats.render());
+        }
     }
     println!(
         "final: {} nodes / {} edges, index {} rows resident, {:.1} MiB",
@@ -412,6 +504,96 @@ fn run_replay(args: &Args) -> Result<(), String> {
         service.graph().edge_count(),
         service.backend().resident_rows(),
         service.backend().mem_bytes() as f64 / (1u64 << 20) as f64,
+    );
+    Ok(())
+}
+
+fn run_replay_cluster(
+    args: &Args,
+    graph: DataGraph,
+    mut interner: LabelInterner,
+    trace_chunks: Option<Vec<String>>,
+    shards: usize,
+) -> Result<(), String> {
+    let builder = GpnmCluster::builder()
+        .shards(shards)
+        .backend(args.backend)
+        .max_index_gb(args.max_index_gb)
+        .refresh_threads(args.threads);
+    let builder = match args.placement {
+        PlacementKind::RoundRobin => builder.placement(RoundRobin::new()),
+        PlacementKind::LeastLoaded => builder.placement(LeastLoaded::new()),
+    };
+    let mut cluster = builder.build(graph).map_err(|e| e.to_string())?;
+
+    for pattern in replay_patterns(args, &interner) {
+        let t = std::time::Instant::now();
+        let handle = cluster
+            .register_pattern(pattern, MatchSemantics::Simulation)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "registered {handle} on shard {}: {} matches in {:?}",
+            cluster.shard_of(handle).map_err(|e| e.to_string())?,
+            cluster
+                .result(handle)
+                .map_err(|e| e.to_string())?
+                .total_matches(),
+            t.elapsed()
+        );
+    }
+    for (i, shard) in cluster.shards().iter().enumerate() {
+        println!(
+            "shard {i}: {} patterns, {} labels, depth {}, {} rows resident, {:.1} MiB ({})",
+            shard.pattern_count(),
+            shard.requirements().labels().len(),
+            shard.requirements().depth(),
+            shard.backend().resident_rows(),
+            shard.backend().mem_bytes() as f64 / (1u64 << 20) as f64,
+            shard.backend().kind(),
+        );
+    }
+    println!(
+        "cluster total: {} rows resident, {:.1} MiB across {} shards (refresh_threads={})",
+        cluster.total_resident_rows(),
+        cluster.total_index_bytes() as f64 / (1u64 << 20) as f64,
+        cluster.shard_count(),
+        args.threads,
+    );
+
+    let ticks = trace_chunks.as_ref().map_or(args.ticks, Vec::len);
+    let protocol = UpdateProtocol::from_scale(0, args.updates);
+    for tick in 0..ticks {
+        let batch = tick_batch(
+            args,
+            &trace_chunks,
+            tick,
+            cluster.graph(),
+            &mut interner,
+            &protocol,
+        )?;
+        let report = cluster.apply(&batch).map_err(|e| e.to_string())?;
+        println!("{}", report.summary());
+        for (handle, delta) in &report.deltas {
+            println!(
+                "  {handle}: +{} -{} (v{})",
+                delta.added.len(),
+                delta.removed.len(),
+                delta.result_version
+            );
+        }
+        if args.stats {
+            for (i, shard_report) in report.shard_reports.iter().enumerate() {
+                println!("  shard {i}:");
+                println!("{}", shard_report.stats.render());
+            }
+        }
+    }
+    println!(
+        "final: {} nodes / {} edges, cluster index {} rows resident, {:.1} MiB",
+        cluster.graph().node_count(),
+        cluster.graph().edge_count(),
+        cluster.total_resident_rows(),
+        cluster.total_index_bytes() as f64 / (1u64 << 20) as f64,
     );
     Ok(())
 }
@@ -496,7 +678,9 @@ fn main() -> ExitCode {
              flags: --backend dense|partitioned|sparse --max-index-gb G\n\
              \x20      --labels N --pattern-nodes N --updates N --seed S\n\
              \x20      --nodes N --edges M (smoke/replay only)\n\
-             \x20      --patterns K --ticks T --trace FILE (replay only)"
+             \x20      --patterns K --ticks T --trace FILE (replay only)\n\
+             \x20      --shards K --threads T --stats (replay only)\n\
+             \x20      --placement round-robin|least-loaded (replay only)"
                 .to_owned(),
         ),
     };

@@ -21,6 +21,8 @@
 //!   `EH-GPNM`, `UA-GPNM-NoPar` baselines.
 //! * [`service`] — the continuous-query layer: many standing patterns over
 //!   one graph, shared single-pass repair, per-tick [`prelude::MatchDelta`]s.
+//! * [`cluster`] — the sharded serving layer: k service shards with
+//!   narrowed indices, pluggable pattern placement, parallel fan-out ticks.
 //! * [`workload`] — synthetic SNAP stand-ins and the paper's experiment
 //!   protocol.
 //!
@@ -62,6 +64,7 @@
 //! for the real crate is a one-line edit in the workspace manifest's
 //! `[workspace.dependencies]`.
 
+pub use gpnm_cluster as cluster;
 pub use gpnm_distance as distance;
 pub use gpnm_engine as engine;
 pub use gpnm_graph as graph;
@@ -72,6 +75,10 @@ pub use gpnm_workload as workload;
 
 /// Convenience re-exports covering the common API surface.
 pub mod prelude {
+    pub use gpnm_cluster::{
+        ClusterBuilder, ClusterError, ClusterHandle, ClusterTickReport, GpnmCluster, LeastLoaded,
+        RoundRobin, ShardLoad, ShardPlacement,
+    };
     pub use gpnm_distance::{AnyBackend, BackendKind, SlenBackend, SlenRequirements, SparseIndex};
     pub use gpnm_engine::{EngineError, ExecStats, GpnmEngine, Strategy};
     pub use gpnm_graph::{
@@ -79,6 +86,8 @@ pub mod prelude {
         PatternGraphBuilder, PatternNodeId,
     };
     pub use gpnm_matcher::{MatchDelta, MatchResult, MatchSemantics};
-    pub use gpnm_service::{GpnmService, PatternHandle, ServiceBuilder, ServiceError, TickReport};
+    pub use gpnm_service::{
+        GpnmService, PatternHandle, ServiceBuilder, ServiceError, TickReport, TickStats,
+    };
     pub use gpnm_updates::{DataUpdate, PatternUpdate, Update, UpdateBatch};
 }
