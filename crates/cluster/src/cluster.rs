@@ -1,13 +1,17 @@
 //! The sharded serving layer: k [`GpnmService`] shards behind one
 //! cluster-level register/apply surface, with parallel fan-out ticks.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gpnm_distance::{AnyBackend, BackendKind, RepairHint, SlenBackend, SlenRequirements};
 use gpnm_graph::{DataGraph, PatternGraph};
 use gpnm_matcher::{MatchDelta, MatchResult, MatchSemantics};
 use gpnm_pool::WorkerPool;
-use gpnm_service::{GpnmService, PatternHandle, ServiceError, TickReport};
+use gpnm_service::{
+    GpnmService, HandleId, PatternHandle, PatternHost, ReadFront, ReadView, ServiceError,
+    Subscription, TickOutcome, TickReport,
+};
 use gpnm_updates::UpdateBatch;
 
 use crate::error::ClusterError;
@@ -19,18 +23,24 @@ use crate::placement::{LeastLoaded, ShardLoad, ShardPlacement};
 /// shard the pattern lives on (query it with
 /// [`GpnmCluster::shard_of`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ClusterHandle(u64);
+pub struct ClusterHandle(HandleId);
 
 impl ClusterHandle {
     /// The numeric id (stable, ascending in registration order).
     pub fn id(&self) -> u64 {
-        self.0
+        self.0.raw()
+    }
+}
+
+impl From<ClusterHandle> for HandleId {
+    fn from(handle: ClusterHandle) -> HandleId {
+        handle.0
     }
 }
 
 impl std::fmt::Display for ClusterHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "pattern #{}", self.0)
+        self.0.fmt(f)
     }
 }
 
@@ -64,27 +74,18 @@ pub struct ClusterTickReport {
     pub shard_reports: Vec<TickReport>,
 }
 
-impl ClusterTickReport {
-    /// The delta of one registered pattern, if it is part of this tick.
-    pub fn delta_for(&self, handle: ClusterHandle) -> Option<&MatchDelta> {
-        self.deltas
-            .iter()
-            .find(|(h, _)| *h == handle)
-            .map(|(_, d)| d)
+impl TickOutcome for ClusterTickReport {
+    type Handle = ClusterHandle;
+
+    fn tick(&self) -> u64 {
+        self.tick
     }
 
-    /// Match pairs gained across all patterns of all shards.
-    pub fn total_added(&self) -> usize {
-        self.deltas.iter().map(|(_, d)| d.added.len()).sum()
+    fn deltas(&self) -> &[(ClusterHandle, MatchDelta)] {
+        &self.deltas
     }
 
-    /// Match pairs lost across all patterns of all shards.
-    pub fn total_removed(&self) -> usize {
-        self.deltas.iter().map(|(_, d)| d.removed.len()).sum()
-    }
-
-    /// One-line human summary.
-    pub fn summary(&self) -> String {
+    fn summary(&self) -> String {
         format!(
             "tick {}: ΔG={} (net {}), shards={}, slen_changes={}, patterns={}, +{} −{}, total={:?}",
             self.tick,
@@ -97,6 +98,15 @@ impl ClusterTickReport {
             self.total_removed(),
             self.total_time,
         )
+    }
+
+    fn render_stats(&self) -> String {
+        self.shard_reports
+            .iter()
+            .enumerate()
+            .map(|(shard, report)| format!("  shard {shard}:\n{}", report.render_stats()))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -200,11 +210,17 @@ impl ClusterBuilder {
         }
         let mut shards = Vec::with_capacity(self.shards);
         for _ in 0..self.shards {
+            // Shard replicas never publish their own read front-end:
+            // nothing may become observable until *every* shard has
+            // committed the tick, so the cluster publishes the merged
+            // views itself after the fan-out joins — per-tick
+            // publication stays atomic across shards.
             let service = GpnmService::builder()
                 .backend(self.kind)
                 .max_index_gb(self.max_index_gb)
                 .repair_hint(self.hint)
                 .refresh_threads(self.refresh_threads)
+                .publishing(false)
                 .build(graph.clone())?;
             shards.push(service);
         }
@@ -214,6 +230,7 @@ impl ClusterBuilder {
             patterns: Vec::new(),
             next_handle: 0,
             tick: 0,
+            front: ReadFront::new(),
         })
     }
 }
@@ -251,6 +268,11 @@ pub struct GpnmCluster {
     patterns: Vec<(ClusterHandle, usize, PatternHandle)>,
     next_handle: u64,
     tick: u64,
+    /// The cluster-level read front-end. Shards run with publishing off;
+    /// the cluster publishes every pattern's merged view here only after
+    /// the whole fan-out has joined, so readers never observe a tick
+    /// some shard has not committed yet.
+    front: ReadFront,
 }
 
 impl GpnmCluster {
@@ -275,8 +297,35 @@ impl GpnmCluster {
     }
 
     /// Handles of every registered pattern, in registration order.
-    pub fn handles(&self) -> impl Iterator<Item = ClusterHandle> + '_ {
-        self.patterns.iter().map(|&(h, _, _)| h)
+    pub fn handles(&self) -> Vec<ClusterHandle> {
+        self.patterns.iter().map(|&(h, _, _)| h).collect()
+    }
+
+    /// The last *published* snapshot of `handle` — the same view every
+    /// concurrent reader holding [`GpnmCluster::reader`] sees. Published
+    /// only after **all** shards commit a tick, so it is always a whole
+    /// cluster epoch.
+    pub fn read_view(&self, handle: ClusterHandle) -> Result<Arc<ReadView>, ClusterError> {
+        self.route(handle)?;
+        self.front
+            .read_view(handle)
+            .map_err(|_| ClusterError::UnknownHandle(handle))
+    }
+
+    /// Subscribe to `handle`'s per-tick delta stream — same contract as
+    /// [`GpnmService::subscribe`], fed from the cluster's post-fan-out
+    /// publication.
+    pub fn subscribe(&self, handle: ClusterHandle) -> Result<Subscription, ClusterError> {
+        self.route(handle)?;
+        self.front
+            .subscribe(handle)
+            .map_err(|_| ClusterError::UnknownHandle(handle))
+    }
+
+    /// A cloneable, `Send + Sync` handle onto the cluster's read
+    /// front-end for reader threads.
+    pub fn reader(&self) -> ReadFront {
+        self.front.clone()
     }
 
     /// The shards, in shard order — read-only introspection (footprints,
@@ -387,8 +436,16 @@ impl GpnmCluster {
             });
         }
         let local = self.shards[shard].register_pattern(pattern, semantics)?;
-        let handle = ClusterHandle(self.next_handle);
+        let handle = ClusterHandle(HandleId::from_raw(self.next_handle));
         self.next_handle += 1;
+        self.front.publish(
+            handle,
+            ReadView {
+                result: self.shards[shard].result(local)?.clone(),
+                result_version: 0,
+                tick: self.tick,
+            },
+        );
         self.patterns.push((handle, shard, local));
         Ok(handle)
     }
@@ -399,6 +456,9 @@ impl GpnmCluster {
         let (shard, local) = self.route(handle)?;
         self.shards[shard].deregister(local)?;
         self.patterns.retain(|&(h, _, _)| h != handle);
+        // Terminate the handle's published state and subscriptions
+        // (queued deltas drain first, then a final `Closed`).
+        self.front.close(handle);
         Ok(())
     }
 
@@ -442,6 +502,29 @@ impl GpnmCluster {
         }
 
         self.tick += 1;
+
+        // Publish the committed cluster epoch. Every shard has joined,
+        // so each pattern's new view is whole-tick state; views swap in
+        // before any delta fans out (see `ReadFront::publish_tick`).
+        let mut items = Vec::with_capacity(self.patterns.len());
+        for (&(handle, shard, local), (_, delta)) in self.patterns.iter().zip(deltas.iter()) {
+            items.push((
+                HandleId::from(handle),
+                ReadView {
+                    result: self.shards[shard]
+                        .result(local)
+                        .expect("routing table tracks live handles")
+                        .clone(),
+                    result_version: self.shards[shard]
+                        .result_version(local)
+                        .expect("routing table tracks live handles"),
+                    tick: self.tick,
+                },
+                delta.clone(),
+            ));
+        }
+        self.front.publish_tick(items);
+
         Ok(ClusterTickReport {
             tick: self.tick,
             updates_submitted: batch.len(),
@@ -453,6 +536,72 @@ impl GpnmCluster {
             deltas,
             shard_reports,
         })
+    }
+}
+
+impl PatternHost for GpnmCluster {
+    type Handle = ClusterHandle;
+    type Error = ClusterError;
+    type Report = ClusterTickReport;
+
+    fn graph(&self) -> &DataGraph {
+        GpnmCluster::graph(self)
+    }
+
+    fn pattern(&self, handle: ClusterHandle) -> Result<&PatternGraph, ClusterError> {
+        GpnmCluster::pattern(self, handle)
+    }
+
+    fn semantics(&self, handle: ClusterHandle) -> Result<MatchSemantics, ClusterError> {
+        GpnmCluster::semantics(self, handle)
+    }
+
+    fn result(&self, handle: ClusterHandle) -> Result<&MatchResult, ClusterError> {
+        GpnmCluster::result(self, handle)
+    }
+
+    fn result_version(&self, handle: ClusterHandle) -> Result<u64, ClusterError> {
+        GpnmCluster::result_version(self, handle)
+    }
+
+    fn handles(&self) -> Vec<ClusterHandle> {
+        GpnmCluster::handles(self)
+    }
+
+    fn pattern_count(&self) -> usize {
+        GpnmCluster::pattern_count(self)
+    }
+
+    fn tick(&self) -> u64 {
+        GpnmCluster::tick(self)
+    }
+
+    fn register_pattern(
+        &mut self,
+        pattern: PatternGraph,
+        semantics: MatchSemantics,
+    ) -> Result<ClusterHandle, ClusterError> {
+        GpnmCluster::register_pattern(self, pattern, semantics)
+    }
+
+    fn deregister(&mut self, handle: ClusterHandle) -> Result<(), ClusterError> {
+        GpnmCluster::deregister(self, handle)
+    }
+
+    fn apply(&mut self, batch: &UpdateBatch) -> Result<ClusterTickReport, ClusterError> {
+        GpnmCluster::apply(self, batch)
+    }
+
+    fn read_view(&self, handle: ClusterHandle) -> Result<Arc<ReadView>, ClusterError> {
+        GpnmCluster::read_view(self, handle)
+    }
+
+    fn subscribe(&self, handle: ClusterHandle) -> Result<Subscription, ClusterError> {
+        GpnmCluster::subscribe(self, handle)
+    }
+
+    fn reader(&self) -> ReadFront {
+        GpnmCluster::reader(self)
     }
 }
 

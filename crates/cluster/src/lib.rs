@@ -34,6 +34,7 @@
 //! use gpnm_cluster::{GpnmCluster, RoundRobin};
 //! use gpnm_distance::BackendKind;
 //! use gpnm_matcher::MatchSemantics;
+//! use gpnm_service::TickOutcome;
 //! use gpnm_updates::{DataUpdate, UpdateBatch};
 //!
 //! let fig = gpnm_graph::paper::fig1();

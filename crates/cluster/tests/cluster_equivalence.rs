@@ -16,7 +16,7 @@ use gpnm_distance::BackendKind;
 use gpnm_engine::{GpnmEngine, Strategy};
 use gpnm_graph::{Bound, DataGraph, Label, LabelInterner, NodeId, PatternGraph};
 use gpnm_matcher::MatchSemantics;
-use gpnm_service::GpnmService;
+use gpnm_service::{GpnmService, TickOutcome};
 use gpnm_updates::{DataUpdate, UpdateBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -34,6 +34,44 @@ impl MatchDelta {
         self.added.len() + self.removed.len()
     }
 
+    /// Fold `next` (the delta of the following tick) into `self`, yielding
+    /// one delta spanning both ticks: applying the composition to the
+    /// pre-`self` result equals applying `self` then `next`.
+    ///
+    /// With states `S0 →(self) S1 →(next) S2`, a pair is net-added iff it
+    /// was added by one tick and not taken back by the other —
+    /// `(A₁ ∖ R₂) ∪ (A₂ ∖ R₁)` — and symmetrically for net-removed. The
+    /// two unions are disjoint because a pair cannot be added (or removed)
+    /// by both ticks. Composition is how a lagging subscription coalesces
+    /// the per-tick deltas a slow consumer missed into one
+    /// catch-up delta.
+    pub fn compose(&self, next: &MatchDelta) -> MatchDelta {
+        let sorted = |pairs: &[(PatternNodeId, NodeId)]| {
+            let mut v = pairs.to_vec();
+            v.sort_unstable();
+            v
+        };
+        let (a1, r1) = (sorted(&self.added), sorted(&self.removed));
+        let (a2, r2) = (sorted(&next.added), sorted(&next.removed));
+        let minus = |keep: &[(PatternNodeId, NodeId)], drop: &[(PatternNodeId, NodeId)]| {
+            keep.iter()
+                .copied()
+                .filter(|p| drop.binary_search(p).is_err())
+                .collect::<Vec<_>>()
+        };
+        let mut added = minus(&a1, &r2);
+        added.extend(minus(&a2, &r1));
+        added.sort_unstable();
+        let mut removed = minus(&r1, &a2);
+        removed.extend(minus(&r2, &a1));
+        removed.sort_unstable();
+        MatchDelta {
+            added,
+            removed,
+            result_version: next.result_version,
+        }
+    }
+
     /// Reconstruct the post-tick result from the pre-tick one:
     /// `added ∪ (prev ∖ removed)`.
     pub fn apply_to(&self, prev: &MatchResult) -> MatchResult {
@@ -116,6 +154,60 @@ mod tests {
         let delta = r.delta_from(&r, 1);
         assert!(delta.is_empty());
         assert_eq!(delta.apply_to(&r), r);
+    }
+
+    #[test]
+    fn compose_spans_two_ticks() {
+        let p = pattern2();
+        let mut s0 = MatchResult::for_pattern(&p);
+        s0.set_mut(PatternNodeId(0)).insert(NodeId(1));
+        s0.set_mut(PatternNodeId(1)).insert(NodeId(5));
+        // Tick 1: drop (0,1), add (0,2) and (1,6).
+        let mut s1 = s0.clone();
+        s1.set_mut(PatternNodeId(0)).remove(NodeId(1));
+        s1.set_mut(PatternNodeId(0)).insert(NodeId(2));
+        s1.set_mut(PatternNodeId(1)).insert(NodeId(6));
+        // Tick 2: re-add (0,1), drop (1,6) again, drop the original (1,5).
+        let mut s2 = s1.clone();
+        s2.set_mut(PatternNodeId(0)).insert(NodeId(1));
+        s2.set_mut(PatternNodeId(1)).remove(NodeId(6));
+        s2.set_mut(PatternNodeId(1)).remove(NodeId(5));
+
+        let d1 = s1.delta_from(&s0, 1);
+        let d2 = s2.delta_from(&s1, 2);
+        let composed = d1.compose(&d2);
+        assert_eq!(
+            composed,
+            s2.delta_from(&s0, 2),
+            "composition equals the direct two-tick delta"
+        );
+        assert_eq!(composed.apply_to(&s0), s2);
+        // (0,1) was removed then re-added, (1,6) added then removed:
+        // neither survives the composition.
+        assert!(!composed.added.contains(&(PatternNodeId(1), NodeId(6))));
+        assert!(!composed.removed.contains(&(PatternNodeId(0), NodeId(1))));
+    }
+
+    #[test]
+    fn compose_is_associative_and_versioned() {
+        let p = pattern2();
+        let states: Vec<MatchResult> = (0..4)
+            .map(|i| {
+                let mut r = MatchResult::for_pattern(&p);
+                for v in 0..=(i * 3 % 5) {
+                    r.set_mut(PatternNodeId(v % 2)).insert(NodeId(v));
+                }
+                r
+            })
+            .collect();
+        let deltas: Vec<MatchDelta> = (1..states.len())
+            .map(|i| states[i].delta_from(&states[i - 1], i as u64))
+            .collect();
+        let left = deltas[0].compose(&deltas[1]).compose(&deltas[2]);
+        let right = deltas[0].compose(&deltas[1].compose(&deltas[2]));
+        assert_eq!(left, right);
+        assert_eq!(left.result_version, 3);
+        assert_eq!(left.apply_to(&states[0]), states[3]);
     }
 
     #[test]

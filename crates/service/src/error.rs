@@ -44,6 +44,11 @@ pub enum ServiceError {
     },
     /// A builder knob was given a nonsensical value.
     InvalidConfig(String),
+    /// `read_view`/`subscribe` on a service whose read front-end is
+    /// turned off ([`crate::ServiceBuilder::publishing`]`(false)`) —
+    /// e.g. a cluster's shard replica, whose published state lives on
+    /// the cluster so per-tick publication stays atomic across shards.
+    ReadFrontDisabled,
 }
 
 impl fmt::Display for ServiceError {
@@ -69,6 +74,11 @@ impl fmt::Display for ServiceError {
                 *limit_bytes as f64 / (1u64 << 30) as f64,
             ),
             ServiceError::InvalidConfig(msg) => write!(f, "invalid service configuration: {msg}"),
+            ServiceError::ReadFrontDisabled => write!(
+                f,
+                "this service does not publish a read front-end (built with \
+                 publishing(false)); read through its owning cluster instead"
+            ),
         }
     }
 }

@@ -33,7 +33,7 @@
 //! use gpnm_distance::BackendKind;
 //! use gpnm_graph::PatternGraphBuilder;
 //! use gpnm_matcher::MatchSemantics;
-//! use gpnm_service::{GpnmService, ServiceError};
+//! use gpnm_service::{GpnmService, ServiceError, TickOutcome};
 //! use gpnm_updates::{DataUpdate, UpdateBatch};
 //!
 //! // The paper's Figure 1 data graph: PMs, SEs, a DB admin, test engineers.
@@ -80,7 +80,14 @@
 #![warn(rust_2018_idioms)]
 
 mod error;
+mod host;
+mod read;
 mod service;
 
 pub use error::ServiceError;
+pub use host::{HandleId, PatternHost, TickOutcome};
+pub use read::{
+    PinnedReader, ReadError, ReadFront, ReadView, SubEvent, Subscription,
+    DEFAULT_SUBSCRIPTION_CAPACITY,
+};
 pub use service::{GpnmService, PatternHandle, ServiceBuilder, TickReport, TickStats};

@@ -1,0 +1,748 @@
+//! The concurrent read front-end: epoch-swapped published snapshots
+//! ([`ReadView`]) and bounded match-delta subscriptions ([`Subscription`]).
+//!
+//! A tick owns its host exclusively (`&mut self`), but serving readers
+//! must not: the ROADMAP's "millions of readers" story needs a read path
+//! that takes **no lock** while ticks run. The front-end is the classic
+//! decoupled reader/writer shape — the writer prepares the next epoch off
+//! to the side and *publishes* it with one atomic swap per pattern after
+//! commit, so a reader can only ever observe a fully-committed epoch:
+//!
+//! * every pattern has a [`PublishCell`]: an atomic epoch counter plus two
+//!   slots holding `Arc<ReadView>`. The epoch's low bit names the live
+//!   slot; the writer only ever touches the *spare* slot, then advances
+//!   the epoch (release), making the swap the linearization point;
+//! * readers load the epoch (acquire), `try_read` the live slot and clone
+//!   the `Arc` out — the `try_read` can only fail if the writer published
+//!   *twice* in the reader's tiny window, in which case the reader
+//!   reloads the epoch and wins on the other slot. No reader ever blocks
+//!   a tick; a tick never blocks a reader;
+//! * subscriptions ride the same publication: after the views of a tick
+//!   are swapped in, the tick's [`MatchDelta`]s fan out to per-subscriber
+//!   bounded queues. A slow consumer is never buffered without bound —
+//!   once its queue is full, everything it missed is folded (via
+//!   [`MatchDelta::compose`]) into **one** coalesced
+//!   [`SubEvent::Lagged`] catch-up delta.
+//!
+//! The [`ReadFront`] is the shared, cloneable bundle of all of this:
+//! hosts hand it out via `reader()`, reader threads keep their clone —
+//! and their views and subscriptions — while `&mut self` ticks proceed
+//! on the host.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, TryLockError};
+use std::time::Duration;
+
+use gpnm_matcher::{MatchDelta, MatchResult};
+
+use crate::host::HandleId;
+
+/// Default bounded capacity of a subscription's pending-delta queue —
+/// the backlog a consumer may accumulate before the stream degrades to a
+/// coalesced [`SubEvent::Lagged`] catch-up instead of buffering without
+/// bound. Override per subscription with
+/// [`ReadFront::subscribe_with_capacity`].
+pub const DEFAULT_SUBSCRIPTION_CAPACITY: usize = 64;
+
+/// One pattern's published snapshot: the full result as of a committed
+/// tick, immutable behind an `Arc`. This is what every concurrent reader
+/// sees — the writer never mutates a published view, it publishes a new
+/// one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadView {
+    /// The full match table at `result_version`.
+    pub result: MatchResult,
+    /// How many ticks this pattern's result has absorbed — the version
+    /// [`MatchDelta::result_version`] counts against.
+    pub result_version: u64,
+    /// The host tick at which this view was published.
+    pub tick: u64,
+}
+
+/// Typed error of the standalone read path: the handle was never
+/// published here, or has been closed by deregistration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadError {
+    /// No live published state for this handle.
+    UnknownHandle(HandleId),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::UnknownHandle(id) => {
+                write!(f, "no published state for {id} (unknown or deregistered)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// What a [`Subscription`] yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubEvent {
+    /// One tick's delta, in order, gap-free.
+    Delta(MatchDelta),
+    /// The consumer fell behind its bounded queue: every missed tick has
+    /// been folded into one catch-up delta via [`MatchDelta::compose`],
+    /// stamped with the newest missed `result_version`. Applying it
+    /// advances the consumer as if it had applied each missed delta
+    /// in order.
+    Lagged {
+        /// How many per-tick deltas were coalesced into `delta`.
+        missed_versions: u64,
+        /// The composition of every missed delta.
+        delta: MatchDelta,
+    },
+    /// The pattern was deregistered (or its host dropped). Always the
+    /// final event; any deltas published before the close are still
+    /// delivered first.
+    Closed,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A reader panicking mid-`recv` must not wedge the writer (or other
+    // clones of the front): recover the guard and keep serving.
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Consumer-side queue state. `pending` and `lagged` are mutually
+/// exclusive: overflow drains the whole queue into the coalesced record,
+/// and further publishes fold into it until the consumer drains it.
+struct SubState {
+    pending: VecDeque<MatchDelta>,
+    lagged: Option<(u64, MatchDelta)>,
+    closed: bool,
+}
+
+struct SubShared {
+    state: Mutex<SubState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl SubShared {
+    fn new(capacity: usize) -> Self {
+        SubShared {
+            state: Mutex::new(SubState {
+                pending: VecDeque::new(),
+                lagged: None,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Writer side: enqueue one published delta, degrading to the
+    /// coalesced lagged record instead of growing past `capacity`.
+    fn offer(&self, delta: &MatchDelta) {
+        let mut st = lock(&self.state);
+        if st.closed {
+            return;
+        }
+        if let Some((missed, acc)) = st.lagged.take() {
+            st.lagged = Some((missed + 1, acc.compose(delta)));
+        } else if st.pending.len() >= self.capacity {
+            let mut missed = 1u64; // the delta that did not fit
+            let mut acc = delta.clone();
+            // Compose right-to-left so each step is older ∘ newer.
+            while let Some(d) = st.pending.pop_back() {
+                missed += 1;
+                acc = d.compose(&acc);
+            }
+            st.lagged = Some((missed, acc));
+        } else {
+            st.pending.push_back(delta.clone());
+        }
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    fn close(&self) {
+        lock(&self.state).closed = true;
+        self.ready.notify_all();
+    }
+
+    fn pop(st: &mut SubState) -> Option<SubEvent> {
+        if let Some((missed_versions, delta)) = st.lagged.take() {
+            return Some(SubEvent::Lagged {
+                missed_versions,
+                delta,
+            });
+        }
+        if let Some(delta) = st.pending.pop_front() {
+            return Some(SubEvent::Delta(delta));
+        }
+        if st.closed {
+            return Some(SubEvent::Closed);
+        }
+        None
+    }
+}
+
+/// An ordered, gap-free stream of one pattern's per-tick deltas.
+///
+/// Events arrive in `result_version` order with no version skipped:
+/// either each tick is its own [`SubEvent::Delta`], or — if the consumer
+/// fell behind its bounded queue — the missed ticks arrive folded into
+/// one [`SubEvent::Lagged`] whose delta spans them all. Folding the
+/// stream with [`MatchDelta::apply_to`] over a base
+/// [`ReadView`] therefore reconstructs the live result exactly; apply
+/// every event whose `result_version` exceeds the base's
+/// `result_version` (a delta at or below it is already contained in the
+/// base snapshot).
+///
+/// Dropping the subscription unsubscribes: the writer prunes it at the
+/// next publication.
+#[derive(Debug)]
+pub struct Subscription {
+    id: HandleId,
+    shared: Arc<SubShared>,
+}
+
+impl fmt::Debug for SubShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubShared")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Subscription {
+    /// The handle this subscription streams.
+    pub fn handle_id(&self) -> HandleId {
+        self.id
+    }
+
+    /// Next event, blocking until one is available. Returns
+    /// [`SubEvent::Closed`] exactly once at end of stream; calling again
+    /// after that keeps returning `Closed`.
+    pub fn recv(&self) -> SubEvent {
+        let mut st = lock(&self.shared.state);
+        loop {
+            if let Some(event) = SubShared::pop(&mut st) {
+                return event;
+            }
+            st = self
+                .shared
+                .ready
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Next event if one is ready, without blocking.
+    pub fn try_recv(&self) -> Option<SubEvent> {
+        SubShared::pop(&mut lock(&self.shared.state))
+    }
+
+    /// Next event, waiting at most `timeout`. `None` means the wait
+    /// timed out with no event ready.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<SubEvent> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = lock(&self.shared.state);
+        loop {
+            if let Some(event) = SubShared::pop(&mut st) {
+                return Some(event);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .shared
+                .ready
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+        }
+    }
+}
+
+/// The double-buffered epoch cell behind one handle's published view.
+///
+/// The low bit of `epoch` names the live slot. The single writer (a
+/// host's `&mut self` tick) writes the *spare* slot, drops its lock, and
+/// advances the epoch with release ordering — publication is that one
+/// atomic store. A reader acquires the epoch, `try_read`s the live slot
+/// and clones the `Arc` out; the only way `try_read` can fail is a
+/// writer locking that slot for the *next* publication (i.e. two full
+/// publications raced past the reader), and retrying reloads the epoch,
+/// which now names the other slot. Readers therefore never wait on a
+/// lock the writer holds for more than the slot-store instant, and never
+/// observe a half-written view: the swapped `Arc` was fully built before
+/// the release store.
+struct PublishCell {
+    epoch: AtomicU64,
+    slots: [RwLock<Arc<ReadView>>; 2],
+}
+
+impl PublishCell {
+    fn new(initial: Arc<ReadView>) -> Self {
+        PublishCell {
+            epoch: AtomicU64::new(0),
+            slots: [RwLock::new(Arc::clone(&initial)), RwLock::new(initial)],
+        }
+    }
+
+    fn load(&self) -> Arc<ReadView> {
+        loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            match self.slots[(e & 1) as usize].try_read() {
+                Ok(guard) => return Arc::clone(&guard),
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    // The stored Arc is always whole (a clone of a fully
+                    // built view), so a reader panic cannot have torn it.
+                    return Arc::clone(&poisoned.into_inner());
+                }
+                Err(TryLockError::WouldBlock) => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    /// Single-writer only — hosts serialize publication behind
+    /// `&mut self`.
+    fn publish(&self, view: Arc<ReadView>) {
+        let e = self.epoch.load(Ordering::Relaxed);
+        {
+            let mut spare = self.slots[((e + 1) & 1) as usize]
+                .write()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            *spare = view;
+        }
+        self.epoch.store(e.wrapping_add(1), Ordering::Release);
+    }
+}
+
+struct Entry {
+    cell: PublishCell,
+    subs: Mutex<Vec<Arc<SubShared>>>,
+}
+
+#[derive(Default)]
+struct FrontInner {
+    entries: RwLock<HashMap<u64, Arc<Entry>>>,
+}
+
+impl FrontInner {
+    fn entry(&self, id: HandleId) -> Result<Arc<Entry>, ReadError> {
+        self.entries
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(&id.raw())
+            .cloned()
+            .ok_or(ReadError::UnknownHandle(id))
+    }
+}
+
+/// The shared read front-end of one host: published [`ReadView`]s and
+/// delta [`Subscription`]s for every registered pattern, usable from any
+/// thread while the host ticks.
+///
+/// Obtained from a host's `reader()` (or the [`crate::PatternHost`]
+/// method of the same name); cloning is cheap (`Arc`) and every clone
+/// observes the same publications. The read path
+/// ([`ReadFront::read_view`]) takes no lock the writer ever holds across
+/// a tick — each pattern's view sits in an epoch-swapped double buffer —
+/// so any number of readers may spin on it concurrently with `apply`.
+///
+/// The `publish*`/`close` methods are the **host side** of the contract;
+/// application code only reads.
+#[derive(Debug, Clone, Default)]
+pub struct ReadFront {
+    inner: Arc<FrontInner>,
+}
+
+impl fmt::Debug for FrontInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrontInner").finish_non_exhaustive()
+    }
+}
+
+impl ReadFront {
+    /// An empty front with nothing published.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The last published snapshot of `handle` — lock-free against
+    /// concurrent publication; always a fully-committed epoch.
+    pub fn read_view(&self, handle: impl Into<HandleId>) -> Result<Arc<ReadView>, ReadError> {
+        Ok(self.inner.entry(handle.into())?.cell.load())
+    }
+
+    /// A reader pinned to one handle: skips the per-call handle lookup,
+    /// leaving only the epoch load on the hot path. The benchmark's (and
+    /// a tight reader loop's) entry point.
+    pub fn pinned(&self, handle: impl Into<HandleId>) -> Result<PinnedReader, ReadError> {
+        Ok(PinnedReader {
+            entry: self.inner.entry(handle.into())?,
+        })
+    }
+
+    /// Subscribe to `handle`'s delta stream with the
+    /// [default backlog](DEFAULT_SUBSCRIPTION_CAPACITY).
+    pub fn subscribe(&self, handle: impl Into<HandleId>) -> Result<Subscription, ReadError> {
+        self.subscribe_with_capacity(handle, DEFAULT_SUBSCRIPTION_CAPACITY)
+    }
+
+    /// Subscribe with an explicit pending-queue capacity (`≥ 1`); a
+    /// consumer lagging past it receives a coalesced
+    /// [`SubEvent::Lagged`] instead of unbounded buffering.
+    pub fn subscribe_with_capacity(
+        &self,
+        handle: impl Into<HandleId>,
+        capacity: usize,
+    ) -> Result<Subscription, ReadError> {
+        let id = handle.into();
+        let entry = self.inner.entry(id)?;
+        let shared = Arc::new(SubShared::new(capacity));
+        lock(&entry.subs).push(Arc::clone(&shared));
+        Ok(Subscription { id, shared })
+    }
+
+    /// Host side: publish `view` as `handle`'s live snapshot, creating
+    /// the handle's cell on first publication (registration). No delta
+    /// fan-out — tick publication goes through
+    /// [`ReadFront::publish_tick`].
+    pub fn publish(&self, handle: impl Into<HandleId>, view: ReadView) {
+        let id = handle.into();
+        let view = Arc::new(view);
+        if let Ok(entry) = self.inner.entry(id) {
+            entry.cell.publish(view);
+            return;
+        }
+        let mut entries = self
+            .inner
+            .entries
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        entries.insert(
+            id.raw(),
+            Arc::new(Entry {
+                cell: PublishCell::new(view),
+                subs: Mutex::new(Vec::new()),
+            }),
+        );
+    }
+
+    /// Host side: publish one committed tick. **All** views are swapped
+    /// in before **any** delta fans out, so by the time a subscriber
+    /// wakes, `read_view` already serves a snapshot at least as new as
+    /// the event — a late joiner can take a view as its base and apply
+    /// exactly the events with `result_version` beyond it. Dropped
+    /// subscribers are pruned here.
+    pub fn publish_tick(&self, items: impl IntoIterator<Item = (HandleId, ReadView, MatchDelta)>) {
+        let mut fanout = Vec::new();
+        for (id, view, delta) in items {
+            self.publish(id, view);
+            if let Ok(entry) = self.inner.entry(id) {
+                fanout.push((entry, delta));
+            }
+        }
+        for (entry, delta) in fanout {
+            let mut subs = lock(&entry.subs);
+            subs.retain(|sub| Arc::strong_count(sub) > 1);
+            for sub in subs.iter() {
+                sub.offer(&delta);
+            }
+        }
+    }
+
+    /// Host side: stop serving `handle` (deregistration). Live
+    /// subscriptions receive their queued deltas, then a final
+    /// [`SubEvent::Closed`]; subsequent `read_view`/`subscribe` calls
+    /// get [`ReadError::UnknownHandle`]. Pinned readers created earlier
+    /// keep serving the last published view.
+    pub fn close(&self, handle: impl Into<HandleId>) {
+        let id = handle.into();
+        let removed = self
+            .inner
+            .entries
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .remove(&id.raw());
+        if let Some(entry) = removed {
+            for sub in lock(&entry.subs).drain(..) {
+                sub.close();
+            }
+        }
+    }
+
+    /// Handle ids with a live published view, ascending.
+    pub fn published_ids(&self) -> Vec<HandleId> {
+        let mut ids: Vec<HandleId> = self
+            .inner
+            .entries
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .keys()
+            .map(|&raw| HandleId(raw))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// A handle-pinned reader: [`PinnedReader::view`] is the minimal hot
+/// path — one atomic load, one `try_read` of an uncontended slot, one
+/// `Arc` clone. Survives deregistration (keeps serving the last
+/// published view); take a fresh one from [`ReadFront::pinned`] to
+/// observe re-registration.
+#[derive(Debug, Clone)]
+pub struct PinnedReader {
+    entry: Arc<Entry>,
+}
+
+impl fmt::Debug for Entry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Entry").finish_non_exhaustive()
+    }
+}
+
+impl PinnedReader {
+    /// The last published snapshot — infallible: the pinned entry is
+    /// kept alive by this reader even across deregistration.
+    pub fn view(&self) -> Arc<ReadView> {
+        self.entry.cell.load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpnm_graph::{LabelInterner, NodeId, PatternGraph, PatternNodeId};
+
+    fn pattern1() -> PatternGraph {
+        let mut li = LabelInterner::new();
+        let a = li.intern("A");
+        let mut p = PatternGraph::new();
+        p.add_node(a);
+        p
+    }
+
+    fn view_with(nodes: &[u32], version: u64) -> ReadView {
+        let mut result = MatchResult::for_pattern(&pattern1());
+        for &n in nodes {
+            result.set_mut(PatternNodeId(0)).insert(NodeId(n));
+        }
+        ReadView {
+            result,
+            result_version: version,
+            tick: version,
+        }
+    }
+
+    fn delta_between(prev: &ReadView, next: &ReadView) -> MatchDelta {
+        next.result.delta_from(&prev.result, next.result_version)
+    }
+
+    #[test]
+    fn read_view_tracks_publications() {
+        let front = ReadFront::new();
+        let id = HandleId(0);
+        assert_eq!(front.read_view(id), Err(ReadError::UnknownHandle(id)));
+        front.publish(id, view_with(&[1], 0));
+        assert_eq!(front.read_view(id).unwrap().result_version, 0);
+        front.publish(id, view_with(&[1, 2], 1));
+        let v = front.read_view(id).unwrap();
+        assert_eq!(v.result_version, 1);
+        assert_eq!(v.result.total_matches(), 2);
+        assert_eq!(front.published_ids(), vec![id]);
+        // Clones observe the same publications.
+        let clone = front.clone();
+        assert_eq!(clone.read_view(id).unwrap().result_version, 1);
+    }
+
+    #[test]
+    fn pinned_reader_survives_close() {
+        let front = ReadFront::new();
+        let id = HandleId(3);
+        front.publish(id, view_with(&[7], 0));
+        let pinned = front.pinned(id).unwrap();
+        front.close(id);
+        assert_eq!(front.read_view(id), Err(ReadError::UnknownHandle(id)));
+        assert!(front.pinned(id).is_err());
+        assert_eq!(pinned.view().result_version, 0, "last view still served");
+    }
+
+    #[test]
+    fn subscription_streams_in_order_then_closes() {
+        let front = ReadFront::new();
+        let id = HandleId(0);
+        let v0 = view_with(&[1], 0);
+        front.publish(id, v0.clone());
+        let sub = front.subscribe(id).unwrap();
+        assert_eq!(sub.handle_id(), id);
+        assert_eq!(sub.try_recv(), None);
+
+        let v1 = view_with(&[1, 2], 1);
+        let v2 = view_with(&[2], 2);
+        front.publish_tick(vec![(id, v1.clone(), delta_between(&v0, &v1))]);
+        front.publish_tick(vec![(id, v2.clone(), delta_between(&v1, &v2))]);
+        front.close(id);
+
+        let SubEvent::Delta(d1) = sub.recv() else {
+            panic!("first event is a delta")
+        };
+        assert_eq!(d1.result_version, 1);
+        let SubEvent::Delta(d2) = sub.recv() else {
+            panic!("second event is a delta")
+        };
+        assert_eq!(d2.result_version, 2);
+        assert_eq!(sub.recv(), SubEvent::Closed);
+        assert_eq!(sub.recv(), SubEvent::Closed, "closed is sticky");
+
+        // The stream reconstructs the final result from the base view.
+        let rebuilt = d2.apply_to(&d1.apply_to(&v0.result));
+        assert_eq!(rebuilt, v2.result);
+    }
+
+    #[test]
+    fn slow_consumer_gets_one_coalesced_lagged_event() {
+        let front = ReadFront::new();
+        let id = HandleId(0);
+        let mut views = vec![view_with(&[1], 0)];
+        front.publish(id, views[0].clone());
+        let sub = front.subscribe_with_capacity(id, 2).unwrap();
+
+        // Publish 5 ticks without the consumer draining: tick 3
+        // overflows the capacity-2 queue.
+        for v in 1..=5u64 {
+            let nodes: Vec<u32> = (0..=v as u32).collect();
+            let next = view_with(&nodes, v);
+            let delta = delta_between(views.last().unwrap(), &next);
+            front.publish_tick(vec![(id, next.clone(), delta)]);
+            views.push(next);
+        }
+
+        // Overflow folds the *whole* backlog into one catch-up event —
+        // the queued-but-undelivered ticks included — so ordered
+        // delivery survives (the coalesced delta is always the newest
+        // thing the consumer sees next).
+        let SubEvent::Lagged {
+            missed_versions,
+            delta,
+        } = sub.recv()
+        else {
+            panic!("overflow coalesces")
+        };
+        assert_eq!(missed_versions, 5, "all five ticks folded into one");
+        assert_eq!(delta.result_version, 5, "stamped with the newest version");
+        assert_eq!(sub.try_recv(), None, "queue drained");
+
+        // Gap-free: the single catch-up delta reconstructs tick 5.
+        let rebuilt = delta.apply_to(&views[0].result);
+        assert_eq!(rebuilt, views[5].result);
+    }
+
+    #[test]
+    fn lagged_keeps_folding_until_drained() {
+        let front = ReadFront::new();
+        let id = HandleId(0);
+        let mut prev = view_with(&[1], 0);
+        front.publish(id, prev.clone());
+        let base = prev.clone();
+        let sub = front.subscribe_with_capacity(id, 1).unwrap();
+        for v in 1..=4u64 {
+            let next = view_with(&[v as u32, v as u32 + 1], v);
+            let delta = delta_between(&prev, &next);
+            front.publish_tick(vec![(id, next.clone(), delta)]);
+            prev = next;
+        }
+        let SubEvent::Lagged {
+            missed_versions,
+            delta,
+        } = sub.recv()
+        else {
+            panic!("ticks 1..=4 coalesce")
+        };
+        assert_eq!(missed_versions, 4);
+        assert_eq!(delta.result_version, 4);
+        let rebuilt = delta.apply_to(&base.result);
+        assert_eq!(rebuilt, prev.result);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let front = ReadFront::new();
+        let id = HandleId(0);
+        let v0 = view_with(&[1], 0);
+        front.publish(id, v0.clone());
+        let keep = front.subscribe(id).unwrap();
+        let dropped = front.subscribe(id).unwrap();
+        drop(dropped);
+        let v1 = view_with(&[2], 1);
+        front.publish_tick(vec![(id, v1.clone(), delta_between(&v0, &v1))]);
+        let entry = front.inner.entry(id).unwrap();
+        assert_eq!(lock(&entry.subs).len(), 1, "dropped subscriber pruned");
+        assert!(matches!(keep.recv(), SubEvent::Delta(_)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_empty_and_delivers_ready() {
+        let front = ReadFront::new();
+        let id = HandleId(0);
+        let v0 = view_with(&[1], 0);
+        front.publish(id, v0.clone());
+        let sub = front.subscribe(id).unwrap();
+        assert_eq!(sub.recv_timeout(Duration::from_millis(10)), None);
+        let v1 = view_with(&[2], 1);
+        front.publish_tick(vec![(id, v1.clone(), delta_between(&v0, &v1))]);
+        assert!(matches!(
+            sub.recv_timeout(Duration::from_millis(100)),
+            Some(SubEvent::Delta(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_readers_only_see_committed_epochs() {
+        let front = ReadFront::new();
+        let id = HandleId(0);
+        front.publish(id, view_with(&[0], 0));
+        let committed: Vec<ReadView> = (0..200u64)
+            .map(|v| view_with(&[v as u32 % 7, (v as u32 % 5) + 10], v))
+            .collect();
+        let stop = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let pinned = front.pinned(id).unwrap();
+                let stop = Arc::clone(&stop);
+                let committed = committed.clone();
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut observations = 0u64;
+                    loop {
+                        let v = pinned.view();
+                        // Monotone, and bitwise one of the committed views.
+                        assert!(v.result_version >= last, "versions never rewind");
+                        last = v.result_version;
+                        if v.result_version > 0 {
+                            let expected = &committed[v.result_version as usize];
+                            assert_eq!(v.result, expected.result, "never torn");
+                        }
+                        observations += 1;
+                        // Check *after* observing, so even a reader that
+                        // lost the whole race to the writer verifies the
+                        // final epoch at least once.
+                        if stop.load(Ordering::Relaxed) != 0 {
+                            return observations;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for v in committed.iter().skip(1) {
+            front.publish(id, v.clone());
+        }
+        stop.store(1, Ordering::Relaxed);
+        for reader in readers {
+            assert!(reader.join().expect("no reader panicked") > 0);
+        }
+        assert_eq!(front.read_view(id).unwrap().result_version, 199);
+    }
+}

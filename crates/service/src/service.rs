@@ -1,6 +1,7 @@
 //! The continuous-query service: many standing patterns, one shared
 //! single-pass repair per tick.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gpnm_distance::{
@@ -16,23 +17,31 @@ use gpnm_pool::WorkerPool;
 use gpnm_updates::{reduce_batch, Update, UpdateBatch};
 
 use crate::error::ServiceError;
+use crate::host::{HandleId, PatternHost, TickOutcome};
+use crate::read::{ReadFront, ReadView, Subscription};
 
 /// Opaque id of one registered standing pattern. Handles are unique for
 /// the lifetime of the service — a deregistered handle is never reissued,
 /// so a stale one can only ever yield [`ServiceError::UnknownHandle`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct PatternHandle(u64);
+pub struct PatternHandle(HandleId);
 
 impl PatternHandle {
     /// The numeric id (stable, ascending in registration order).
     pub fn id(&self) -> u64 {
-        self.0
+        self.0.raw()
+    }
+}
+
+impl From<PatternHandle> for HandleId {
+    fn from(handle: PatternHandle) -> HandleId {
+        handle.0
     }
 }
 
 impl std::fmt::Display for PatternHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "pattern #{}", self.0)
+        self.0.fmt(f)
     }
 }
 
@@ -145,27 +154,18 @@ pub struct TickReport {
     pub stats: TickStats,
 }
 
-impl TickReport {
-    /// The delta of one registered pattern, if it is part of this tick.
-    pub fn delta_for(&self, handle: PatternHandle) -> Option<&MatchDelta> {
-        self.deltas
-            .iter()
-            .find(|(h, _)| *h == handle)
-            .map(|(_, d)| d)
+impl TickOutcome for TickReport {
+    type Handle = PatternHandle;
+
+    fn tick(&self) -> u64 {
+        self.tick
     }
 
-    /// Match pairs gained across all patterns.
-    pub fn total_added(&self) -> usize {
-        self.deltas.iter().map(|(_, d)| d.added.len()).sum()
+    fn deltas(&self) -> &[(PatternHandle, MatchDelta)] {
+        &self.deltas
     }
 
-    /// Match pairs lost across all patterns.
-    pub fn total_removed(&self) -> usize {
-        self.deltas.iter().map(|(_, d)| d.removed.len()).sum()
-    }
-
-    /// One-line human summary.
-    pub fn summary(&self) -> String {
+    fn summary(&self) -> String {
         format!(
             "tick {}: ΔG={} (net {}), slen_changes={}, patterns={}, +{} −{}, total={:?}",
             self.tick,
@@ -177,6 +177,10 @@ impl TickReport {
             self.total_removed(),
             self.total_time,
         )
+    }
+
+    fn render_stats(&self) -> String {
+        self.stats.render()
     }
 }
 
@@ -201,6 +205,7 @@ pub struct ServiceBuilder {
     max_index_gb: f64,
     hint: RepairHint,
     refresh_threads: usize,
+    publishing: bool,
 }
 
 impl Default for ServiceBuilder {
@@ -210,6 +215,7 @@ impl Default for ServiceBuilder {
             max_index_gb: 4.0,
             hint: RepairHint::Accelerated,
             refresh_threads: 0,
+            publishing: true,
         }
     }
 }
@@ -254,6 +260,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Whether the service maintains its concurrent read front-end
+    /// (default `true`): publishing [`ReadView`]s and fanning deltas to
+    /// subscriptions after each commit. A cluster turns this **off** on
+    /// its shard replicas so that nothing is observable until *every*
+    /// shard has committed the tick — the cluster publishes the merged
+    /// views itself, keeping per-tick publication atomic across shards.
+    pub fn publishing(mut self, on: bool) -> Self {
+        self.publishing = on;
+        self
+    }
+
     /// Build the service over `graph`. Fails — instead of panicking or
     /// OOMing — when the configuration cannot be honored.
     pub fn build(self, graph: DataGraph) -> Result<GpnmService<AnyBackend>, ServiceError> {
@@ -277,6 +294,7 @@ impl ServiceBuilder {
         let index = AnyBackend::of_kind(self.kind, &graph, &reqs);
         let mut service = GpnmService::from_parts(graph, index, reqs, self.hint);
         service.set_refresh_threads(self.refresh_threads);
+        service.publishing = self.publishing;
         Ok(service)
     }
 }
@@ -304,7 +322,7 @@ impl ServiceBuilder {
 /// ([`SlenBackend::sync_requirements`]) and deregistration narrows it
 /// ([`SlenBackend::narrow_requirements`]), so a bounded sparse index stays
 /// proportional to what the surviving patterns actually consult.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GpnmService<B: SlenBackend = PartitionedBackend> {
     graph: DataGraph,
     index: B,
@@ -314,6 +332,32 @@ pub struct GpnmService<B: SlenBackend = PartitionedBackend> {
     next_handle: u64,
     tick: u64,
     refresh_threads: usize,
+    front: ReadFront,
+    publishing: bool,
+}
+
+impl<B: SlenBackend + Clone> Clone for GpnmService<B> {
+    /// The clone is an **independent** host with a fresh, unshared read
+    /// front-end: sharing the original's front would let the clone's
+    /// ticks publish over readers of the original. The clone republishes
+    /// its sessions' current state, so its own `reader()` starts fully
+    /// populated; subscriptions never carry over.
+    fn clone(&self) -> Self {
+        let clone = GpnmService {
+            graph: self.graph.clone(),
+            index: self.index.clone(),
+            reqs: self.reqs.clone(),
+            hint: self.hint,
+            sessions: self.sessions.clone(),
+            next_handle: self.next_handle,
+            tick: self.tick,
+            refresh_threads: self.refresh_threads,
+            front: ReadFront::new(),
+            publishing: self.publishing,
+        };
+        clone.republish_all();
+        clone
+    }
 }
 
 impl GpnmService<AnyBackend> {
@@ -343,6 +387,26 @@ impl<B: SlenBackend> GpnmService<B> {
             next_handle: 0,
             tick: 0,
             refresh_threads: 0,
+            front: ReadFront::new(),
+            publishing: true,
+        }
+    }
+
+    /// Publish every session's current state to (a fresh) front — the
+    /// clone path, and harmless elsewhere.
+    fn republish_all(&self) {
+        if !self.publishing {
+            return;
+        }
+        for (handle, sess) in &self.sessions {
+            self.front.publish(
+                *handle,
+                ReadView {
+                    result: sess.result.clone(),
+                    result_version: sess.version,
+                    tick: self.tick,
+                },
+            );
         }
     }
 
@@ -384,8 +448,52 @@ impl<B: SlenBackend> GpnmService<B> {
     }
 
     /// Handles of every registered pattern, in registration order.
-    pub fn handles(&self) -> impl Iterator<Item = PatternHandle> + '_ {
-        self.sessions.iter().map(|(h, _)| *h)
+    pub fn handles(&self) -> Vec<PatternHandle> {
+        self.sessions.iter().map(|(h, _)| *h).collect()
+    }
+
+    /// Whether this service publishes to its read front-end — see
+    /// [`ServiceBuilder::publishing`].
+    pub fn publishing(&self) -> bool {
+        self.publishing
+    }
+
+    /// The last *published* snapshot of `handle` — the same view every
+    /// concurrent reader holding [`GpnmService::reader`] sees. Unlike
+    /// [`GpnmService::result`] this clones no data and takes no lock the
+    /// writer holds across a tick; it errors with
+    /// [`ServiceError::ReadFrontDisabled`] on a non-publishing service
+    /// (e.g. a cluster's shard replica).
+    pub fn read_view(&self, handle: PatternHandle) -> Result<Arc<ReadView>, ServiceError> {
+        self.session(handle)?;
+        if !self.publishing {
+            return Err(ServiceError::ReadFrontDisabled);
+        }
+        self.front
+            .read_view(handle)
+            .map_err(|_| ServiceError::UnknownHandle(handle))
+    }
+
+    /// Subscribe to `handle`'s per-tick delta stream. Events arrive in
+    /// `result_version` order, gap-free (a slow consumer gets a
+    /// coalesced [`crate::SubEvent::Lagged`]); deregistration delivers a
+    /// final [`crate::SubEvent::Closed`].
+    pub fn subscribe(&self, handle: PatternHandle) -> Result<Subscription, ServiceError> {
+        self.session(handle)?;
+        if !self.publishing {
+            return Err(ServiceError::ReadFrontDisabled);
+        }
+        self.front
+            .subscribe(handle)
+            .map_err(|_| ServiceError::UnknownHandle(handle))
+    }
+
+    /// A cloneable, `Send + Sync` handle onto this service's read
+    /// front-end. Hand clones to reader threads: their
+    /// [`ReadFront::read_view`] / [`ReadFront::subscribe`] calls proceed
+    /// lock-free against this service's `&mut self` ticks.
+    pub fn reader(&self) -> ReadFront {
+        self.front.clone()
     }
 
     fn session(&self, handle: PatternHandle) -> Result<&PatternSession, ServiceError> {
@@ -434,8 +542,18 @@ impl<B: SlenBackend> GpnmService<B> {
         self.reqs.absorb(&SlenRequirements::of_pattern(&pattern));
         self.index.sync_requirements(&self.graph, &self.reqs);
         let result = match_graph(&pattern, &self.graph, &self.index, semantics);
-        let handle = PatternHandle(self.next_handle);
+        let handle = PatternHandle(HandleId(self.next_handle));
         self.next_handle += 1;
+        if self.publishing {
+            self.front.publish(
+                handle,
+                ReadView {
+                    result: result.clone(),
+                    result_version: 0,
+                    tick: self.tick,
+                },
+            );
+        }
         self.sessions.push((
             handle,
             PatternSession {
@@ -459,6 +577,9 @@ impl<B: SlenBackend> GpnmService<B> {
             .position(|(h, _)| *h == handle)
             .ok_or(ServiceError::UnknownHandle(handle))?;
         self.sessions.remove(pos);
+        // Terminate the handle's published state and subscriptions
+        // (queued deltas drain first, then a final `Closed`).
+        self.front.close(handle);
         let mut union = SlenRequirements::empty();
         for (_, s) in &self.sessions {
             union.absorb(&SlenRequirements::of_pattern(&s.pattern));
@@ -575,6 +696,32 @@ impl<B: SlenBackend> GpnmService<B> {
         }
 
         self.tick += 1;
+
+        // Publish the committed epoch: every pattern's new view is
+        // swapped in atomically (per handle), then the tick's deltas fan
+        // out to subscribers. Readers were served the previous epoch for
+        // the whole tick and switch to this one at the swap — never a
+        // half-refreshed state.
+        if self.publishing {
+            let items: Vec<(HandleId, ReadView, MatchDelta)> = self
+                .sessions
+                .iter()
+                .zip(deltas.iter())
+                .map(|((handle, sess), (_, delta))| {
+                    (
+                        HandleId::from(*handle),
+                        ReadView {
+                            result: sess.result.clone(),
+                            result_version: sess.version,
+                            tick: self.tick,
+                        },
+                        delta.clone(),
+                    )
+                })
+                .collect();
+            self.front.publish_tick(items);
+        }
+
         Ok(TickReport {
             tick: self.tick,
             updates_submitted: batch.len(),
@@ -598,6 +745,72 @@ impl<B: SlenBackend> GpnmService<B> {
                 affected_nodes: committed.iter().map(|c| c.delta.affected.len()).sum(),
             },
         })
+    }
+}
+
+impl<B: SlenBackend> PatternHost for GpnmService<B> {
+    type Handle = PatternHandle;
+    type Error = ServiceError;
+    type Report = TickReport;
+
+    fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    fn pattern(&self, handle: PatternHandle) -> Result<&PatternGraph, ServiceError> {
+        GpnmService::pattern(self, handle)
+    }
+
+    fn semantics(&self, handle: PatternHandle) -> Result<MatchSemantics, ServiceError> {
+        GpnmService::semantics(self, handle)
+    }
+
+    fn result(&self, handle: PatternHandle) -> Result<&MatchResult, ServiceError> {
+        GpnmService::result(self, handle)
+    }
+
+    fn result_version(&self, handle: PatternHandle) -> Result<u64, ServiceError> {
+        GpnmService::result_version(self, handle)
+    }
+
+    fn handles(&self) -> Vec<PatternHandle> {
+        GpnmService::handles(self)
+    }
+
+    fn pattern_count(&self) -> usize {
+        GpnmService::pattern_count(self)
+    }
+
+    fn tick(&self) -> u64 {
+        GpnmService::tick(self)
+    }
+
+    fn register_pattern(
+        &mut self,
+        pattern: PatternGraph,
+        semantics: MatchSemantics,
+    ) -> Result<PatternHandle, ServiceError> {
+        GpnmService::register_pattern(self, pattern, semantics)
+    }
+
+    fn deregister(&mut self, handle: PatternHandle) -> Result<(), ServiceError> {
+        GpnmService::deregister(self, handle)
+    }
+
+    fn apply(&mut self, batch: &UpdateBatch) -> Result<TickReport, ServiceError> {
+        GpnmService::apply(self, batch)
+    }
+
+    fn read_view(&self, handle: PatternHandle) -> Result<Arc<ReadView>, ServiceError> {
+        GpnmService::read_view(self, handle)
+    }
+
+    fn subscribe(&self, handle: PatternHandle) -> Result<Subscription, ServiceError> {
+        GpnmService::subscribe(self, handle)
+    }
+
+    fn reader(&self) -> ReadFront {
+        GpnmService::reader(self)
     }
 }
 

@@ -15,7 +15,7 @@ use gpnm_distance::{BackendKind, IncrementalIndex, PartitionedBackend, SlenBacke
 use gpnm_engine::{GpnmEngine, Strategy};
 use gpnm_graph::{Bound, DataGraph, Label, LabelInterner, NodeId, PatternGraph};
 use gpnm_matcher::{MatchResult, MatchSemantics};
-use gpnm_service::{GpnmService, ServiceError};
+use gpnm_service::{GpnmService, ServiceError, TickOutcome};
 use gpnm_updates::{DataUpdate, UpdateBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -9,7 +9,15 @@
 //! every tick that each standing result is bitwise what a dedicated
 //! single-pattern engine would report.
 //!
+//! Along the way it exercises the concurrent read front-end: a reader
+//! thread spins on `read_view` snapshots *while* the main thread ticks
+//! (readers never block on a tick), and a subscription's delta stream is
+//! folded back over its base view to reconstruct the final result.
+//!
 //! Run with: `cargo run --release --example continuous_queries`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use ua_gpnm::prelude::*;
 use ua_gpnm::workload::{
@@ -73,6 +81,29 @@ fn main() {
         service.requirements().depth()
     );
 
+    // The concurrent read front-end: a subscription captures every tick's
+    // delta for one query, and a pinned reader on another thread consumes
+    // published snapshots *while* the service ticks — `read_view` is
+    // `&self` and never blocks on `apply`.
+    let sub_base = service.read_view(handles[1]).unwrap();
+    let sub = service.subscribe(handles[1]).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_thread = {
+        let pinned = service.reader().pinned(handles[0]).unwrap();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut snapshots = 0u64;
+            let mut last_version = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let view = pinned.view();
+                assert!(view.result_version >= last_version, "versions went back");
+                last_version = view.result_version;
+                snapshots += 1;
+            }
+            (snapshots, last_version)
+        })
+    };
+
     let protocol = UpdateProtocol::from_scale(0, 16); // data-only ticks
     for tick in 0..8u64 {
         let batch = generate_batch(
@@ -109,6 +140,28 @@ fn main() {
             );
         }
     }
+
+    stop.store(true, Ordering::Release);
+    let (snapshots, last_version) = reader_thread.join().expect("reader thread");
+    println!(
+        "\nconcurrent reader: {snapshots} lock-free snapshots during the ticks, \
+         last at v{last_version}"
+    );
+
+    // Fold the subscription's stream over its base view: the deltas alone
+    // reconstruct the final standing result exactly.
+    let mut folded = sub_base.result.clone();
+    let mut events = 0;
+    while let Some(SubEvent::Delta(delta)) = sub.try_recv() {
+        folded = delta.apply_to(&folded);
+        events += 1;
+    }
+    let live = service.read_view(handles[1]).unwrap();
+    assert_eq!(folded, live.result, "stream diverged from the live view");
+    println!(
+        "subscription on {}: {events} deltas reconstruct the live view (v{})",
+        handles[1], live.result_version
+    );
 
     // Standing queries come and go: deregistering narrows the shared index
     // to what the survivors need.

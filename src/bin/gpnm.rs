@@ -6,7 +6,7 @@
 //! gpnm smoke  [--backend B] [--nodes N] [--edges M] [--labels N] [--updates N] [--seed S]
 //! gpnm replay [--backend B] [--nodes N] [--edges M] [--patterns K] [--ticks T]
 //!             [--updates N] [--trace FILE] [--labels N] [--seed S]
-//!             [--shards K] [--threads T] [--stats]
+//!             [--shards K] [--threads T] [--stats] [--subscribe]
 //! gpnm demo
 //! ```
 //!
@@ -25,7 +25,12 @@
 //! instead) and every tick fans out to all shards in parallel;
 //! `--threads T` fans each shard's (or the single service's) per-pattern
 //! refresh out over T pool lanes, and `--stats` prints the per-tick
-//! `TickStats` accounting. `demo` runs the paper's Figure 1 example.
+//! `TickStats` accounting. Either way the replay drives the host through
+//! the `PatternHost` trait — the register and tick loops are one generic
+//! code path. `--subscribe` additionally consumes every pattern's deltas
+//! through the subscription API and cross-checks that the folded stream
+//! reconstructs the live `ReadView`. `demo` runs the paper's Figure 1
+//! example.
 //!
 //! `--backend {dense,partitioned,sparse}` selects the `SLen` backend. The
 //! dense backends materialize an `n × n` matrix; builds whose estimated
@@ -59,6 +64,7 @@ struct Args {
     shards: Option<usize>,
     threads: usize,
     stats: bool,
+    subscribe: bool,
     placement: PlacementKind,
 }
 
@@ -108,6 +114,7 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
         shards: None,
         threads: 0,
         stats: false,
+        subscribe: false,
         placement: PlacementKind::RoundRobin,
     };
     let mut it = rest.iter();
@@ -131,7 +138,7 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
             "--nodes" => args.nodes = parse_num(take_str("--nodes")?, "--nodes")?,
             "--edges" => args.edges = parse_num(take_str("--edges")?, "--edges")?,
             "--patterns" | "--ticks" | "--trace" | "--shards" | "--threads" | "--stats"
-            | "--placement"
+            | "--subscribe" | "--placement"
                 if cmd != Cmd::Replay =>
             {
                 return Err(format!("{flag} only applies to `gpnm replay`"));
@@ -148,6 +155,7 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
             }
             "--threads" => args.threads = parse_num(take_str("--threads")?, "--threads")?,
             "--stats" => args.stats = true,
+            "--subscribe" => args.subscribe = true,
             "--placement" => {
                 args.placement = match take_str("--placement")?.as_str() {
                     "round-robin" => PlacementKind::RoundRobin,
@@ -408,7 +416,10 @@ fn replay_patterns(args: &Args, interner: &LabelInterner) -> Vec<PatternGraph> {
 /// The continuous-query mode: k standing patterns over a stream of
 /// data-update batches, per-tick per-pattern deltas — on one
 /// `GpnmService`, or (with `--shards`) on a `GpnmCluster` whose ticks fan
-/// out across the shards in parallel.
+/// out across the shards in parallel. Both run the *same*
+/// [`PatternHost`]-generic register + tick loop ([`replay_register`] /
+/// [`replay_ticks`]); `--shards` only changes which host is built and
+/// which footprint lines print around it.
 fn run_replay(args: &Args) -> Result<(), String> {
     let t = std::time::Instant::now();
     let (graph, mut interner) = generate_social_graph(&SocialGraphConfig {
@@ -430,9 +441,110 @@ fn run_replay(args: &Args) -> Result<(), String> {
         None => None,
     };
     match args.shards {
-        Some(shards) => run_replay_cluster(args, graph, interner, trace_chunks, shards),
+        Some(shards) => run_replay_cluster(args, graph, &mut interner, trace_chunks, shards),
         None => run_replay_service(args, graph, &mut interner, trace_chunks),
     }
+}
+
+/// Register the replay's standing patterns on any [`PatternHost`],
+/// printing one line per registration.
+fn replay_register<H: PatternHost>(
+    host: &mut H,
+    args: &Args,
+    interner: &LabelInterner,
+) -> Result<(), String> {
+    for pattern in replay_patterns(args, interner) {
+        let t = std::time::Instant::now();
+        let handle = host
+            .register_pattern(pattern, MatchSemantics::Simulation)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "registered {handle}: {} matches in {:?}",
+            host.result(handle)
+                .map_err(|e| e.to_string())?
+                .total_matches(),
+            t.elapsed()
+        );
+    }
+    Ok(())
+}
+
+/// Stream the replay's ticks through any [`PatternHost`], printing the
+/// per-tick summary, per-pattern delta lines, and (with `--stats`) the
+/// host's stats rendering. With `--subscribe`, each pattern's deltas are
+/// additionally consumed through the subscription API and cross-checked:
+/// the stream folded over the pre-tick [`ReadView`] must reconstruct the
+/// final published view exactly.
+fn replay_ticks<H: PatternHost>(
+    host: &mut H,
+    args: &Args,
+    interner: &mut LabelInterner,
+    trace_chunks: Option<Vec<String>>,
+) -> Result<(), String> {
+    // Subscribe before the first tick so the streams are gap-free from
+    // the base views down.
+    let mut streams: Vec<(H::Handle, Subscription, MatchResult)> = Vec::new();
+    if args.subscribe {
+        for handle in host.handles() {
+            let base = host.read_view(handle).map_err(|e| e.to_string())?;
+            let sub = host.subscribe(handle).map_err(|e| e.to_string())?;
+            streams.push((handle, sub, base.result.clone()));
+        }
+    }
+
+    let ticks = trace_chunks.as_ref().map_or(args.ticks, Vec::len);
+    let protocol = UpdateProtocol::from_scale(0, args.updates);
+    for tick in 0..ticks {
+        let batch = tick_batch(args, &trace_chunks, tick, host.graph(), interner, &protocol)?;
+        let report = host.apply(&batch).map_err(|e| e.to_string())?;
+        println!("{}", report.summary());
+        for (handle, delta) in report.deltas() {
+            println!(
+                "  {handle}: +{} -{} (v{})",
+                delta.added.len(),
+                delta.removed.len(),
+                delta.result_version
+            );
+        }
+        if args.stats {
+            println!("{}", report.render_stats());
+        }
+    }
+
+    for (handle, sub, mut folded) in streams {
+        let mut events = 0usize;
+        while let Some(event) = sub.try_recv() {
+            match event {
+                SubEvent::Delta(delta) => {
+                    folded = delta.apply_to(&folded);
+                    events += 1;
+                }
+                SubEvent::Lagged {
+                    missed_versions,
+                    delta,
+                } => {
+                    println!("  {handle}: lagged — {missed_versions} ticks coalesced into one");
+                    folded = delta.apply_to(&folded);
+                    events += 1;
+                }
+                SubEvent::Closed => break,
+            }
+        }
+        let live = host.read_view(handle).map_err(|e| e.to_string())?;
+        if folded == live.result {
+            println!(
+                "subscription {handle}: {events} events reconstruct the live view (v{}, {} matches)",
+                live.result_version,
+                live.result.total_matches(),
+            );
+        } else {
+            return Err(format!(
+                "subscription {handle}: folded stream diverges from the live view (v{})",
+                live.result_version
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn run_replay_service(
@@ -450,20 +562,7 @@ fn run_replay_service(
         .build(graph)
         .map_err(|e| e.to_string())?;
 
-    for pattern in replay_patterns(args, interner) {
-        let t = std::time::Instant::now();
-        let handle = service
-            .register_pattern(pattern, MatchSemantics::Simulation)
-            .map_err(|e| e.to_string())?;
-        println!(
-            "registered {handle}: {} matches in {:?}",
-            service
-                .result(handle)
-                .map_err(|e| e.to_string())?
-                .total_matches(),
-            t.elapsed()
-        );
-    }
+    replay_register(&mut service, args, interner)?;
     println!(
         "union requirements: {} labels, depth {}; index: {} rows resident, {:.1} MiB ({})",
         service.requirements().labels().len(),
@@ -473,31 +572,7 @@ fn run_replay_service(
         service.backend().kind(),
     );
 
-    let ticks = trace_chunks.as_ref().map_or(args.ticks, Vec::len);
-    let protocol = UpdateProtocol::from_scale(0, args.updates);
-    for tick in 0..ticks {
-        let batch = tick_batch(
-            args,
-            &trace_chunks,
-            tick,
-            service.graph(),
-            interner,
-            &protocol,
-        )?;
-        let report = service.apply(&batch).map_err(|e| e.to_string())?;
-        println!("{}", report.summary());
-        for (handle, delta) in &report.deltas {
-            println!(
-                "  {handle}: +{} -{} (v{})",
-                delta.added.len(),
-                delta.removed.len(),
-                delta.result_version
-            );
-        }
-        if args.stats {
-            println!("{}", report.stats.render());
-        }
-    }
+    replay_ticks(&mut service, args, interner, trace_chunks)?;
     println!(
         "final: {} nodes / {} edges, index {} rows resident, {:.1} MiB",
         service.graph().node_count(),
@@ -511,7 +586,7 @@ fn run_replay_service(
 fn run_replay_cluster(
     args: &Args,
     graph: DataGraph,
-    mut interner: LabelInterner,
+    interner: &mut LabelInterner,
     trace_chunks: Option<Vec<String>>,
     shards: usize,
 ) -> Result<(), String> {
@@ -526,21 +601,7 @@ fn run_replay_cluster(
     };
     let mut cluster = builder.build(graph).map_err(|e| e.to_string())?;
 
-    for pattern in replay_patterns(args, &interner) {
-        let t = std::time::Instant::now();
-        let handle = cluster
-            .register_pattern(pattern, MatchSemantics::Simulation)
-            .map_err(|e| e.to_string())?;
-        println!(
-            "registered {handle} on shard {}: {} matches in {:?}",
-            cluster.shard_of(handle).map_err(|e| e.to_string())?,
-            cluster
-                .result(handle)
-                .map_err(|e| e.to_string())?
-                .total_matches(),
-            t.elapsed()
-        );
-    }
+    replay_register(&mut cluster, args, interner)?;
     for (i, shard) in cluster.shards().iter().enumerate() {
         println!(
             "shard {i}: {} patterns, {} labels, depth {}, {} rows resident, {:.1} MiB ({})",
@@ -560,34 +621,7 @@ fn run_replay_cluster(
         args.threads,
     );
 
-    let ticks = trace_chunks.as_ref().map_or(args.ticks, Vec::len);
-    let protocol = UpdateProtocol::from_scale(0, args.updates);
-    for tick in 0..ticks {
-        let batch = tick_batch(
-            args,
-            &trace_chunks,
-            tick,
-            cluster.graph(),
-            &mut interner,
-            &protocol,
-        )?;
-        let report = cluster.apply(&batch).map_err(|e| e.to_string())?;
-        println!("{}", report.summary());
-        for (handle, delta) in &report.deltas {
-            println!(
-                "  {handle}: +{} -{} (v{})",
-                delta.added.len(),
-                delta.removed.len(),
-                delta.result_version
-            );
-        }
-        if args.stats {
-            for (i, shard_report) in report.shard_reports.iter().enumerate() {
-                println!("  shard {i}:");
-                println!("{}", shard_report.stats.render());
-            }
-        }
-    }
+    replay_ticks(&mut cluster, args, interner, trace_chunks)?;
     println!(
         "final: {} nodes / {} edges, cluster index {} rows resident, {:.1} MiB",
         cluster.graph().node_count(),
@@ -679,7 +713,7 @@ fn main() -> ExitCode {
              \x20      --labels N --pattern-nodes N --updates N --seed S\n\
              \x20      --nodes N --edges M (smoke/replay only)\n\
              \x20      --patterns K --ticks T --trace FILE (replay only)\n\
-             \x20      --shards K --threads T --stats (replay only)\n\
+             \x20      --shards K --threads T --stats --subscribe (replay only)\n\
              \x20      --placement round-robin|least-loaded (replay only)"
                 .to_owned(),
         ),

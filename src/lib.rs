@@ -87,7 +87,9 @@ pub mod prelude {
     };
     pub use gpnm_matcher::{MatchDelta, MatchResult, MatchSemantics};
     pub use gpnm_service::{
-        GpnmService, PatternHandle, ServiceBuilder, ServiceError, TickReport, TickStats,
+        GpnmService, HandleId, PatternHandle, PatternHost, PinnedReader, ReadError, ReadFront,
+        ReadView, ServiceBuilder, ServiceError, SubEvent, Subscription, TickOutcome, TickReport,
+        TickStats, DEFAULT_SUBSCRIPTION_CAPACITY,
     };
     pub use gpnm_updates::{DataUpdate, PatternUpdate, Update, UpdateBatch};
 }
