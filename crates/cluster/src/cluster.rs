@@ -130,6 +130,7 @@ pub struct ClusterBuilder {
     shards: usize,
     kind: BackendKind,
     max_index_gb: f64,
+    cache_budget_mb: Option<f64>,
     hint: RepairHint,
     refresh_threads: usize,
     placement: Box<dyn ShardPlacement>,
@@ -141,6 +142,7 @@ impl Default for ClusterBuilder {
             shards: 1,
             kind: BackendKind::Sparse,
             max_index_gb: 4.0,
+            cache_budget_mb: None,
             hint: RepairHint::Accelerated,
             refresh_threads: 0,
             placement: Box::new(LeastLoaded::new()),
@@ -174,6 +176,15 @@ impl ClusterBuilder {
     /// [`gpnm_service::ServiceBuilder::max_index_gb`]).
     pub fn max_index_gb(mut self, gb: impl Into<f64>) -> Self {
         self.max_index_gb = gb.into();
+        self
+    }
+
+    /// Per-shard paged-backend cache budget, in MiB (see
+    /// [`gpnm_service::ServiceBuilder::cache_budget_mb`]). Each shard
+    /// builds its own paged backend, so every shard gets its own spill
+    /// file and a cache of this size.
+    pub fn cache_budget_mb(mut self, mb: impl Into<f64>) -> Self {
+        self.cache_budget_mb = Some(mb.into());
         self
     }
 
@@ -215,13 +226,16 @@ impl ClusterBuilder {
             // committed the tick, so the cluster publishes the merged
             // views itself after the fan-out joins — per-tick
             // publication stays atomic across shards.
-            let service = GpnmService::builder()
+            let mut builder = GpnmService::builder()
                 .backend(self.kind)
                 .max_index_gb(self.max_index_gb)
                 .repair_hint(self.hint)
                 .refresh_threads(self.refresh_threads)
-                .publishing(false)
-                .build(graph.clone())?;
+                .publishing(false);
+            if let Some(mb) = self.cache_budget_mb {
+                builder = builder.cache_budget_mb(mb);
+            }
+            let service = builder.build(graph.clone())?;
             shards.push(service);
         }
         Ok(GpnmCluster {

@@ -1,11 +1,11 @@
 //! [`AnyBackend`]: one `SLen` backend type dispatching at runtime over the
-//! three static implementations.
+//! four static implementations.
 //!
 //! The engine and service are generic over [`SlenBackend`], which gives
 //! static dispatch when the backend is known at compile time. Callers that
 //! pick the backend from configuration (the `gpnm` CLI, the service
 //! builder) would otherwise have to monomorphize their whole call graph
-//! three times per choice point; `AnyBackend` folds the choice into one
+//! four times per choice point; `AnyBackend` folds the choice into one
 //! enum whose trait methods forward to the selected variant. Point lookups
 //! pay one predictable branch — irrelevant next to the BFS work behind
 //! every repair — and everything else inherits the variant's behavior
@@ -14,13 +14,15 @@
 use gpnm_graph::{DataGraph, NodeId};
 
 use crate::aff::AffDelta;
-use crate::backend::{PartitionedBackend, RepairHint, SlenBackend, SlenRequirements};
+use crate::backend::{IoStats, PartitionedBackend, RepairHint, SlenBackend, SlenRequirements};
 use crate::incremental::IncrementalIndex;
 use crate::kind::BackendKind;
 use crate::oracle::DistanceOracle;
+use crate::paged::PagedIndex;
 use crate::sparse::SparseIndex;
 
-/// A runtime-selected `SLen` backend: dense, partitioned, or sparse.
+/// A runtime-selected `SLen` backend: dense, partitioned, sparse, or
+/// paged.
 // One AnyBackend exists per engine/service, so the size spread between
 // variants costs a few hundred bytes total — boxing would instead tax
 // every distance lookup with a second indirection.
@@ -33,6 +35,8 @@ pub enum AnyBackend {
     Partitioned(PartitionedBackend),
     /// Bounded-row sparse index ([`SparseIndex`]).
     Sparse(SparseIndex),
+    /// Out-of-core paged index ([`PagedIndex`]).
+    Paged(PagedIndex),
 }
 
 macro_rules! on_backend {
@@ -41,6 +45,7 @@ macro_rules! on_backend {
             AnyBackend::Dense($b) => $e,
             AnyBackend::Partitioned($b) => $e,
             AnyBackend::Sparse($b) => $e,
+            AnyBackend::Paged($b) => $e,
         }
     };
 }
@@ -56,6 +61,7 @@ impl AnyBackend {
                 AnyBackend::Partitioned(PartitionedBackend::build(graph, reqs))
             }
             BackendKind::Sparse => AnyBackend::Sparse(SparseIndex::build(graph, reqs)),
+            BackendKind::Paged => AnyBackend::Paged(PagedIndex::build(graph, reqs)),
         }
     }
 
@@ -65,6 +71,7 @@ impl AnyBackend {
             AnyBackend::Dense(_) => BackendKind::Dense,
             AnyBackend::Partitioned(_) => BackendKind::Partitioned,
             AnyBackend::Sparse(_) => BackendKind::Sparse,
+            AnyBackend::Paged(_) => BackendKind::Paged,
         }
     }
 }
@@ -149,6 +156,10 @@ impl SlenBackend for AnyBackend {
 
     fn mem_bytes(&self) -> usize {
         on_backend!(self, b => b.mem_bytes())
+    }
+
+    fn io_stats(&self) -> Option<IoStats> {
+        on_backend!(self, b => b.io_stats())
     }
 }
 

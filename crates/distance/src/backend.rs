@@ -155,6 +155,47 @@ pub fn project_delta<F: Fn(NodeId) -> bool>(
         .collect()
 }
 
+/// Paging/caching activity counters of an out-of-core backend, cumulative
+/// since construction. Monotone: per-tick activity is the difference of
+/// two snapshots ([`IoStats::since`]), which is how the serving layer's
+/// `TickStats` reports paging behavior per tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Row lookups answered from the in-memory hot-row cache.
+    pub cache_hits: u64,
+    /// Row lookups that had to read the spill file.
+    pub cache_misses: u64,
+    /// Rows evicted to keep the cache inside its byte budget.
+    pub cache_evictions: u64,
+    /// Spill-file pages read.
+    pub pages_read: u64,
+    /// Spill-file pages written.
+    pub pages_written: u64,
+}
+
+impl IoStats {
+    /// The activity between `earlier` and `self` (both cumulative).
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            pages_read: self.pages_read.saturating_sub(earlier.pages_read),
+            pages_written: self.pages_written.saturating_sub(earlier.pages_written),
+        }
+    }
+
+    /// Fraction of row lookups served from the cache (`1.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// How a strategy wants deletion rows recomputed.
 ///
 /// The paper's evaluation separates UA-GPNM (partition-accelerated `SLen`
@@ -258,7 +299,15 @@ pub trait SlenBackend: DistanceOracle + Send + Sync {
     fn resident_rows(&self) -> usize;
 
     /// Approximate heap footprint of the distance storage, in bytes.
+    /// Out-of-core backends report their *in-memory* share (cache + row
+    /// directory), not the spill file.
     fn mem_bytes(&self) -> usize;
+
+    /// Cumulative paging counters, for backends that spill to storage.
+    /// In-memory backends return `None`.
+    fn io_stats(&self) -> Option<IoStats> {
+        None
+    }
 }
 
 // ======================================================================

@@ -1,4 +1,4 @@
-//! Runtime backend selection: [`BackendKind`] names the three `SLen`
+//! Runtime backend selection: [`BackendKind`] names the four `SLen`
 //! backends, [`crate::AnyBackend`] dispatches over them dynamically.
 
 /// Which `SLen` backend maintains distances — the configuration axis next
@@ -11,6 +11,9 @@
 /// * [`BackendKind::Sparse`] — bounded rows for pattern-labeled sources
 ///   only; memory ∝ candidate rows × bounded ball, the only fit past
 ///   ~50k nodes.
+/// * [`BackendKind::Paged`] — the sparse rows spilled to disk pages with a
+///   byte-budgeted hot-row cache; memory ∝ row directory + cache budget,
+///   for graphs whose sparse index itself outgrows RAM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
     /// Plain dense incremental matrix.
@@ -19,14 +22,17 @@ pub enum BackendKind {
     Partitioned,
     /// Bounded-row sparse index over candidate sources.
     Sparse,
+    /// Out-of-core paged index: sparse rows on disk, hot rows cached.
+    Paged,
 }
 
 impl BackendKind {
     /// All backends, smallest-memory last.
-    pub const ALL: [BackendKind; 3] = [
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Dense,
         BackendKind::Partitioned,
         BackendKind::Sparse,
+        BackendKind::Paged,
     ];
 
     /// CLI name (`--backend` value).
@@ -35,6 +41,7 @@ impl BackendKind {
             BackendKind::Dense => "dense",
             BackendKind::Partitioned => "partitioned",
             BackendKind::Sparse => "sparse",
+            BackendKind::Paged => "paged",
         }
     }
 
@@ -61,8 +68,9 @@ impl std::str::FromStr for BackendKind {
             "dense" => Ok(BackendKind::Dense),
             "partitioned" => Ok(BackendKind::Partitioned),
             "sparse" => Ok(BackendKind::Sparse),
+            "paged" => Ok(BackendKind::Paged),
             other => Err(format!(
-                "unknown backend {other:?} (expected dense, partitioned or sparse)"
+                "unknown backend {other:?} (expected dense, partitioned, sparse or paged)"
             )),
         }
     }
@@ -88,6 +96,7 @@ mod tests {
         assert!(BackendKind::Dense.is_dense());
         assert!(BackendKind::Partitioned.is_dense());
         assert!(!BackendKind::Sparse.is_dense());
+        assert!(!BackendKind::Paged.is_dense());
     }
 
     #[test]
@@ -97,5 +106,6 @@ mod tests {
             Some(40_000_000_000)
         );
         assert_eq!(BackendKind::Sparse.estimated_index_bytes(100_000), None);
+        assert_eq!(BackendKind::Paged.estimated_index_bytes(100_000), None);
     }
 }

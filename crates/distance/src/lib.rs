@@ -25,6 +25,11 @@
 //!   for pattern-labeled sources only, `O(candidate rows × bounded ball)`
 //!   memory instead of `O(n²)` — the backend that unlocks 100k+-node
 //!   graphs.
+//! * [`PagedIndex`] — the out-of-core backend: the same sparse rows
+//!   serialized into fixed-size pages of a spill file, with a
+//!   byte-budgeted hot-row cache in front. Memory is
+//!   `O(row directory + cache budget)` however many rows are resident —
+//!   the backend for 10M+-node graphs under a hard memory ceiling.
 //!
 //! ## Choosing a backend
 //!
@@ -36,9 +41,14 @@
 //!   update-heavy workloads with label locality (bridge-sparse graphs) or
 //!   many invalidated rows (pool-parallel fan-out).
 //! * **sparse** ([`SparseIndex`]) — memory proportional to candidate rows ×
-//!   nodes within the pattern's maximum finite bound. The only choice past
+//!   nodes within the pattern's maximum finite bound. The right choice past
 //!   ~50k nodes; patterns with unbounded (`*`) edges fall back to full
 //!   (untruncated) rows for candidate sources.
+//! * **paged** ([`PagedIndex`]) — the sparse rows spilled to disk, hot rows
+//!   cached under a byte budget. Identical deltas and answers to sparse;
+//!   choose it when even the sparse index outgrows RAM, and size the
+//!   working set with the service's `cache_budget_mb` (or the backend's
+//!   [`PagedIndex::set_cache_budget`]).
 //!
 //! The infinity sentinel is [`INF`] (`u32::MAX`); all arithmetic goes
 //! through [`sat_add`] so infinity propagates instead of wrapping.
@@ -57,6 +67,8 @@ mod kind;
 mod label_range;
 mod matrix;
 mod oracle;
+mod paged;
+mod pager;
 mod partition;
 mod partitioned;
 mod sparse;
@@ -67,7 +79,9 @@ pub use apsp::{
     apsp_matrix, bfs_row, bfs_row_skipping_edge, parallel_bfs_rows, parallel_bfs_rows_csr,
     parallel_bfs_rows_scoped,
 };
-pub use backend::{project_delta, PartitionedBackend, RepairHint, SlenBackend, SlenRequirements};
+pub use backend::{
+    project_delta, IoStats, PartitionedBackend, RepairHint, SlenBackend, SlenRequirements,
+};
 pub use dijkstra::{dijkstra, dijkstra_multi, WeightedAdj};
 pub use hybrid::HybridMatrix;
 pub use incremental::IncrementalIndex;
@@ -75,6 +89,8 @@ pub use kind::BackendKind;
 pub use label_range::{LabelRangeIndex, RangeVerdict};
 pub use matrix::DistanceMatrix;
 pub use oracle::DistanceOracle;
+pub use paged::{PagedConfig, PagedIndex};
+pub use pager::DEFAULT_PAGE_SIZE;
 pub use partition::{Partition, PartitionId};
 pub use partitioned::{paper_literal, PartitionedIndex};
 pub use sparse::SparseIndex;

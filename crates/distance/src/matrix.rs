@@ -110,8 +110,10 @@ impl DistanceMatrix {
     }
 
     /// Heap footprint in bytes — the `|ND|²` space cost of §VII-B.
+    /// Reports the vector's *capacity* (slot growth leaves slack behind),
+    /// so memory admission compares against the real allocation.
     pub fn mem_bytes(&self) -> usize {
-        self.dist.len() * std::mem::size_of::<u32>()
+        self.dist.capacity() * std::mem::size_of::<u32>()
     }
 
     /// The raw row-major storage, mutable — for parallel builders that
@@ -232,6 +234,8 @@ mod tests {
         assert_eq!(m.finite_entries(), 3);
         m.set(NodeId(0), NodeId(1), 1);
         assert_eq!(m.finite_entries(), 4);
-        assert_eq!(m.mem_bytes(), 9 * 4);
+        // Capacity-based: a fresh `vec![INF; 9]` has exact capacity, so the
+        // floor is tight here, but growth may leave slack above it.
+        assert!(m.mem_bytes() >= 9 * 4);
     }
 }

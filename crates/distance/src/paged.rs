@@ -1,0 +1,1191 @@
+//! The out-of-core paged `SLen` backend: disk-resident sparse rows with an
+//! in-memory hot-row cache.
+//!
+//! ## Why
+//!
+//! [`crate::SparseIndex`] bounds memory by *row selection* — only
+//! pattern-relevant sources get a row — but every resident row still lives
+//! on the heap, so graph size is ultimately capped by RAM. `PagedIndex`
+//! bounds memory by *storage*: rows are the exact same sorted
+//! `(target, dist)` runs, serialized into fixed-size pages of an anonymous
+//! spill file (see [`crate::pager`]), and only a byte-budgeted working set
+//! of **hot rows** stays deserialized in memory. The in-memory footprint
+//! is `O(row directory + cache budget)` regardless of how many rows the
+//! requirement set implies — which is what lets a 10M+-node replay run
+//! under a 2 GiB address-space ceiling.
+//!
+//! ## Contract
+//!
+//! Algorithmically this is [`crate::SparseIndex`] verbatim — the same
+//! truncated BFS, the same insert pruning, the same delete-candidate test,
+//! row accesses simply go through the cache. Probe/commit deltas are
+//! therefore **bitwise identical** to the sparse backend's (the
+//! backend-equivalence proptest suites assert it record for record), and
+//! [`DistanceOracle::distance`] answers the same projection.
+//!
+//! Commits write *through* the cache: the cached row image is mutated,
+//! then its spill extent is rewritten append-wise (the old extent joins
+//! the pager's free list), so cache and disk never disagree and eviction
+//! is always a plain drop.
+//!
+//! ## The read path is lock-free
+//!
+//! The refresh phase makes millions of [`DistanceOracle::distance`] calls
+//! per tick (fanned out across pool workers), so the hit path cannot
+//! afford a lock or a hash: the cache directory is a slot-indexed
+//! `Vec<AtomicPtr<CacheEntry>>` and a hit is one `Acquire` load away from
+//! the row. This is sound because cached entries are only ever *freed* by
+//! `&mut self` methods (commits, eviction, re-budgeting) — and Rust's
+//! aliasing rules guarantee no `&self` reader can exist while those run.
+//! A read miss loads the row from the spill file and *publishes* it with
+//! a budget-gated CAS (losers free their own unpublished copy; when the
+//! cache is at budget the miss stays a read-through and eviction waits
+//! for the next `&mut` operation).
+
+use std::collections::VecDeque;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use gpnm_graph::{CsrSnapshot, DataGraph, Label, NodeId};
+
+use crate::aff::AffDelta;
+use crate::backend::{IoStats, RepairHint, SlenBackend, SlenRequirements};
+use crate::oracle::DistanceOracle;
+use crate::pager::{PageFile, RowLoc, DEFAULT_PAGE_SIZE};
+use crate::sparse::{bfs_truncated, diff_rows, Skip, SparseRow};
+use crate::{sat_add, INF};
+
+/// Tuning knobs for [`PagedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedConfig {
+    /// Spill-file page size in bytes (default 64 KiB). Rows shorter than a
+    /// page never cross a page boundary.
+    pub page_size: usize,
+    /// Hot-row cache budget in bytes (default 64 MiB). The cache may
+    /// exceed it transiently by the single row an operation has pinned.
+    pub cache_budget_bytes: usize,
+}
+
+impl Default for PagedConfig {
+    fn default() -> Self {
+        PagedConfig {
+            page_size: DEFAULT_PAGE_SIZE,
+            cache_budget_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// One cached row. `touched` is the clock bit the lock-free read path sets
+/// on every hit; `in_ring` (mutated under `&mut` only) tracks whether the
+/// slot is already registered in the eviction ring.
+#[derive(Debug)]
+struct CacheEntry {
+    row: SparseRow,
+    touched: AtomicBool,
+    in_ring: bool,
+}
+
+/// Per-entry bookkeeping overhead (box + directory + ring slots), on top
+/// of the row's entry storage.
+const ENTRY_OVERHEAD: usize = std::mem::size_of::<CacheEntry>() + 32;
+
+fn row_footprint(row: &SparseRow) -> usize {
+    ENTRY_OVERHEAD + row.entries.capacity() * std::mem::size_of::<(u32, u32)>()
+}
+
+/// Grow a slot-aligned vector to `n` elements without the doubling
+/// transient. `Vec::resize` grows by doubling, which at 10M+ slots
+/// allocates a second quarter-GiB buffer while the old one is still
+/// live — enough to blow a tight address-space budget on a single
+/// node insert. Reserving ~1.5% headroom past `n` instead keeps a
+/// long run of single-slot commits realloc-free and bounds the
+/// transient to the exact new size.
+fn grow_with_slack<T>(v: &mut Vec<T>, n: usize, fill: impl FnMut() -> T) {
+    if n > v.capacity() {
+        v.reserve_exact(n + n / 64 + 16 - v.len());
+    }
+    if v.len() < n {
+        v.resize_with(n, fill);
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Deliberately racy hit counter: a relaxed load+store pair instead of
+    /// `fetch_add`, because this sits on the per-distance-call hot path
+    /// (millions per tick) where an RMW's cost is measurable. Concurrent
+    /// readers may drop an increment; the counter is diagnostics, not
+    /// accounting.
+    #[inline(always)]
+    fn bump_hit(&self) {
+        self.hits.store(
+            self.hits.load(Ordering::Relaxed).wrapping_add(1),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// The hot-row cache: a slot-indexed directory of heap-boxed rows.
+///
+/// # Safety invariant
+///
+/// Every non-null pointer in `slots` owns a live `Box<CacheEntry>`.
+/// Pointers are **published** either by `&mut` methods or by the `&self`
+/// CAS in [`CacheDir::try_promote`]; they are **freed** only by `&mut`
+/// methods ([`CacheDir::remove`], [`CacheDir::evict_to_budget`],
+/// [`CacheDir::clear`]) or `Drop`. Since an `&mut CacheDir` cannot coexist
+/// with `&self` borrows, no reader can observe a dangling pointer.
+#[derive(Debug)]
+struct CacheDir {
+    slots: Vec<AtomicPtr<CacheEntry>>,
+    /// Clock ring over cached slots (second-chance eviction order).
+    /// Touched only under `&mut`; read-path promotions queue up in
+    /// `promoted` until the next `&mut` operation drains them in.
+    ring: VecDeque<u32>,
+    /// Slots published by `&self` promotions, awaiting ring registration.
+    promoted: Mutex<Vec<u32>>,
+    /// Current footprint per [`row_footprint`].
+    bytes: AtomicUsize,
+    /// Cached-row count (kept so `cached_rows` is O(1)).
+    count: AtomicUsize,
+    /// Byte budget evictions drive toward. Mutated under `&mut` only.
+    budget: usize,
+}
+
+// SAFETY: `slots` holds owning pointers managed per the invariant above;
+// `CacheEntry` itself is `Send + Sync` (rows are plain data, the clock bit
+// is atomic). The raw pointers are what inhibit the auto-impls.
+unsafe impl Send for CacheDir {}
+unsafe impl Sync for CacheDir {}
+
+impl CacheDir {
+    fn new(budget: usize) -> Self {
+        CacheDir {
+            slots: Vec::new(),
+            ring: VecDeque::new(),
+            promoted: Mutex::new(Vec::new()),
+            bytes: AtomicUsize::new(0),
+            count: AtomicUsize::new(0),
+            budget,
+        }
+    }
+
+    fn ensure_slots(&mut self, n: usize) {
+        grow_with_slack(&mut self.slots, n, || AtomicPtr::new(ptr::null_mut()));
+    }
+
+    /// Lock-free shared lookup — the distance hot path.
+    #[inline(always)]
+    fn get(&self, slot: u32) -> Option<&CacheEntry> {
+        let ptr = self.slots.get(slot as usize)?.load(Ordering::Acquire);
+        // SAFETY: non-null published pointers are freed only under `&mut
+        // self`, which cannot run while this `&self` borrow is live.
+        (!ptr.is_null()).then(|| unsafe { &*ptr })
+    }
+
+    /// Shared-path promotion after a read miss. Budget-gated and
+    /// non-evicting: when the cache is full the miss stays a
+    /// read-through, and rebalancing waits for the next `&mut` op.
+    fn try_promote(&self, slot: u32, row: SparseRow) {
+        let added = row_footprint(&row);
+        if self.bytes.load(Ordering::Relaxed) + added > self.budget {
+            return;
+        }
+        let Some(cell) = self.slots.get(slot as usize) else {
+            return;
+        };
+        let fresh = Box::into_raw(Box::new(CacheEntry {
+            row,
+            touched: AtomicBool::new(true),
+            in_ring: false,
+        }));
+        match cell.compare_exchange(ptr::null_mut(), fresh, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => {
+                self.bytes.fetch_add(added, Ordering::Relaxed);
+                self.count.fetch_add(1, Ordering::Relaxed);
+                self.promoted
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(slot);
+            }
+            // A racing reader published first — keep theirs, drop ours
+            // (never published, so this free is race-free).
+            Err(_) => drop(unsafe { Box::from_raw(fresh) }),
+        }
+    }
+
+    /// Exclusive lookup for the `&mut` repair paths.
+    fn entry_mut(&mut self, slot: u32) -> Option<&mut CacheEntry> {
+        let ptr = *self.slots.get_mut(slot as usize)?.get_mut();
+        // SAFETY: `&mut self` is exclusive — no reader holds this entry.
+        (!ptr.is_null()).then(|| unsafe { &mut *ptr })
+    }
+
+    /// Insert (or replace) `slot`'s cached image and re-balance the budget.
+    fn insert(&mut self, stats: &CacheStats, slot: u32, row: SparseRow) {
+        self.ensure_slots(slot as usize + 1);
+        let added = row_footprint(&row);
+        if let Some(entry) = self.entry_mut(slot) {
+            let removed = row_footprint(&entry.row);
+            entry.row = row;
+            *entry.touched.get_mut() = true;
+            let bytes = self.bytes.get_mut();
+            *bytes = *bytes + added - removed;
+        } else {
+            let fresh = Box::into_raw(Box::new(CacheEntry {
+                row,
+                touched: AtomicBool::new(true),
+                in_ring: true,
+            }));
+            *self.slots[slot as usize].get_mut() = fresh;
+            self.ring.push_back(slot);
+            *self.bytes.get_mut() += added;
+            *self.count.get_mut() += 1;
+        }
+        self.evict_to_budget(stats, slot);
+    }
+
+    /// Drop `slot` from the cache entirely (row left the index).
+    fn remove(&mut self, slot: u32) {
+        let Some(cell) = self.slots.get_mut(slot as usize) else {
+            return;
+        };
+        let ptr = std::mem::replace(cell.get_mut(), ptr::null_mut());
+        if ptr.is_null() {
+            return;
+        }
+        // SAFETY: exclusive access; the pointer was just unpublished.
+        let entry = unsafe { Box::from_raw(ptr) };
+        *self.bytes.get_mut() -= row_footprint(&entry.row);
+        *self.count.get_mut() -= 1;
+        self.ring.retain(|&s| s != slot);
+        self.promoted
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|&s| s != slot);
+    }
+
+    /// Register read-path promotions in the clock ring (idempotent via
+    /// the per-entry `in_ring` flag).
+    fn drain_promotions(&mut self) {
+        let pending = std::mem::take(self.promoted.get_mut().unwrap_or_else(|e| e.into_inner()));
+        for slot in pending {
+            let needs_ring = match self.entry_mut(slot) {
+                Some(entry) if !entry.in_ring => {
+                    entry.in_ring = true;
+                    true
+                }
+                _ => false,
+            };
+            if needs_ring {
+                self.ring.push_back(slot);
+            }
+        }
+    }
+
+    /// Evict clock-cold rows until the cache fits its budget. `protect`
+    /// pins one slot (the row the caller holds or is about to borrow).
+    fn evict_to_budget(&mut self, stats: &CacheStats, protect: u32) {
+        self.drain_promotions();
+        while *self.bytes.get_mut() > self.budget {
+            let Some(slot) = self.ring.pop_front() else {
+                break;
+            };
+            if slot == protect {
+                self.ring.push_back(slot);
+                if self.ring.len() == 1 {
+                    break; // only the pinned row remains
+                }
+                continue;
+            }
+            let touched = match self.entry_mut(slot) {
+                None => continue, // stale ring entry
+                Some(entry) => std::mem::take(entry.touched.get_mut()),
+            };
+            if touched {
+                self.ring.push_back(slot); // second chance
+                continue;
+            }
+            let ptr = std::mem::replace(self.slots[slot as usize].get_mut(), ptr::null_mut());
+            // SAFETY: exclusive access; the pointer was just unpublished.
+            let entry = unsafe { Box::from_raw(ptr) };
+            *self.bytes.get_mut() -= row_footprint(&entry.row);
+            *self.count.get_mut() -= 1;
+            stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Free every cached row (cold restart).
+    fn clear(&mut self) {
+        for cell in &mut self.slots {
+            let ptr = std::mem::replace(cell.get_mut(), ptr::null_mut());
+            if !ptr.is_null() {
+                // SAFETY: exclusive access; the pointer was just unpublished.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+        self.ring.clear();
+        self.promoted
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        *self.bytes.get_mut() = 0;
+        *self.count.get_mut() = 0;
+    }
+}
+
+impl Drop for CacheDir {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+/// Make `slot`'s row cached (loading it from the spill file on a miss)
+/// and return a reference to it.
+fn fetch<'a>(
+    locs: &[Option<RowLoc>],
+    file: &PageFile,
+    cache: &'a mut CacheDir,
+    stats: &CacheStats,
+    slot: u32,
+) -> &'a SparseRow {
+    if cache.entry_mut(slot).is_some() {
+        stats.hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        stats.misses.fetch_add(1, Ordering::Relaxed);
+        let loc = locs[slot as usize].expect("fetch of a non-resident row");
+        let row = SparseRow {
+            entries: file.read_row(loc),
+        };
+        cache.insert(stats, slot, row);
+    }
+    &cache.entry_mut(slot).expect("just ensured").row
+}
+
+/// Replace `slot`'s row with `row`: rewrite the spill extent (append +
+/// free-list) and refresh the cached image — the write-through commit path.
+fn put_row(
+    locs: &mut [Option<RowLoc>],
+    file: &mut PageFile,
+    cache: &mut CacheDir,
+    stats: &CacheStats,
+    slot: u32,
+    row: SparseRow,
+) {
+    if let Some(old) = locs[slot as usize].take() {
+        file.free_row(old);
+    }
+    locs[slot as usize] = Some(file.write_row(&row.entries));
+    cache.insert(stats, slot, row);
+}
+
+/// Mutate `slot`'s cached row in place, then rewrite its spill extent so
+/// disk and cache stay in agreement.
+fn update_row(
+    locs: &mut [Option<RowLoc>],
+    file: &mut PageFile,
+    cache: &mut CacheDir,
+    stats: &CacheStats,
+    slot: u32,
+    f: impl FnOnce(&mut SparseRow),
+) {
+    fetch(locs, file, cache, stats, slot);
+    let (before, after);
+    {
+        let entry = cache.entry_mut(slot).expect("just fetched");
+        before = row_footprint(&entry.row);
+        f(&mut entry.row);
+        *entry.touched.get_mut() = true;
+        after = row_footprint(&entry.row);
+        let old = locs[slot as usize].take().expect("resident row");
+        file.free_row(old);
+        locs[slot as usize] = Some(file.write_row(&entry.row.entries));
+    }
+    let bytes = cache.bytes.get_mut();
+    *bytes = *bytes + after - before;
+    cache.evict_to_budget(stats, slot);
+}
+
+/// Drop `slot` from the index: free its extent and cached image.
+fn remove_row(locs: &mut [Option<RowLoc>], file: &mut PageFile, cache: &mut CacheDir, slot: u32) {
+    if let Some(old) = locs[slot as usize].take() {
+        file.free_row(old);
+    }
+    cache.remove(slot);
+}
+
+/// Disk-resident bounded-row `SLen` index with a hot-row cache — the
+/// fourth [`SlenBackend`], for graphs whose index never fits in RAM.
+///
+/// Same projection semantics as [`crate::SparseIndex`] (see the module
+/// docs); choose it when `Σ|ball_B(candidate)|` rows outgrow memory, and
+/// size the working set with [`PagedIndex::set_cache_budget`].
+#[derive(Debug)]
+pub struct PagedIndex {
+    /// The covered requirement set — single source of truth for residency.
+    reqs: SlenRequirements,
+    /// Slot-indexed row directory (`None` = not a candidate source).
+    locs: Vec<Option<RowLoc>>,
+    file: PageFile,
+    cache: CacheDir,
+    stats: CacheStats,
+    snapshot: CsrSnapshot,
+    dist_buf: Vec<u32>,
+    queue_buf: Vec<NodeId>,
+}
+
+impl Clone for PagedIndex {
+    /// An independent replica with its **own spill file** (rows are copied
+    /// extent by extent) and a fresh, empty cache at the same budget.
+    fn clone(&self) -> Self {
+        let mut file = PageFile::create(self.file.page_size());
+        let mut locs: Vec<Option<RowLoc>> = vec![None; self.locs.len()];
+        for (i, loc) in self.locs.iter().enumerate() {
+            if let Some(loc) = loc {
+                locs[i] = Some(file.write_row(&self.file.read_row(*loc)));
+            }
+        }
+        let mut cache = CacheDir::new(self.cache.budget);
+        cache.ensure_slots(locs.len());
+        PagedIndex {
+            reqs: self.reqs.clone(),
+            locs,
+            file,
+            cache,
+            stats: CacheStats::default(),
+            snapshot: CsrSnapshot::new(),
+            dist_buf: vec![INF; self.dist_buf.len()],
+            queue_buf: Vec::new(),
+        }
+    }
+}
+
+impl PagedIndex {
+    /// Build with explicit knobs (the trait's [`SlenBackend::build`] uses
+    /// [`PagedConfig::default`]).
+    pub fn with_config(graph: &DataGraph, reqs: &SlenRequirements, config: PagedConfig) -> Self {
+        let n = graph.slot_count();
+        let mut index = PagedIndex {
+            reqs: reqs.clone(),
+            locs: vec![None; n],
+            file: PageFile::create(config.page_size),
+            cache: CacheDir::new(config.cache_budget_bytes),
+            stats: CacheStats::default(),
+            snapshot: CsrSnapshot::new(),
+            dist_buf: vec![INF; n],
+            queue_buf: Vec::new(),
+        };
+        index.materialize_all(graph);
+        index
+    }
+
+    /// The truncation depth currently honored ([`INF`] = untruncated).
+    pub fn depth(&self) -> u32 {
+        self.reqs.depth()
+    }
+
+    /// The source labels currently materialized.
+    pub fn labels(&self) -> &[Label] {
+        self.reqs.labels()
+    }
+
+    /// The hot-row cache budget, in bytes.
+    pub fn cache_budget(&self) -> usize {
+        self.cache.budget
+    }
+
+    /// Re-budget the hot-row cache, evicting down if it shrank.
+    pub fn set_cache_budget(&mut self, bytes: usize) {
+        self.cache.budget = bytes;
+        self.cache.evict_to_budget(&self.stats, u32::MAX);
+    }
+
+    /// Rows currently deserialized in the cache.
+    pub fn cached_rows(&self) -> usize {
+        self.cache.count.load(Ordering::Relaxed)
+    }
+
+    /// Current cache footprint in bytes.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Spill-file size high-water mark, in pages.
+    pub fn spill_pages(&self) -> u64 {
+        self.file.page_count()
+    }
+
+    /// Spill-file page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.file.page_size()
+    }
+
+    fn required(&self, label: Option<Label>) -> bool {
+        label.is_some_and(|l| self.reqs.labels().binary_search(&l).is_ok())
+    }
+
+    fn ensure_slots(&mut self, graph: &DataGraph) {
+        let n = graph.slot_count();
+        grow_with_slack(&mut self.locs, n, || None);
+        self.cache.ensure_slots(n);
+        grow_with_slack(&mut self.dist_buf, n, || INF);
+    }
+
+    /// Recompute every row the requirement set implies, from scratch. The
+    /// spill file restarts empty; the cache stays cold (rows warm on use).
+    fn materialize_all(&mut self, graph: &DataGraph) {
+        self.ensure_slots(graph);
+        let depth = self.reqs.depth();
+        let Self {
+            reqs,
+            locs,
+            file,
+            cache,
+            snapshot,
+            dist_buf,
+            queue_buf,
+            ..
+        } = self;
+        locs.iter_mut().for_each(|l| *l = None);
+        file.reset();
+        cache.clear();
+        let csr = snapshot.get(graph);
+        for &label in reqs.labels() {
+            for &x in graph.nodes_with_label(label) {
+                let row = bfs_truncated(csr, x, depth, Skip::Nothing, dist_buf, queue_buf);
+                locs[x.index()] = Some(file.write_row(&row.entries));
+            }
+        }
+    }
+
+    /// Shared insert-edge repair — [`crate::SparseIndex`]'s algorithm with
+    /// row access through the cache. See its docs for why the `v` row is
+    /// valid pre- and post-insert.
+    fn insert_edge_delta(
+        &mut self,
+        graph: &DataGraph,
+        u: NodeId,
+        v: NodeId,
+        commit: bool,
+    ) -> AffDelta {
+        self.ensure_slots(graph);
+        let depth = self.reqs.depth();
+        let mut delta = AffDelta::new();
+        let Self {
+            locs,
+            file,
+            cache,
+            stats,
+            snapshot,
+            dist_buf,
+            queue_buf,
+            ..
+        } = self;
+        let mut candidates: Vec<(usize, u32)> = Vec::new();
+        for i in 0..locs.len() {
+            if locs[i].is_none() {
+                continue;
+            }
+            let row = fetch(locs, file, cache, stats, i as u32);
+            let Some(du) = row.get(u.0) else { continue };
+            let through = sat_add(du, 1);
+            if through <= depth && through < row.get(v.0).unwrap_or(INF) {
+                candidates.push((i, through));
+            }
+        }
+        if candidates.is_empty() {
+            return delta;
+        }
+        let csr = snapshot.get(graph);
+        let vrow = bfs_truncated(csr, v, depth, Skip::Nothing, dist_buf, queue_buf);
+        let mut updates: Vec<(u32, u32)> = Vec::new();
+        for (i, through) in candidates {
+            let x = NodeId::from_index(i);
+            updates.clear();
+            let row = fetch(locs, file, cache, stats, i as u32);
+            for &(y, dvy) in &vrow.entries {
+                let cand = sat_add(through, dvy);
+                if cand > depth {
+                    continue;
+                }
+                let old = row.get(y).unwrap_or(INF);
+                if cand < old {
+                    delta.record(x, NodeId(y), old, cand);
+                    if commit {
+                        updates.push((y, cand));
+                    }
+                }
+            }
+            if commit && !updates.is_empty() {
+                update_row(locs, file, cache, stats, i as u32, |row| {
+                    row.apply_sorted_updates(&updates)
+                });
+            }
+        }
+        delta
+    }
+
+    fn delete_edge_delta(
+        &mut self,
+        graph: &DataGraph,
+        u: NodeId,
+        v: NodeId,
+        commit: bool,
+    ) -> AffDelta {
+        self.ensure_slots(graph);
+        let depth = self.reqs.depth();
+        let Self {
+            locs,
+            file,
+            cache,
+            stats,
+            snapshot,
+            dist_buf,
+            queue_buf,
+            ..
+        } = self;
+        // The truncated delete-candidate test, in slot order.
+        let mut candidates: Vec<NodeId> = Vec::new();
+        for i in 0..locs.len() {
+            if locs[i].is_none() {
+                continue;
+            }
+            let row = fetch(locs, file, cache, stats, i as u32);
+            let (Some(dxu), Some(dxv)) = (row.get(u.0), row.get(v.0)) else {
+                continue;
+            };
+            if sat_add(dxu, 1) == dxv {
+                candidates.push(NodeId::from_index(i));
+            }
+        }
+        // Probe: the edge is still present, skip it. Commit: already gone.
+        let skip = if commit {
+            Skip::Nothing
+        } else {
+            Skip::Edge(u, v)
+        };
+        let mut delta = AffDelta::new();
+        for x in candidates {
+            let csr = snapshot.get(graph);
+            let new_row = bfs_truncated(csr, x, depth, skip, dist_buf, queue_buf);
+            let old_row = fetch(locs, file, cache, stats, x.0);
+            diff_rows(x, old_row, &new_row, &mut delta);
+            if commit {
+                put_row(locs, file, cache, stats, x.0, new_row);
+            }
+        }
+        delta
+    }
+
+    fn delete_node_delta(&mut self, graph: &DataGraph, id: NodeId, commit: bool) -> AffDelta {
+        self.ensure_slots(graph);
+        let depth = self.reqs.depth();
+        let Self {
+            locs,
+            file,
+            cache,
+            stats,
+            snapshot,
+            dist_buf,
+            queue_buf,
+            ..
+        } = self;
+        let mut sources: Vec<NodeId> = Vec::new();
+        for i in 0..locs.len() {
+            if i == id.index() || locs[i].is_none() {
+                continue;
+            }
+            let row = fetch(locs, file, cache, stats, i as u32);
+            if row.get(id.0).is_some() {
+                sources.push(NodeId::from_index(i));
+            }
+        }
+        let mut delta = AffDelta::new();
+        // The node's own row: every entry becomes INF.
+        if locs[id.index()].is_some() {
+            let row = fetch(locs, file, cache, stats, id.0);
+            for &(y, d) in &row.entries {
+                delta.record(id, NodeId(y), d, INF);
+            }
+            if commit {
+                remove_row(locs, file, cache, id.0);
+            }
+        }
+        let skip = if commit {
+            Skip::Nothing
+        } else {
+            Skip::Node(id)
+        };
+        for x in sources {
+            let csr = snapshot.get(graph);
+            let new_row = bfs_truncated(csr, x, depth, skip, dist_buf, queue_buf);
+            let old_row = fetch(locs, file, cache, stats, x.0);
+            diff_rows(x, old_row, &new_row, &mut delta);
+            if commit {
+                put_row(locs, file, cache, stats, x.0, new_row);
+            }
+        }
+        delta
+    }
+}
+
+impl DistanceOracle for PagedIndex {
+    #[inline]
+    fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        let Some(&Some(loc)) = self.locs.get(u.index()) else {
+            return INF;
+        };
+        if let Some(entry) = self.cache.get(u.0) {
+            // Check-then-set keeps the clock bit read-mostly: repeated hits
+            // on a hot row must not dirty its cache line every call.
+            if !entry.touched.load(Ordering::Relaxed) {
+                entry.touched.store(true, Ordering::Relaxed);
+            }
+            self.stats.bump_hit();
+            return entry.row.get(v.0).unwrap_or(INF);
+        }
+        // Miss: read the row from the spill file and publish it (another
+        // reader may win the race — keep theirs).
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let row = SparseRow {
+            entries: self.file.read_row(loc),
+        };
+        let answer = row.get(v.0).unwrap_or(INF);
+        self.cache.try_promote(u.0, row);
+        answer
+    }
+}
+
+impl SlenBackend for PagedIndex {
+    fn kind(&self) -> &'static str {
+        "paged"
+    }
+
+    fn build(graph: &DataGraph, reqs: &SlenRequirements) -> Self {
+        PagedIndex::with_config(graph, reqs, PagedConfig::default())
+    }
+
+    fn rebuild(&mut self, graph: &DataGraph, reqs: &SlenRequirements) {
+        self.reqs.absorb(reqs);
+        self.materialize_all(graph);
+    }
+
+    fn sync_requirements(&mut self, graph: &DataGraph, reqs: &SlenRequirements) {
+        self.ensure_slots(graph);
+        let deeper = reqs.depth() > self.reqs.depth();
+        let widened = reqs
+            .labels()
+            .iter()
+            .any(|l| self.reqs.labels().binary_search(l).is_err());
+        if !deeper && !widened {
+            return;
+        }
+        self.reqs.absorb(reqs);
+        let depth = self.reqs.depth();
+        let Self {
+            reqs,
+            locs,
+            file,
+            cache,
+            stats,
+            snapshot,
+            dist_buf,
+            queue_buf,
+            ..
+        } = self;
+        if deeper {
+            // Every resident row was truncated too early: re-run them all
+            // at the new horizon.
+            for i in 0..locs.len() {
+                if locs[i].is_some() {
+                    let csr = snapshot.get(graph);
+                    let row = bfs_truncated(
+                        csr,
+                        NodeId::from_index(i),
+                        depth,
+                        Skip::Nothing,
+                        dist_buf,
+                        queue_buf,
+                    );
+                    put_row(locs, file, cache, stats, i as u32, row);
+                }
+            }
+        }
+        if widened {
+            // Materialize the newly required sources (existing rows are
+            // already at the right depth).
+            for &label in reqs.labels() {
+                for &x in graph.nodes_with_label(label) {
+                    if locs[x.index()].is_none() {
+                        let csr = snapshot.get(graph);
+                        let row = bfs_truncated(csr, x, depth, Skip::Nothing, dist_buf, queue_buf);
+                        put_row(locs, file, cache, stats, x.0, row);
+                    }
+                }
+            }
+        }
+    }
+
+    fn narrow_requirements(&mut self, graph: &DataGraph, reqs: &SlenRequirements) {
+        self.ensure_slots(graph);
+        if self.reqs == *reqs {
+            return;
+        }
+        let deeper = reqs.depth() > self.reqs.depth();
+        let shallower = reqs.depth() < self.reqs.depth();
+        self.reqs = reqs.clone();
+        let depth = self.reqs.depth();
+        let Self {
+            reqs,
+            locs,
+            file,
+            cache,
+            stats,
+            snapshot,
+            dist_buf,
+            queue_buf,
+            ..
+        } = self;
+        let required =
+            |label: Option<Label>| label.is_some_and(|l| reqs.labels().binary_search(&l).is_ok());
+        // Drop rows whose source label left the requirement set. A
+        // shrunken horizon re-truncates in place: a depth-B row filtered
+        // to `d ≤ B` *is* the shallower row (no BFS needed).
+        for i in 0..locs.len() {
+            if locs[i].is_none() {
+                continue;
+            }
+            if !required(graph.label(NodeId::from_index(i))) {
+                remove_row(locs, file, cache, i as u32);
+            } else if shallower {
+                update_row(locs, file, cache, stats, i as u32, |row| {
+                    row.entries.retain(|&(_, d)| d <= depth)
+                });
+            }
+        }
+        // A deeper horizon (or a label the old set lacked) needs fresh BFS.
+        let mut todo: Vec<NodeId> = Vec::new();
+        if deeper {
+            todo.extend(
+                locs.iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.is_some())
+                    .map(|(i, _)| NodeId::from_index(i)),
+            );
+        }
+        for &label in reqs.labels() {
+            for &x in graph.nodes_with_label(label) {
+                if locs[x.index()].is_none() {
+                    todo.push(x);
+                }
+            }
+        }
+        for x in todo {
+            let csr = snapshot.get(graph);
+            let row = bfs_truncated(csr, x, depth, Skip::Nothing, dist_buf, queue_buf);
+            put_row(locs, file, cache, stats, x.0, row);
+        }
+    }
+
+    fn probe_insert_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
+        debug_assert!(!graph.has_edge(u, v), "probe_insert_edge on present edge");
+        self.insert_edge_delta(graph, u, v, false)
+    }
+
+    fn probe_delete_edge(&mut self, graph: &DataGraph, u: NodeId, v: NodeId) -> AffDelta {
+        debug_assert!(graph.has_edge(u, v), "probe_delete_edge on absent edge");
+        self.delete_edge_delta(graph, u, v, false)
+    }
+
+    fn probe_delete_node(&mut self, graph: &DataGraph, id: NodeId) -> AffDelta {
+        debug_assert!(graph.contains(id), "probe_delete_node on absent node");
+        self.delete_node_delta(graph, id, false)
+    }
+
+    fn commit_insert_edge(
+        &mut self,
+        graph: &DataGraph,
+        u: NodeId,
+        v: NodeId,
+        _hint: RepairHint,
+    ) -> AffDelta {
+        debug_assert!(graph.has_edge(u, v), "commit before graph mutation");
+        self.insert_edge_delta(graph, u, v, true)
+    }
+
+    fn commit_delete_edge(
+        &mut self,
+        graph: &DataGraph,
+        u: NodeId,
+        v: NodeId,
+        _hint: RepairHint,
+    ) -> AffDelta {
+        debug_assert!(!graph.has_edge(u, v), "commit before graph mutation");
+        self.delete_edge_delta(graph, u, v, true)
+    }
+
+    fn commit_insert_node(&mut self, graph: &DataGraph, id: NodeId, _hint: RepairHint) -> AffDelta {
+        self.ensure_slots(graph);
+        if self.required(graph.label(id)) {
+            // An isolated newcomer's row is just itself at distance 0.
+            let Self {
+                locs,
+                file,
+                cache,
+                stats,
+                ..
+            } = self;
+            put_row(
+                locs,
+                file,
+                cache,
+                stats,
+                id.0,
+                SparseRow {
+                    entries: vec![(id.0, 0)],
+                },
+            );
+        }
+        AffDelta::new()
+    }
+
+    fn commit_delete_node(&mut self, graph: &DataGraph, id: NodeId, _hint: RepairHint) -> AffDelta {
+        debug_assert!(!graph.contains(id), "commit before graph mutation");
+        self.delete_node_delta(graph, id, true)
+    }
+
+    fn resident_rows(&self) -> usize {
+        self.locs.iter().filter(|l| l.is_some()).count()
+    }
+
+    fn mem_bytes(&self) -> usize {
+        // The in-memory share only: row + cache directories, hot rows and
+        // pager metadata. The spill file is deliberately absent — bounding
+        // this number is the whole point of the backend.
+        self.locs.capacity() * std::mem::size_of::<Option<RowLoc>>()
+            + self.cache.slots.capacity() * std::mem::size_of::<AtomicPtr<CacheEntry>>()
+            + self.cache_bytes()
+            + self.file.meta_bytes()
+    }
+
+    fn io_stats(&self) -> Option<IoStats> {
+        Some(IoStats {
+            cache_hits: self.stats.hits.load(Ordering::Relaxed),
+            cache_misses: self.stats.misses.load(Ordering::Relaxed),
+            cache_evictions: self.stats.evictions.load(Ordering::Relaxed),
+            pages_read: self.file.pages_read(),
+            pages_written: self.file.pages_written(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp::apsp_matrix;
+    use crate::sparse::SparseIndex;
+    use gpnm_graph::paper::fig1;
+
+    /// A 2-page cache: every fetch beyond the pinned row evicts.
+    fn tiny() -> PagedConfig {
+        PagedConfig {
+            page_size: 256,
+            cache_budget_bytes: 512,
+        }
+    }
+
+    fn fig1_paged(config: PagedConfig) -> (gpnm_graph::paper::Fig1, PagedIndex) {
+        let f = fig1();
+        let reqs = SlenRequirements::of_pattern(&f.pattern);
+        let p = PagedIndex::with_config(&f.graph, &reqs, config);
+        (f, p)
+    }
+
+    #[test]
+    fn build_matches_truncated_dense() {
+        let (f, p) = fig1_paged(PagedConfig::default());
+        assert_eq!(p.kind(), "paged");
+        assert_eq!(p.resident_rows(), 7);
+        assert_eq!(p.depth(), 4);
+        let dense = apsp_matrix(&f.graph);
+        let n = f.graph.slot_count();
+        for i in 0..n {
+            let x = NodeId::from_index(i);
+            for j in 0..n {
+                let y = NodeId::from_index(j);
+                let d = dense.get(x, y);
+                let expected = if p.distance(x, x) == 0 && d <= p.depth() {
+                    d
+                } else {
+                    INF
+                };
+                if p.distance(x, x) == 0 {
+                    assert_eq!(p.distance(x, y), expected, "d({x:?},{y:?})");
+                }
+            }
+        }
+        assert_eq!(p.distance(f.db1, f.se1), INF, "non-resident row reads INF");
+    }
+
+    #[test]
+    fn tiny_cache_still_answers_exactly_and_evicts() {
+        let (f, mut p) = fig1_paged(tiny());
+        let reqs = SlenRequirements::of_pattern(&f.pattern);
+        let mut s = SparseIndex::build(&f.graph, &reqs);
+        let n = f.graph.slot_count();
+        for i in 0..n {
+            for j in 0..n {
+                let (x, y) = (NodeId::from_index(i), NodeId::from_index(j));
+                assert_eq!(p.distance(x, y), s.distance(x, y), "d({x:?},{y:?})");
+            }
+        }
+        // Read-path promotions are budget-gated, so churn the cache
+        // through the `&mut` repair path too (fetch → insert → evict).
+        let probe_p = SlenBackend::probe_delete_edge(&mut p, &f.graph, f.pm1, f.db1);
+        let probe_s = SlenBackend::probe_delete_edge(&mut s, &f.graph, f.pm1, f.db1);
+        assert_eq!(probe_p.changed, probe_s.changed);
+        let io = p.io_stats().expect("paged reports IO");
+        assert!(io.cache_evictions > 0, "2-page budget must churn: {io:?}");
+        assert!(io.pages_read > 0);
+    }
+
+    #[test]
+    fn commits_track_sparse_bitwise_through_a_mixed_sequence() {
+        let (mut f, mut p) = fig1_paged(tiny());
+        let reqs = SlenRequirements::of_pattern(&f.pattern);
+        let mut s = SparseIndex::build(&f.graph, &reqs);
+
+        let probe_p = SlenBackend::probe_insert_edge(&mut p, &f.graph, f.se1, f.te2);
+        let probe_s = SlenBackend::probe_insert_edge(&mut s, &f.graph, f.se1, f.te2);
+        assert_eq!(probe_p.changed, probe_s.changed);
+        f.graph.add_edge(f.se1, f.te2).unwrap();
+        let cp =
+            SlenBackend::commit_insert_edge(&mut p, &f.graph, f.se1, f.te2, RepairHint::Baseline);
+        let cs =
+            SlenBackend::commit_insert_edge(&mut s, &f.graph, f.se1, f.te2, RepairHint::Baseline);
+        assert_eq!(cp.changed, cs.changed);
+
+        f.graph.remove_edge(f.pm1, f.db1).unwrap();
+        let cp =
+            SlenBackend::commit_delete_edge(&mut p, &f.graph, f.pm1, f.db1, RepairHint::Baseline);
+        let cs =
+            SlenBackend::commit_delete_edge(&mut s, &f.graph, f.pm1, f.db1, RepairHint::Baseline);
+        assert_eq!(cp.changed, cs.changed);
+
+        let label = f.interner.get("TE").unwrap();
+        let id = f.graph.add_node(label);
+        SlenBackend::commit_insert_node(&mut p, &f.graph, id, RepairHint::Baseline);
+        SlenBackend::commit_insert_node(&mut s, &f.graph, id, RepairHint::Baseline);
+        assert_eq!(p.distance(id, id), 0, "required newcomer is resident");
+
+        f.graph.remove_node(f.se1).unwrap();
+        let cp = SlenBackend::commit_delete_node(&mut p, &f.graph, f.se1, RepairHint::Baseline);
+        let cs = SlenBackend::commit_delete_node(&mut s, &f.graph, f.se1, RepairHint::Baseline);
+        assert_eq!(cp.changed, cs.changed);
+
+        let n = f.graph.slot_count();
+        for i in 0..n {
+            for j in 0..n {
+                let (x, y) = (NodeId::from_index(i), NodeId::from_index(j));
+                assert_eq!(p.distance(x, y), s.distance(x, y), "d({x:?},{y:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_then_widen_round_trips_against_sparse() {
+        let (f, mut p) = fig1_paged(tiny());
+        let mut wide = SlenRequirements::of_pattern(&f.pattern);
+        wide.absorb_label(f.interner.get("DB").unwrap());
+        wide.absorb_bound(gpnm_graph::Bound::Hops(6));
+        p.sync_requirements(&f.graph, &wide);
+        assert_eq!(p.resident_rows(), 8);
+        assert_eq!(p.depth(), 6);
+        let narrow = SlenRequirements::of_pattern(&f.pattern);
+        p.narrow_requirements(&f.graph, &narrow);
+        let fresh = SparseIndex::build(&f.graph, &narrow);
+        assert_eq!(p.resident_rows(), fresh.resident_rows());
+        let n = f.graph.slot_count();
+        for i in 0..n {
+            for j in 0..n {
+                let (x, y) = (NodeId::from_index(i), NodeId::from_index(j));
+                assert_eq!(p.distance(x, y), fresh.distance(x, y), "d({x:?},{y:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn clone_is_an_independent_replica() {
+        let (mut f, p) = fig1_paged(PagedConfig::default());
+        let clone = p.clone();
+        assert_eq!(clone.resident_rows(), p.resident_rows());
+        assert_eq!(clone.cache_budget(), p.cache_budget());
+        // Mutating the clone must not disturb the original.
+        let mut clone = clone;
+        f.graph.add_edge(f.se1, f.te2).unwrap();
+        SlenBackend::commit_insert_edge(&mut clone, &f.graph, f.se1, f.te2, RepairHint::Baseline);
+        f.graph.remove_edge(f.se1, f.te2).unwrap();
+        let reqs = SlenRequirements::of_pattern(&f.pattern);
+        let fresh = SparseIndex::build(&f.graph, &reqs);
+        let n = f.graph.slot_count();
+        for i in 0..n {
+            for j in 0..n {
+                let (x, y) = (NodeId::from_index(i), NodeId::from_index(j));
+                assert_eq!(p.distance(x, y), fresh.distance(x, y), "original drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn rebudgeting_shrinks_the_cache() {
+        let (f, mut p) = fig1_paged(PagedConfig::default());
+        let n = f.graph.slot_count();
+        for i in 0..n {
+            for j in 0..n {
+                p.distance(NodeId::from_index(i), NodeId::from_index(j));
+            }
+        }
+        // Read-path promotions land in the ring at the next `&mut` op.
+        assert_eq!(
+            p.cached_rows(),
+            p.resident_rows(),
+            "default budget holds all"
+        );
+        p.set_cache_budget(0);
+        assert!(p.cached_rows() <= 1, "zero budget keeps at most the pin");
+        assert!(p.mem_bytes() > 0);
+    }
+
+    #[test]
+    fn read_path_promotions_respect_the_budget_and_evict_later() {
+        let (f, mut p) = fig1_paged(PagedConfig {
+            page_size: 256,
+            cache_budget_bytes: row_footprint(&SparseRow {
+                entries: Vec::new(),
+            }) + 64,
+        });
+        let n = f.graph.slot_count();
+        for i in 0..n {
+            for j in 0..n {
+                p.distance(NodeId::from_index(i), NodeId::from_index(j));
+            }
+        }
+        // The lock-free read path never exceeds the budget on its own.
+        assert!(
+            p.cache_bytes() <= p.cache_budget(),
+            "read promotions overshot: {} > {}",
+            p.cache_bytes(),
+            p.cache_budget()
+        );
+        // Shrinking to zero drains the promoted rows through the ring.
+        p.set_cache_budget(0);
+        assert_eq!(p.cached_rows(), 0, "rebudget must reclaim promoted rows");
+    }
+}

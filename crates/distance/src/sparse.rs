@@ -55,15 +55,16 @@ use crate::backend::{RepairHint, SlenBackend, SlenRequirements};
 use crate::oracle::DistanceOracle;
 use crate::{sat_add, INF};
 
-/// One resident row: `(target slot, distance)` sorted by slot.
+/// One resident row: `(target slot, distance)` sorted by slot. Shared with
+/// the paged backend, whose on-disk rows are these vectors serialized.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct SparseRow {
-    entries: Vec<(u32, u32)>,
+pub(crate) struct SparseRow {
+    pub(crate) entries: Vec<(u32, u32)>,
 }
 
 impl SparseRow {
     #[inline]
-    fn get(&self, slot: u32) -> Option<u32> {
+    pub(crate) fn get(&self, slot: u32) -> Option<u32> {
         self.entries
             .binary_search_by_key(&slot, |e| e.0)
             .ok()
@@ -72,7 +73,7 @@ impl SparseRow {
 
     /// Merge `updates` (sorted by slot, each an improvement or insertion)
     /// into the row, keeping it sorted.
-    fn apply_sorted_updates(&mut self, updates: &[(u32, u32)]) {
+    pub(crate) fn apply_sorted_updates(&mut self, updates: &[(u32, u32)]) {
         let mut merged = Vec::with_capacity(self.entries.len() + updates.len());
         let (mut i, mut j) = (0, 0);
         while i < self.entries.len() && j < updates.len() {
@@ -100,7 +101,7 @@ impl SparseRow {
 
 /// What the truncated BFS must pretend is absent (deletion probes).
 #[derive(Debug, Clone, Copy)]
-enum Skip {
+pub(crate) enum Skip {
     Nothing,
     Edge(NodeId, NodeId),
     Node(NodeId),
@@ -109,7 +110,7 @@ enum Skip {
 /// BFS from `source`, truncated at `depth` hops ([`INF`] = untruncated),
 /// honoring `skip`. `dist` is an all-[`INF`] scratch array that is restored
 /// before returning; `queue` is reusable scratch.
-fn bfs_truncated(
+pub(crate) fn bfs_truncated(
     csr: &CsrGraph,
     source: NodeId,
     depth: u32,
@@ -152,7 +153,7 @@ fn bfs_truncated(
 
 /// Record every difference between two sorted sparse rows of source `x`
 /// (absent entries read as [`INF`]), in ascending target order.
-fn diff_rows(x: NodeId, old: &SparseRow, new: &SparseRow, delta: &mut AffDelta) {
+pub(crate) fn diff_rows(x: NodeId, old: &SparseRow, new: &SparseRow, delta: &mut AffDelta) {
     let (a, b) = (&old.entries, &new.entries);
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -657,8 +658,18 @@ impl SlenBackend for SparseIndex {
     }
 
     fn mem_bytes(&self) -> usize {
-        self.rows.len() * std::mem::size_of::<Option<SparseRow>>()
-            + self.entry_count() * std::mem::size_of::<(u32, u32)>()
+        // Capacity, not len: `apply_sorted_updates` and `retain` leave slack
+        // in row vectors, and the slot vector itself over-allocates on
+        // growth. `max_index_gb` admission and `LeastLoaded` placement
+        // compare against the real allocation, not the live entry count.
+        self.rows.capacity() * std::mem::size_of::<Option<SparseRow>>()
+            + self
+                .rows
+                .iter()
+                .flatten()
+                .map(|r| r.entries.capacity())
+                .sum::<usize>()
+                * std::mem::size_of::<(u32, u32)>()
     }
 }
 

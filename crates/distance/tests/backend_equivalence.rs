@@ -8,10 +8,16 @@
 //! same records, same order — for probes and commits of all four update
 //! kinds, plus full distance agreement after every commit. One block pins
 //! the unbounded-depth fallback (full rows, candidate sources only).
+//!
+//! The paged backend rides along through every case under a deliberately
+//! tiny (2-page, ~0.5 KiB) cache so rows constantly evict and reload from
+//! the spill file: its probe and commit deltas must equal the sparse
+//! backend's **bitwise** — same records, same order, no projection — and
+//! its distances must agree pair for pair.
 
 use gpnm_distance::{
-    project_delta, AffDelta, IncrementalIndex, RepairHint, SlenBackend, SlenRequirements,
-    SparseIndex, INF,
+    project_delta, AffDelta, IncrementalIndex, PagedConfig, PagedIndex, RepairHint, SlenBackend,
+    SlenRequirements, SparseIndex, INF,
 };
 use gpnm_graph::{Bound, DataGraph, Label, NodeId, PatternGraph};
 use proptest::collection::vec;
@@ -109,6 +115,40 @@ fn resident_mask(graph: &DataGraph, reqs: &SlenRequirements) -> Vec<bool> {
         .collect()
 }
 
+/// A 2-page spill cache: every row access beyond the pinned one churns,
+/// so these cases exercise the evict/reload path on every single op.
+fn tiny_paged() -> PagedConfig {
+    PagedConfig {
+        page_size: 256,
+        cache_budget_bytes: 512,
+    }
+}
+
+/// Paged is sparse with the rows behind a pager: distances must agree on
+/// every pair, not just a projection.
+fn assert_paged_matches_sparse(
+    graph: &DataGraph,
+    sparse: &SparseIndex,
+    paged: &PagedIndex,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    use gpnm_distance::DistanceOracle;
+    let n = graph.slot_count();
+    for i in 0..n {
+        let x = NodeId::from_index(i);
+        for j in 0..n {
+            let y = NodeId::from_index(j);
+            prop_assert_eq!(
+                paged.distance(x, y),
+                sparse.distance(x, y),
+                "paged distance({:?},{:?}) diverged from sparse",
+                x,
+                y
+            );
+        }
+    }
+    Ok(())
+}
+
 fn assert_distances_match(
     graph: &DataGraph,
     dense: &IncrementalIndex,
@@ -139,8 +179,9 @@ fn assert_distances_match(
     Ok(())
 }
 
-/// Drive one generated case through both backends, checking probes,
-/// commits and distances after every step.
+/// Drive one generated case through all three backends, checking probes,
+/// commits and distances after every step. Dense-vs-sparse is a
+/// projection check; paged-vs-sparse is bitwise.
 fn check_case(case: RawCase) -> Result<(), proptest::test_runner::TestCaseError> {
     let (nodes, labels, edges, mask, depth_sel, ops) = case;
     let (mut graph, label_ids) = build_graph(nodes, labels, &edges);
@@ -149,9 +190,11 @@ fn check_case(case: RawCase) -> Result<(), proptest::test_runner::TestCaseError>
 
     let mut dense = <IncrementalIndex as SlenBackend>::build(&graph, &reqs);
     let mut sparse = SparseIndex::build(&graph, &reqs);
+    let mut paged = PagedIndex::with_config(&graph, &reqs, tiny_paged());
     {
         let resident = resident_mask(&graph, &reqs);
         assert_distances_match(&graph, &dense, &sparse, &resident, depth)?;
+        assert_paged_matches_sparse(&graph, &sparse, &paged)?;
     }
 
     for (kind, a, b) in ops {
@@ -170,13 +213,15 @@ fn check_case(case: RawCase) -> Result<(), proptest::test_runner::TestCaseError>
                 }
                 let dp = dense.probe_insert_edge(u, v);
                 let sp = SlenBackend::probe_insert_edge(&mut sparse, &graph, u, v);
+                let pp = SlenBackend::probe_insert_edge(&mut paged, &graph, u, v);
                 prop_assert_eq!(
                     project(&dp, &resident, depth),
-                    sp.changed,
+                    sp.changed.clone(),
                     "insert probe ({:?},{:?})",
                     u,
                     v
                 );
+                prop_assert_eq!(&pp.changed, &sp.changed, "paged insert probe");
                 graph.add_edge(u, v).expect("checked");
                 let dc =
                     SlenBackend::commit_insert_edge(&mut dense, &graph, u, v, RepairHint::Baseline);
@@ -187,7 +232,14 @@ fn check_case(case: RawCase) -> Result<(), proptest::test_runner::TestCaseError>
                     v,
                     RepairHint::Baseline,
                 );
-                prop_assert_eq!(project(&dc, &resident, depth), sc.changed, "insert commit");
+                let pc =
+                    SlenBackend::commit_insert_edge(&mut paged, &graph, u, v, RepairHint::Baseline);
+                prop_assert_eq!(
+                    project(&dc, &resident, depth),
+                    sc.changed.clone(),
+                    "insert commit"
+                );
+                prop_assert_eq!(&pc.changed, &sc.changed, "paged insert commit");
             }
             // ---- delete edge ----
             1 => {
@@ -198,13 +250,15 @@ fn check_case(case: RawCase) -> Result<(), proptest::test_runner::TestCaseError>
                 let (u, v) = all[a as usize % all.len()];
                 let dp = dense.probe_delete_edge(&graph, u, v);
                 let sp = SlenBackend::probe_delete_edge(&mut sparse, &graph, u, v);
+                let pp = SlenBackend::probe_delete_edge(&mut paged, &graph, u, v);
                 prop_assert_eq!(
                     project(&dp, &resident, depth),
-                    sp.changed,
+                    sp.changed.clone(),
                     "delete probe ({:?},{:?})",
                     u,
                     v
                 );
+                prop_assert_eq!(&pp.changed, &sp.changed, "paged delete probe");
                 graph.remove_edge(u, v).expect("listed");
                 let dc =
                     SlenBackend::commit_delete_edge(&mut dense, &graph, u, v, RepairHint::Baseline);
@@ -215,7 +269,14 @@ fn check_case(case: RawCase) -> Result<(), proptest::test_runner::TestCaseError>
                     v,
                     RepairHint::Baseline,
                 );
-                prop_assert_eq!(project(&dc, &resident, depth), sc.changed, "delete commit");
+                let pc =
+                    SlenBackend::commit_delete_edge(&mut paged, &graph, u, v, RepairHint::Baseline);
+                prop_assert_eq!(
+                    project(&dc, &resident, depth),
+                    sc.changed.clone(),
+                    "delete commit"
+                );
+                prop_assert_eq!(&pc.changed, &sc.changed, "paged delete commit");
             }
             // ---- insert node ----
             2 => {
@@ -225,7 +286,12 @@ fn check_case(case: RawCase) -> Result<(), proptest::test_runner::TestCaseError>
                     SlenBackend::commit_insert_node(&mut dense, &graph, id, RepairHint::Baseline);
                 let sc =
                     SlenBackend::commit_insert_node(&mut sparse, &graph, id, RepairHint::Baseline);
-                prop_assert!(dc.is_empty() && sc.is_empty(), "node insert deltas empty");
+                let pc =
+                    SlenBackend::commit_insert_node(&mut paged, &graph, id, RepairHint::Baseline);
+                prop_assert!(
+                    dc.is_empty() && sc.is_empty() && pc.is_empty(),
+                    "node insert deltas empty"
+                );
             }
             // ---- delete node ----
             3 => {
@@ -236,27 +302,43 @@ fn check_case(case: RawCase) -> Result<(), proptest::test_runner::TestCaseError>
                 let id = live[a as usize % live.len()];
                 let dp = dense.probe_delete_node(&graph, id);
                 let sp = SlenBackend::probe_delete_node(&mut sparse, &graph, id);
+                let pp = SlenBackend::probe_delete_node(&mut paged, &graph, id);
                 prop_assert_eq!(
                     project(&dp, &resident, depth),
-                    sp.changed,
+                    sp.changed.clone(),
                     "node delete probe {:?}",
                     id
                 );
+                prop_assert_eq!(&pp.changed, &sp.changed, "paged node delete probe");
                 graph.remove_node(id).expect("listed");
                 let dc =
                     SlenBackend::commit_delete_node(&mut dense, &graph, id, RepairHint::Baseline);
                 let sc =
                     SlenBackend::commit_delete_node(&mut sparse, &graph, id, RepairHint::Baseline);
+                let pc =
+                    SlenBackend::commit_delete_node(&mut paged, &graph, id, RepairHint::Baseline);
                 prop_assert_eq!(
                     project(&dc, &resident, depth),
-                    sc.changed,
+                    sc.changed.clone(),
                     "node delete commit"
                 );
+                prop_assert_eq!(&pc.changed, &sc.changed, "paged node delete commit");
             }
             _ => unreachable!("kind range"),
         }
         let resident = resident_mask(&graph, &reqs);
         assert_distances_match(&graph, &dense, &sparse, &resident, depth)?;
+        assert_paged_matches_sparse(&graph, &sparse, &paged)?;
+    }
+    // With any resident row, the cold cache plus the full pair scans above
+    // guarantee spill-file traffic — the tiny budget is really being hit.
+    if paged.resident_rows() > 0 {
+        let io = SlenBackend::io_stats(&paged).expect("paged reports IO");
+        prop_assert!(
+            io.cache_misses > 0 && io.pages_read > 0,
+            "2-page cache never touched the spill file: {:?}",
+            io
+        );
     }
     Ok(())
 }
@@ -294,6 +376,7 @@ proptest! {
         let reqs = requirements(&label_ids, mask, depth_sel);
         let dense = <IncrementalIndex as SlenBackend>::build(&graph, &reqs);
         let mut sparse = SparseIndex::build(&graph, &reqs);
+        let mut paged = PagedIndex::with_config(&graph, &reqs, tiny_paged());
 
         let mut wide = reqs.clone();
         wide.absorb_bound(Bound::Hops(extra_depth as u32));
@@ -303,7 +386,45 @@ proptest! {
             }
         }
         sparse.sync_requirements(&graph, &wide);
+        paged.sync_requirements(&graph, &wide);
         let resident = resident_mask(&graph, &wide);
         assert_distances_match(&graph, &dense, &sparse, &resident, wide.depth())?;
+        assert_paged_matches_sparse(&graph, &sparse, &paged)?;
+    }
+
+    /// Register/deregister cycles: narrowing to a different requirement
+    /// set and back must leave both incremental backends equal to indexes
+    /// built fresh at each step — the path the pattern-host session API
+    /// exercises as patterns come and go.
+    #[test]
+    fn narrow_cycles_match_fresh_builds(
+        case in raw_case(),
+        narrow_mask in 1u8..16,
+        narrow_depth in 1u8..4,
+    ) {
+        let (nodes, labels, edges, mask, depth_sel, _) = case;
+        let depth_sel = if depth_sel == 0 { 5 } else { depth_sel };
+        let (graph, label_ids) = build_graph(nodes, labels, &edges);
+        let wide = requirements(&label_ids, mask | narrow_mask, depth_sel.max(narrow_depth));
+        let narrow = requirements(&label_ids, narrow_mask, narrow_depth);
+
+        let mut sparse = SparseIndex::build(&graph, &wide);
+        let mut paged = PagedIndex::with_config(&graph, &wide, tiny_paged());
+
+        // Deregister: shrink to the narrow set.
+        sparse.narrow_requirements(&graph, &narrow);
+        paged.narrow_requirements(&graph, &narrow);
+        let fresh_narrow = SparseIndex::build(&graph, &narrow);
+        prop_assert_eq!(paged.resident_rows(), fresh_narrow.resident_rows());
+        assert_paged_matches_sparse(&graph, &fresh_narrow, &paged)?;
+        assert_paged_matches_sparse(&graph, &sparse, &paged)?;
+
+        // Re-register: grow back to the wide set.
+        sparse.narrow_requirements(&graph, &wide);
+        paged.narrow_requirements(&graph, &wide);
+        let fresh_wide = SparseIndex::build(&graph, &wide);
+        prop_assert_eq!(paged.resident_rows(), fresh_wide.resident_rows());
+        assert_paged_matches_sparse(&graph, &fresh_wide, &paged)?;
+        assert_paged_matches_sparse(&graph, &sparse, &paged)?;
     }
 }

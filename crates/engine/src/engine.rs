@@ -142,6 +142,13 @@ impl<B: SlenBackend> GpnmEngine<B> {
         &self.index
     }
 
+    /// Mutable access to the `SLen` backend — for tuning knobs only (e.g.
+    /// the paged backend's cache budget). Mutating the index's *contents*
+    /// or coverage desynchronizes it from the engine's graph.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.index
+    }
+
     /// The active match semantics.
     pub fn semantics(&self) -> MatchSemantics {
         self.semantics

@@ -6,9 +6,11 @@
 //! `crates/distance/tests/backend_equivalence.rs`): the sparse index only
 //! stores candidate rows truncated at the pattern's maximum finite bound,
 //! yet the match results must be bitwise identical to dense, because the
-//! matcher never looks outside that projection.
+//! matcher never looks outside that projection. The paged backend — the
+//! same rows behind a spill file and hot-row cache — runs every case too,
+//! including one chained sequence under a starvation-level cache budget.
 
-use gpnm_distance::{IncrementalIndex, SparseIndex};
+use gpnm_distance::{IncrementalIndex, PagedIndex, SlenBackend, SparseIndex};
 use gpnm_engine::{GpnmEngine, Strategy};
 use gpnm_graph::{Bound, DataGraph, Label, LabelInterner, NodeId, PatternGraph};
 use gpnm_matcher::{MatchResult, MatchSemantics};
@@ -139,6 +141,17 @@ fn assert_backends_agree(
             &expected,
             "sparse backend under {strategy} disagrees with dense Scratch ({seed_info})"
         );
+        // Paged backend — sparse rows behind the spill-file cache must not
+        // change a single match.
+        let mut paged =
+            GpnmEngine::<PagedIndex>::with_backend(graph.clone(), pattern.clone(), semantics);
+        paged.initial_query();
+        paged.subsequent_query(batch, strategy).expect("valid");
+        assert_eq!(
+            paged.result(),
+            &expected,
+            "paged backend under {strategy} disagrees with dense Scratch ({seed_info})"
+        );
         // Plain dense backend — the trait plumbing itself.
         let mut dense =
             GpnmEngine::<IncrementalIndex>::with_backend(graph.clone(), pattern.clone(), semantics);
@@ -223,6 +236,51 @@ fn unbounded_edge_falls_back_to_full_rows() {
             &format!("unbounded round {round}"),
         );
     }
+}
+
+#[test]
+fn chained_paged_queries_stay_exact_under_tiny_cache() {
+    // The out-of-core story under duress: a cache budget too small to hold
+    // more than a row or two forces a spill-file round trip on nearly
+    // every access, across many batches — and results must never drift.
+    let mut rng = StdRng::seed_from_u64(0x9A6ED);
+    let (graph, mut interner) = random_graph(&mut rng, 25, 60, 4);
+    let pattern = random_pattern(&mut rng, &mut interner, 4);
+    let mut engine =
+        GpnmEngine::<PagedIndex>::with_backend(graph, pattern, MatchSemantics::Simulation);
+    engine.backend_mut().set_cache_budget(512);
+    engine.initial_query();
+    for round in 0..8 {
+        let batch_len = rng.gen_range(1..8);
+        let batch = random_batch(
+            &mut rng,
+            engine.graph(),
+            engine.pattern(),
+            &interner,
+            batch_len,
+        );
+        let strategy = [Strategy::UaGpnm, Strategy::EhGpnm, Strategy::IncGpnm][round % 3];
+        engine.subsequent_query(&batch, strategy).expect("valid");
+        let mut dense = GpnmEngine::new(
+            engine.graph().clone(),
+            engine.pattern().clone(),
+            MatchSemantics::Simulation,
+        );
+        dense.initial_query();
+        assert_eq!(
+            engine.result(),
+            dense.result(),
+            "chained paged round {round} with {strategy} diverged"
+        );
+    }
+    let io = engine
+        .backend()
+        .io_stats()
+        .expect("paged backend reports IO");
+    assert!(
+        io.cache_evictions > 0 && io.pages_read > 0,
+        "starved cache never churned: {io:?}"
+    );
 }
 
 #[test]

@@ -62,12 +62,22 @@ impl CsrGraph {
     /// allocations. After warm-up, rebuilding per update batch is
     /// allocation-free (the vectors only grow when the graph does), which
     /// is what keeps the delete-repair hot path off the allocator.
+    ///
+    /// Growth, when it does happen, reserves ~1.5% past the needed size
+    /// instead of letting `reserve` double: one inserted node on a 10M-slot
+    /// graph must not transiently allocate a second half-size buffer while
+    /// the old one is live (that is what blows tight address-space budgets).
     pub(crate) fn rebuild(&mut self, graph: &DataGraph, reverse: bool) {
+        fn reserve_with_slack<T>(v: &mut Vec<T>, n: usize) {
+            if n > v.capacity() {
+                v.reserve_exact(n + n / 64 + 16 - v.len());
+            }
+        }
         let slots = graph.slot_count();
         self.offsets.clear();
         self.targets.clear();
-        self.offsets.reserve(slots + 1);
-        self.targets.reserve(graph.edge_count());
+        reserve_with_slack(&mut self.offsets, slots + 1);
+        reserve_with_slack(&mut self.targets, graph.edge_count());
         self.offsets.push(0);
         for i in 0..slots {
             self.targets
@@ -77,8 +87,8 @@ impl CsrGraph {
         self.rev_offsets.clear();
         self.rev_sources.clear();
         if reverse {
-            self.rev_offsets.reserve(slots + 1);
-            self.rev_sources.reserve(graph.edge_count());
+            reserve_with_slack(&mut self.rev_offsets, slots + 1);
+            reserve_with_slack(&mut self.rev_sources, graph.edge_count());
             self.rev_offsets.push(0);
             for i in 0..slots {
                 self.rev_sources

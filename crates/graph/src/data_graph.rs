@@ -113,12 +113,18 @@ impl DataGraph {
         Self::default()
     }
 
-    /// An empty graph with room for `nodes` slots.
+    /// An empty graph with room for `nodes` slots, plus a small growth
+    /// headroom (~1.5%). Updates-aware graphs are expected to grow past
+    /// their initial size; without the slack, the first `InsertNode` on an
+    /// exactly-sized graph doubles the node vectors, and at 10M+ slots
+    /// that transient (old + doubled allocation live at once) costs 3x the
+    /// steady-state footprint of the largest vector.
     pub fn with_capacity(nodes: usize) -> Self {
+        let cap = nodes + nodes / 64 + 16;
         DataGraph {
-            labels: Vec::with_capacity(nodes),
-            out: Vec::with_capacity(nodes),
-            inn: Vec::with_capacity(nodes),
+            labels: Vec::with_capacity(cap),
+            out: Vec::with_capacity(cap),
+            inn: Vec::with_capacity(cap),
             ..Self::default()
         }
     }

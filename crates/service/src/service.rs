@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gpnm_distance::{
-    AnyBackend, BackendKind, PartitionedBackend, RepairHint, SlenBackend, SlenRequirements,
+    AnyBackend, BackendKind, IoStats, PartitionedBackend, RepairHint, SlenBackend, SlenRequirements,
 };
 use gpnm_engine::pipeline::{
     commit_data_update, plan_for_data_update, refresh_pattern_shared, CommittedUpdate,
@@ -84,6 +84,18 @@ pub struct TickStats {
     /// multiplicity across updates) — how much of the graph the batch
     /// disturbed.
     pub affected_nodes: usize,
+    /// The `SLen` backend that served the tick (`"dense"`, `"sparse"`,
+    /// `"paged"`, …). Empty on a default-constructed stats value.
+    pub backend_kind: &'static str,
+    /// Distance rows the backend held after the tick.
+    pub resident_rows: usize,
+    /// The backend's in-memory footprint after the tick, in bytes
+    /// (out-of-core backends report directory + cache, not the spill
+    /// file).
+    pub index_mem_bytes: usize,
+    /// Paging activity **during this tick** (cumulative counters diffed
+    /// across the tick). `None` for in-memory backends.
+    pub io: Option<IoStats>,
 }
 
 impl TickStats {
@@ -117,6 +129,24 @@ impl TickStats {
             self.repair_calls,
             self.affected_nodes,
         );
+        out.push_str(&format!(
+            "\n  index: kind={} resident_rows={} mem={}KiB",
+            self.backend_kind,
+            self.resident_rows,
+            self.index_mem_bytes / 1024,
+        ));
+        if let Some(io) = &self.io {
+            out.push_str(&format!(
+                "\n  paging: hits={} misses={} hit_rate={:.1}% evictions={} \
+                 pages_read={} pages_written={}",
+                io.cache_hits,
+                io.cache_misses,
+                io.hit_rate() * 100.0,
+                io.cache_evictions,
+                io.pages_read,
+                io.pages_written,
+            ));
+        }
         for (handle, ns) in &self.per_pattern_refresh_ns {
             out.push_str(&format!("\n    {handle}: refresh {}µs", ns / 1_000));
         }
@@ -203,6 +233,7 @@ impl TickOutcome for TickReport {
 pub struct ServiceBuilder {
     kind: BackendKind,
     max_index_gb: f64,
+    cache_budget_mb: Option<f64>,
     hint: RepairHint,
     refresh_threads: usize,
     publishing: bool,
@@ -213,6 +244,7 @@ impl Default for ServiceBuilder {
         ServiceBuilder {
             kind: BackendKind::Partitioned,
             max_index_gb: 4.0,
+            cache_budget_mb: None,
             hint: RepairHint::Accelerated,
             refresh_threads: 0,
             publishing: true,
@@ -239,6 +271,15 @@ impl ServiceBuilder {
     /// never refused.
     pub fn max_index_gb(mut self, gb: impl Into<f64>) -> Self {
         self.max_index_gb = gb.into();
+        self
+    }
+
+    /// Hot-row cache budget for the paged backend, in MiB. Unset, the
+    /// paged cache inherits the whole [`ServiceBuilder::max_index_gb`]
+    /// budget — set this to hold the working set far below the admission
+    /// ceiling. Ignored by in-memory backends.
+    pub fn cache_budget_mb(mut self, mb: impl Into<f64>) -> Self {
+        self.cache_budget_mb = Some(mb.into());
         self
     }
 
@@ -280,6 +321,13 @@ impl ServiceBuilder {
                 self.max_index_gb
             )));
         }
+        if let Some(mb) = self.cache_budget_mb {
+            if !mb.is_finite() || mb <= 0.0 {
+                return Err(ServiceError::InvalidConfig(format!(
+                    "cache_budget_mb must be a positive finite number, got {mb}"
+                )));
+            }
+        }
         if let Some(estimated_bytes) = self.kind.estimated_index_bytes(graph.slot_count()) {
             let limit_bytes = (self.max_index_gb * (1u64 << 30) as f64) as u128;
             if estimated_bytes > limit_bytes {
@@ -291,7 +339,17 @@ impl ServiceBuilder {
             }
         }
         let reqs = SlenRequirements::empty();
-        let index = AnyBackend::of_kind(self.kind, &graph, &reqs);
+        let mut index = AnyBackend::of_kind(self.kind, &graph, &reqs);
+        if let AnyBackend::Paged(paged) = &mut index {
+            // The paged cache rides the existing memory-admission plumbing:
+            // its budget is the explicit cache knob when set, else the
+            // whole max_index_gb allowance.
+            let bytes = match self.cache_budget_mb {
+                Some(mb) => (mb * (1u64 << 20) as f64) as usize,
+                None => (self.max_index_gb * (1u64 << 30) as f64) as usize,
+            };
+            paged.set_cache_budget(bytes);
+        }
         let mut service = GpnmService::from_parts(graph, index, reqs, self.hint);
         service.set_refresh_threads(self.refresh_threads);
         service.publishing = self.publishing;
@@ -621,6 +679,7 @@ impl<B: SlenBackend> GpnmService<B> {
             return Err(ServiceError::PatternUpdateInBatch { index });
         }
         let start = Instant::now();
+        let io_before = self.index.io_stats();
 
         // Net-effect reduction. Data-update cancellation never consults the
         // pattern graph, so reducing against an empty pattern is exactly
@@ -743,6 +802,13 @@ impl<B: SlenBackend> GpnmService<B> {
                 eliminated,
                 repair_calls,
                 affected_nodes: committed.iter().map(|c| c.delta.affected.len()).sum(),
+                backend_kind: self.index.kind(),
+                resident_rows: self.index.resident_rows(),
+                index_mem_bytes: self.index.mem_bytes(),
+                io: match (io_before, self.index.io_stats()) {
+                    (Some(before), Some(after)) => Some(after.since(&before)),
+                    _ => None,
+                },
             },
         })
     }

@@ -5,6 +5,8 @@
 //! `GD` [...] we removed `mP` nodes and `nP` edges from `GP`, and add `nP`
 //! new nodes and `nP` new edges into `GP`."
 
+use std::collections::HashSet;
+
 use gpnm_graph::{Bound, DataGraph, Label, LabelInterner, NodeId, PatternGraph};
 use gpnm_updates::{DataUpdate, PatternUpdate, UpdateBatch};
 use rand::rngs::StdRng;
@@ -68,11 +70,16 @@ impl UpdateProtocol {
 
 /// Generate a valid batch realizing `protocol` against the current graphs.
 ///
-/// The generator tracks graph state on clones so every emitted update is
-/// applicable in order; pattern-node deletions keep at least two pattern
-/// nodes alive. New data nodes receive labels uniformly from `interner`;
-/// new edges connect uniform random pairs (an inserted node may receive
-/// edges — the insert-node/insert-edge counts interact naturally).
+/// The data side never clones the graph: deletions are sampled from the
+/// live structure (reservoir over the edge iterator, rejection over node
+/// slots) and batch-local mutations are tracked in `O(batch)` sets, so
+/// generation works at 10M+-node scale where a graph clone would double
+/// the footprint. Inserted-node ids are predicted from `slot_count`
+/// (slots are never reused), so later edge insertions can still target
+/// batch-created nodes. The pattern side tracks state on a clone —
+/// patterns are a handful of nodes. Pattern-node deletions keep at least
+/// two pattern nodes alive; new data nodes receive labels uniformly from
+/// `interner`; new edges connect uniform random pairs.
 pub fn generate_batch(
     graph: &DataGraph,
     pattern: &PatternGraph,
@@ -81,51 +88,91 @@ pub fn generate_batch(
     seed: u64,
 ) -> UpdateBatch {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut g = graph.clone();
     let mut p = pattern.clone();
     let mut batch = UpdateBatch::new();
     let labels: Vec<Label> = interner.iter().map(|(l, _)| l).collect();
 
     // Deletions first (they target pre-existing structure), then
     // insertions — mirroring "removed ... at the same time inserted".
-    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
-    for _ in 0..protocol.data_edge_deletes {
-        if edges.is_empty() {
-            break;
-        }
-        let pick = rng.gen_range(0..edges.len());
-        let (u, v) = edges.swap_remove(pick);
-        if g.remove_edge(u, v).is_ok() {
-            batch.push(DataUpdate::DeleteEdge { from: u, to: v });
-        }
-    }
-    for _ in 0..protocol.data_node_deletes {
-        let live: Vec<NodeId> = g.nodes().collect();
-        if live.len() <= 2 {
-            break;
-        }
-        let v = live[rng.gen_range(0..live.len())];
-        if g.remove_node(v).is_ok() {
-            batch.push(DataUpdate::DeleteNode { node: v });
-            edges.retain(|&(a, b)| a != v && b != v);
+    //
+    // Edge deletions: reservoir-sample k distinct live edges in one pass
+    // of the edge iterator (O(k) memory; collecting 30M edges would cost
+    // hundreds of MiB).
+    let k = protocol.data_edge_deletes;
+    let mut picks: Vec<(NodeId, NodeId)> = Vec::with_capacity(k.min(4096));
+    if k > 0 {
+        for (i, e) in graph.edges().enumerate() {
+            if picks.len() < k {
+                picks.push(e);
+            } else {
+                let j = rng.gen_range(0..=i);
+                if j < k {
+                    picks[j] = e;
+                }
+            }
         }
     }
-    for _ in 0..protocol.data_node_inserts {
+    let mut deleted_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+    for &(u, v) in &picks {
+        deleted_edges.insert((u, v));
+        batch.push(DataUpdate::DeleteEdge { from: u, to: v });
+    }
+
+    // Node deletions: rejection-sample live slots (live density is high —
+    // slots are only tombstoned by prior deletions).
+    let slots = graph.slot_count();
+    let mut deleted_nodes: HashSet<NodeId> = HashSet::new();
+    let mut live_count = graph.node_count();
+    'nodes: for _ in 0..protocol.data_node_deletes {
+        if live_count <= 2 || slots == 0 {
+            break;
+        }
+        for _ in 0..64 {
+            let v = NodeId::from_index(rng.gen_range(0..slots));
+            if graph.contains(v) && !deleted_nodes.contains(&v) {
+                deleted_nodes.insert(v);
+                live_count -= 1;
+                batch.push(DataUpdate::DeleteNode { node: v });
+                continue 'nodes;
+            }
+        }
+        break; // graph too tombstoned to sample — close enough to empty
+    }
+
+    // Node insertions: ids are the next slots in order (never reused), so
+    // they can serve as edge endpoints below without applying anything.
+    let new_nodes = protocol.data_node_inserts;
+    for _ in 0..new_nodes {
         let label = labels[rng.gen_range(0..labels.len())];
-        g.add_node(label);
         batch.push(DataUpdate::InsertNode { label });
     }
-    let live: Vec<NodeId> = g.nodes().collect();
+
+    // Edge insertions: uniform pairs over live slots ∪ batch-created ids.
+    // Re-inserting an edge deleted earlier in this batch is valid; an
+    // edge already inserted by this batch, or still present in the base
+    // graph, is not.
+    let total_slots = slots + new_nodes;
+    let live = |id: NodeId, deleted: &HashSet<NodeId>| {
+        id.index() >= slots || (graph.contains(id) && !deleted.contains(&id))
+    };
+    let mut inserted_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
     let mut attempts = 0;
     let mut inserted = 0;
     while inserted < protocol.data_edge_inserts && attempts < protocol.data_edge_inserts * 30 {
         attempts += 1;
-        let u = live[rng.gen_range(0..live.len())];
-        let v = live[rng.gen_range(0..live.len())];
-        if u != v && g.add_edge(u, v).is_ok() {
-            batch.push(DataUpdate::InsertEdge { from: u, to: v });
-            inserted += 1;
+        let u = NodeId::from_index(rng.gen_range(0..total_slots));
+        let v = NodeId::from_index(rng.gen_range(0..total_slots));
+        if u == v || !live(u, &deleted_nodes) || !live(v, &deleted_nodes) {
+            continue;
         }
+        let present = inserted_edges.contains(&(u, v))
+            || (graph.has_edge(u, v) && !deleted_edges.contains(&(u, v)));
+        if present {
+            continue;
+        }
+        inserted_edges.insert((u, v));
+        batch.push(DataUpdate::InsertEdge { from: u, to: v });
+        inserted += 1;
     }
 
     // Pattern side.

@@ -32,15 +32,21 @@
 //! reconstructs the live `ReadView`. `demo` runs the paper's Figure 1
 //! example.
 //!
-//! `--backend {dense,partitioned,sparse}` selects the `SLen` backend. The
-//! dense backends materialize an `n × n` matrix; builds whose estimated
-//! matrix exceeds `--max-index-gb` (default 4 GiB) are refused with a
-//! pointer at `--backend sparse` instead of running into the OOM killer.
+//! `--backend {dense,partitioned,sparse,paged}` selects the `SLen`
+//! backend. The dense backends materialize an `n × n` matrix; builds whose
+//! estimated matrix exceeds `--max-index-gb` (default 4 GiB) are refused
+//! with a pointer at `--backend sparse` instead of running into the OOM
+//! killer. `paged` spills the sparse rows to a temp file and keeps a
+//! hot-row cache whose size `--cache-budget-mb` bounds — the backend for
+//! graphs whose index outgrows RAM; `--stats` shows its per-tick cache
+//! hit rates and page IO.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ua_gpnm::distance::{IncrementalIndex, PartitionedBackend, SlenBackend, SparseIndex};
+use ua_gpnm::distance::{
+    IncrementalIndex, PagedIndex, PartitionedBackend, SlenBackend, SparseIndex,
+};
 use ua_gpnm::engine::BackendKind;
 use ua_gpnm::matcher::render_match_table;
 use ua_gpnm::prelude::*;
@@ -56,6 +62,7 @@ struct Args {
     seed: u64,
     backend: BackendKind,
     max_index_gb: f64,
+    cache_budget_mb: Option<f64>,
     nodes: usize,
     edges: usize,
     patterns: usize,
@@ -106,6 +113,7 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
         seed: 7,
         backend: default_backend,
         max_index_gb: 4.0,
+        cache_budget_mb: None,
         nodes: 100_000,
         edges: 400_000,
         patterns: 3,
@@ -134,6 +142,24 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
                     "{flag} only applies to `gpnm smoke`/`gpnm replay` (match/bench take \
                      their graph from the edge-list file)"
                 ));
+            }
+            "--cache-budget-mb" if !generated => {
+                return Err(format!(
+                    "{flag} only applies to `gpnm smoke`/`gpnm replay` (match/bench build \
+                     the paged backend with its default 64 MiB cache)"
+                ));
+            }
+            "--cache-budget-mb" => {
+                let v = take_str("--cache-budget-mb")?;
+                let parsed = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("--cache-budget-mb: {e}"))?;
+                if !parsed.is_finite() || parsed <= 0.0 {
+                    return Err(format!(
+                        "--cache-budget-mb: expected a positive finite number, got {v}"
+                    ));
+                }
+                args.cache_budget_mb = Some(parsed);
             }
             "--nodes" => args.nodes = parse_num(take_str("--nodes")?, "--nodes")?,
             "--edges" => args.edges = parse_num(take_str("--edges")?, "--edges")?,
@@ -296,7 +322,7 @@ fn run_bench<B: SlenBackend + Clone>(
 /// The large-graph end-to-end smoke: generate a power-law graph, answer
 /// `IQuery`, apply a generated batch, answer `SQuery` — printing the
 /// footprint numbers CI asserts on.
-fn run_smoke<B: SlenBackend>(args: &Args) -> Result<(), String> {
+fn run_smoke<B: SlenBackend>(args: &Args, tune: impl FnOnce(&mut B)) -> Result<(), String> {
     let t = std::time::Instant::now();
     let (graph, interner) = generate_social_graph(&SocialGraphConfig {
         nodes: args.nodes,
@@ -316,6 +342,7 @@ fn run_smoke<B: SlenBackend>(args: &Args) -> Result<(), String> {
     let t = std::time::Instant::now();
     let mut engine = GpnmEngine::<B>::with_backend(graph, pattern, MatchSemantics::Simulation);
     let build_time = t.elapsed();
+    tune(engine.backend_mut());
     let t = std::time::Instant::now();
     engine.initial_query();
     println!(
@@ -344,6 +371,18 @@ fn run_smoke<B: SlenBackend>(args: &Args) -> Result<(), String> {
         engine.backend().resident_rows(),
         engine.backend().mem_bytes() as f64 / (1u64 << 20) as f64
     );
+    if let Some(io) = engine.backend().io_stats() {
+        println!(
+            "paging: hits={} misses={} hit_rate={:.1}% evictions={} pages_read={} \
+             pages_written={}",
+            io.cache_hits,
+            io.cache_misses,
+            io.hit_rate() * 100.0,
+            io.cache_evictions,
+            io.pages_read,
+            io.pages_written,
+        );
+    }
     Ok(())
 }
 
@@ -555,12 +594,14 @@ fn run_replay_service(
 ) -> Result<(), String> {
     // The builder is the fallible construction path: a dense backend on a
     // 100k-node graph comes back as a typed refusal, not an OOM kill.
-    let mut service = GpnmService::builder()
+    let mut builder = GpnmService::builder()
         .backend(args.backend)
         .max_index_gb(args.max_index_gb)
-        .refresh_threads(args.threads)
-        .build(graph)
-        .map_err(|e| e.to_string())?;
+        .refresh_threads(args.threads);
+    if let Some(mb) = args.cache_budget_mb {
+        builder = builder.cache_budget_mb(mb);
+    }
+    let mut service = builder.build(graph).map_err(|e| e.to_string())?;
 
     replay_register(&mut service, args, interner)?;
     println!(
@@ -590,11 +631,14 @@ fn run_replay_cluster(
     trace_chunks: Option<Vec<String>>,
     shards: usize,
 ) -> Result<(), String> {
-    let builder = GpnmCluster::builder()
+    let mut builder = GpnmCluster::builder()
         .shards(shards)
         .backend(args.backend)
         .max_index_gb(args.max_index_gb)
         .refresh_threads(args.threads);
+    if let Some(mb) = args.cache_budget_mb {
+        builder = builder.cache_budget_mb(mb);
+    }
     let builder = match args.placement {
         PlacementKind::RoundRobin => builder.placement(RoundRobin::new()),
         PlacementKind::LeastLoaded => builder.placement(LeastLoaded::new()),
@@ -639,6 +683,7 @@ fn cmd_match(path: &str, args: &Args) -> Result<(), String> {
         BackendKind::Dense => run_match::<IncrementalIndex>(graph, &interner, args),
         BackendKind::Partitioned => run_match::<PartitionedBackend>(graph, &interner, args),
         BackendKind::Sparse => run_match::<SparseIndex>(graph, &interner, args),
+        BackendKind::Paged => run_match::<PagedIndex>(graph, &interner, args),
     }
 }
 
@@ -649,15 +694,21 @@ fn cmd_bench(path: &str, args: &Args) -> Result<(), String> {
         BackendKind::Dense => run_bench::<IncrementalIndex>(graph, &interner, args),
         BackendKind::Partitioned => run_bench::<PartitionedBackend>(graph, &interner, args),
         BackendKind::Sparse => run_bench::<SparseIndex>(graph, &interner, args),
+        BackendKind::Paged => run_bench::<PagedIndex>(graph, &interner, args),
     }
 }
 
 fn cmd_smoke(args: &Args) -> Result<(), String> {
     guard_dense_build(args.backend, args.nodes, args.max_index_gb)?;
     match args.backend {
-        BackendKind::Dense => run_smoke::<IncrementalIndex>(args),
-        BackendKind::Partitioned => run_smoke::<PartitionedBackend>(args),
-        BackendKind::Sparse => run_smoke::<SparseIndex>(args),
+        BackendKind::Dense => run_smoke::<IncrementalIndex>(args, |_| {}),
+        BackendKind::Partitioned => run_smoke::<PartitionedBackend>(args, |_| {}),
+        BackendKind::Sparse => run_smoke::<SparseIndex>(args, |_| {}),
+        BackendKind::Paged => run_smoke::<PagedIndex>(args, |b| {
+            if let Some(mb) = args.cache_budget_mb {
+                b.set_cache_budget((mb * (1u64 << 20) as f64) as usize);
+            }
+        }),
     }
 }
 
@@ -709,7 +760,8 @@ fn main() -> ExitCode {
         _ => Err(
             "usage: gpnm demo | gpnm match <edge-list> [flags] | gpnm bench <edge-list> [flags] \
              | gpnm smoke [flags] | gpnm replay [flags]\n\
-             flags: --backend dense|partitioned|sparse --max-index-gb G\n\
+             flags: --backend dense|partitioned|sparse|paged --max-index-gb G\n\
+             \x20      --cache-budget-mb M (smoke/replay, paged backend)\n\
              \x20      --labels N --pattern-nodes N --updates N --seed S\n\
              \x20      --nodes N --edges M (smoke/replay only)\n\
              \x20      --patterns K --ticks T --trace FILE (replay only)\n\
