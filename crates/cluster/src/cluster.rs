@@ -15,7 +15,7 @@ use gpnm_service::{
 use gpnm_updates::UpdateBatch;
 
 use crate::error::ClusterError;
-use crate::placement::{LeastLoaded, ShardLoad, ShardPlacement};
+use crate::placement::{CoveredRowsCache, LeastLoaded, ShardLoad, ShardPlacement};
 
 /// Opaque cluster-wide id of one registered standing pattern. Like the
 /// service's [`PatternHandle`], handles are unique for the cluster's
@@ -41,6 +41,34 @@ impl From<ClusterHandle> for HandleId {
 impl std::fmt::Display for ClusterHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         self.0.fmt(f)
+    }
+}
+
+/// One pattern migration a [`GpnmCluster::rebalance`] pass performed.
+/// The cluster handle is stable across the move — readers, subscriptions
+/// and the delta stream never notice it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceMove {
+    /// The migrated pattern.
+    pub handle: ClusterHandle,
+    /// Shard the pattern left.
+    pub from: usize,
+    /// Shard the pattern now lives on.
+    pub to: usize,
+    /// Rows only this pattern kept resident on the source shard —
+    /// reclaimed by the move.
+    pub reclaimed_rows: usize,
+    /// Rows the move added to the target shard's index.
+    pub added_rows: usize,
+}
+
+impl std::fmt::Display for RebalanceMove {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} shard {} → {} (reclaimed {} rows, added {})",
+            self.handle, self.from, self.to, self.reclaimed_rows, self.added_rows
+        )
     }
 }
 
@@ -72,6 +100,9 @@ pub struct ClusterTickReport {
     /// Each shard's own report, in shard order — per-shard `TickStats`
     /// live here.
     pub shard_reports: Vec<TickReport>,
+    /// Pattern migrations the tick's auto-rebalance pass performed
+    /// (empty unless `rebalance_every` fired this tick).
+    pub rebalanced: Vec<RebalanceMove>,
 }
 
 impl TickOutcome for ClusterTickReport {
@@ -101,12 +132,53 @@ impl TickOutcome for ClusterTickReport {
     }
 
     fn render_stats(&self) -> String {
-        self.shard_reports
+        let mut out = self
+            .shard_reports
             .iter()
             .enumerate()
             .map(|(shard, report)| format!("  shard {shard}:\n{}", report.render_stats()))
             .collect::<Vec<_>>()
-            .join("\n")
+            .join("\n");
+        for m in &self.rebalanced {
+            out.push_str(&format!("\n  rebalance: {m}"));
+        }
+        out
+    }
+
+    fn stats_json(&self) -> String {
+        let shards: Vec<String> = self
+            .shard_reports
+            .iter()
+            .map(|r| r.stats.to_json())
+            .collect();
+        let moves: Vec<String> = self
+            .rebalanced
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"handle\":{},\"from\":{},\"to\":{},\"reclaimed_rows\":{},\"added_rows\":{}}}",
+                    m.handle.id(),
+                    m.from,
+                    m.to,
+                    m.reclaimed_rows,
+                    m.added_rows
+                )
+            })
+            .collect();
+        format!(
+            "{{\"tick\":{},\"updates_submitted\":{},\"updates_applied\":{},\
+             \"slen_changes\":{},\"added\":{},\"removed\":{},\"total_ns\":{},\
+             \"rebalanced\":[{}],\"shards\":[{}]}}",
+            self.tick,
+            self.updates_submitted,
+            self.updates_applied,
+            self.slen_changes,
+            self.total_added(),
+            self.total_removed(),
+            self.total_time.as_nanos(),
+            moves.join(","),
+            shards.join(","),
+        )
     }
 }
 
@@ -134,6 +206,8 @@ pub struct ClusterBuilder {
     hint: RepairHint,
     refresh_threads: usize,
     placement: Box<dyn ShardPlacement>,
+    adaptive: bool,
+    rebalance_every: Option<u64>,
 }
 
 impl Default for ClusterBuilder {
@@ -146,6 +220,8 @@ impl Default for ClusterBuilder {
             hint: RepairHint::Accelerated,
             refresh_threads: 0,
             placement: Box::new(LeastLoaded::new()),
+            adaptive: false,
+            rebalance_every: None,
         }
     }
 }
@@ -210,6 +286,23 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enable the online cost-model controller on every shard (see
+    /// [`gpnm_service::ServiceBuilder::adaptive`]): per-pattern refresh
+    /// strategies and per-shard refresh parallelism are then driven by
+    /// live tick stats instead of the fixed configuration.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Run a [`GpnmCluster::rebalance`] pass automatically after every
+    /// `n`th tick (`n ≥ 1`). Off by default; `rebalance()` can always be
+    /// called by hand.
+    pub fn rebalance_every(mut self, n: u64) -> Self {
+        self.rebalance_every = Some(n);
+        self
+    }
+
     /// Build the cluster over `graph`: every shard gets its own replica
     /// and an (initially empty-requirement) backend of the configured
     /// kind.
@@ -231,6 +324,7 @@ impl ClusterBuilder {
                 .max_index_gb(self.max_index_gb)
                 .repair_hint(self.hint)
                 .refresh_threads(self.refresh_threads)
+                .adaptive(self.adaptive)
                 .publishing(false);
             if let Some(mb) = self.cache_budget_mb {
                 builder = builder.cache_budget_mb(mb);
@@ -245,6 +339,8 @@ impl ClusterBuilder {
             next_handle: 0,
             tick: 0,
             front: ReadFront::new(),
+            rebalance_every: self.rebalance_every,
+            covered: CoveredRowsCache::new(),
         })
     }
 }
@@ -287,6 +383,12 @@ pub struct GpnmCluster {
     /// the whole fan-out has joined, so readers never observe a tick
     /// some shard has not committed yet.
     front: ReadFront,
+    /// Auto-rebalance period — a [`GpnmCluster::rebalance`] pass runs
+    /// after every `n`th tick when set.
+    rebalance_every: Option<u64>,
+    /// Per-label covered-row counts, shared by placement and rebalancing
+    /// and invalidated on every graph version bump.
+    covered: CoveredRowsCache,
 }
 
 impl GpnmCluster {
@@ -359,6 +461,9 @@ impl GpnmCluster {
     /// pattern were placed there).
     pub fn loads(&self, candidate: &PatternGraph) -> Vec<ShardLoad> {
         let candidate_reqs = SlenRequirements::of_pattern(candidate);
+        // Every replica holds the same graph; pricing all shards against
+        // shard 0's keeps one version key hot in the covered-rows cache.
+        let graph = self.shards[0].graph();
         self.shards
             .iter()
             .enumerate()
@@ -370,7 +475,7 @@ impl GpnmCluster {
                     patterns: service.pattern_count(),
                     resident_rows: service.backend().resident_rows(),
                     mem_bytes: service.backend().mem_bytes(),
-                    projected_rows: union.covered_rows(service.graph()),
+                    projected_rows: self.covered.covered_rows(&union, graph),
                 }
             })
             .collect()
@@ -476,6 +581,89 @@ impl GpnmCluster {
         Ok(())
     }
 
+    /// One greedy pattern re-placement pass: migrate each standing
+    /// pattern whose *exclusive* rows on its current shard (rows no
+    /// co-located pattern needs) exceed the *marginal* rows the cheapest
+    /// other shard would grow by — i.e. whenever moving it strictly
+    /// shrinks the cluster's total resident index. Returns the moves
+    /// performed (often none).
+    ///
+    /// A move carries the pattern's standing result and version across
+    /// via [`GpnmService::register_pattern_with_result`] — **no
+    /// re-match**: replicas walk one graph trajectory and results are
+    /// graph-determined, so the lifted result is bitwise what the target
+    /// shard would compute (proptested against a freshly placed
+    /// cluster). The source shard's requirement union narrows, the
+    /// target's widens; the [`ClusterHandle`], its read views and its
+    /// subscriptions are untouched. Load snapshots update as moves
+    /// apply, so a pass never ping-pongs a pattern.
+    pub fn rebalance(&mut self) -> Result<Vec<RebalanceMove>, ClusterError> {
+        let mut moves = Vec::new();
+        if self.shards.len() < 2 {
+            return Ok(moves);
+        }
+        let handles: Vec<ClusterHandle> = self.patterns.iter().map(|&(h, _, _)| h).collect();
+        for handle in handles {
+            let (from, local) = self.route(handle)?;
+            let pattern_reqs = SlenRequirements::of_pattern(self.shards[from].pattern(local)?);
+            // Rows only this pattern pins on its current shard: the
+            // union of its shard-mates covers the rest.
+            let mut others = SlenRequirements::empty();
+            for &(h, s, l) in &self.patterns {
+                if s == from && h != handle {
+                    others.absorb(&SlenRequirements::of_pattern(self.shards[s].pattern(l)?));
+                }
+            }
+            let mut full = others.clone();
+            full.absorb(&pattern_reqs);
+            let graph = self.shards[0].graph();
+            let exclusive =
+                self.covered.covered_rows(&full, graph) - self.covered.covered_rows(&others, graph);
+            if exclusive == 0 {
+                continue; // fully covered by shard-mates: free where it is
+            }
+            // The cheapest target by marginal growth (ties: lowest index).
+            let mut best: Option<(usize, usize)> = None;
+            for (t, service) in self.shards.iter().enumerate() {
+                if t == from {
+                    continue;
+                }
+                let mut union = service.requirements().clone();
+                union.absorb(&pattern_reqs);
+                let marginal = self.covered.covered_rows(&union, graph)
+                    - self.covered.covered_rows(service.requirements(), graph);
+                if best.map_or(true, |(m, _)| marginal < m) {
+                    best = Some((marginal, t));
+                }
+            }
+            let Some((marginal, to)) = best else { continue };
+            if marginal >= exclusive {
+                continue; // the move would not shrink the total index
+            }
+            let pattern = self.shards[from].pattern(local)?.clone();
+            let semantics = self.shards[from].semantics(local)?;
+            let result = self.shards[from].result(local)?.clone();
+            let version = self.shards[from].result_version(local)?;
+            self.shards[from].deregister(local)?;
+            let new_local = self.shards[to]
+                .register_pattern_with_result(pattern, semantics, result, version)?;
+            for entry in self.patterns.iter_mut() {
+                if entry.0 == handle {
+                    entry.1 = to;
+                    entry.2 = new_local;
+                }
+            }
+            moves.push(RebalanceMove {
+                handle,
+                from,
+                to,
+                reclaimed_rows: exclusive,
+                added_rows: marginal,
+            });
+        }
+        Ok(moves)
+    }
+
     /// Apply one data-update batch across the whole cluster: validate it
     /// **once** (typed, mutation-free refusal — exactly
     /// [`GpnmService::apply`]'s contract), fan the validated batch out to
@@ -539,6 +727,14 @@ impl GpnmCluster {
         }
         self.front.publish_tick(items);
 
+        // Periodic re-placement, after the epoch is published: migrations
+        // are invisible to readers (handles, views and subscriptions are
+        // untouched) and only shrink what the next tick repairs.
+        let rebalanced = match self.rebalance_every {
+            Some(n) if n > 0 && self.tick % n == 0 => self.rebalance()?,
+            _ => Vec::new(),
+        };
+
         Ok(ClusterTickReport {
             tick: self.tick,
             updates_submitted: batch.len(),
@@ -549,6 +745,7 @@ impl GpnmCluster {
             total_time: start.elapsed(),
             deltas,
             shard_reports,
+            rebalanced,
         })
     }
 }
@@ -796,6 +993,84 @@ mod tests {
                 .resident_rows(),
             "the other shard stayed empty"
         );
+    }
+
+    #[test]
+    fn rebalance_colocates_overlapping_patterns() {
+        let (f, mut cluster) = two_shard_cluster();
+        // Round-robin splits two identical patterns across both shards —
+        // each shard pays the full row set for the same labels.
+        let a = cluster
+            .register_pattern(f.pattern.clone(), MatchSemantics::Simulation)
+            .unwrap();
+        let b = cluster
+            .register_pattern(f.pattern.clone(), MatchSemantics::DualSimulation)
+            .unwrap();
+        assert_ne!(cluster.shard_of(a).unwrap(), cluster.shard_of(b).unwrap());
+        let rows_before = cluster.total_resident_rows();
+        let result_a = cluster.result(a).unwrap().clone();
+        let result_b = cluster.result(b).unwrap().clone();
+
+        let moves = cluster.rebalance().expect("rebalance");
+        assert_eq!(moves.len(), 1, "one migration merges the duplicates");
+        assert_eq!(moves[0].added_rows, 0, "target already covers the labels");
+        assert_eq!(cluster.shard_of(a).unwrap(), cluster.shard_of(b).unwrap());
+        assert!(
+            cluster.total_resident_rows() < rows_before,
+            "the duplicate rows were reclaimed"
+        );
+        // The migrated result was carried, not re-matched — and stays
+        // exactly what the pattern matched before the move.
+        assert_eq!(cluster.result(a).unwrap(), &result_a);
+        assert_eq!(cluster.result(b).unwrap(), &result_b);
+        assert!(
+            cluster.rebalance().expect("second pass").is_empty(),
+            "stable"
+        );
+
+        // Ticks keep flowing through the migrated placement.
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        let report = cluster.apply(&batch).expect("valid batch");
+        assert_eq!(report.delta_for(a).unwrap().result_version, 1);
+        assert_eq!(report.delta_for(b).unwrap().result_version, 1);
+    }
+
+    #[test]
+    fn auto_rebalance_fires_on_schedule() {
+        let f = fig1();
+        let mut cluster = GpnmCluster::builder()
+            .shards(2)
+            .backend(BackendKind::Sparse)
+            .placement(RoundRobin::new())
+            .rebalance_every(2)
+            .build(f.graph.clone())
+            .unwrap();
+        cluster
+            .register_pattern(f.pattern.clone(), MatchSemantics::Simulation)
+            .unwrap();
+        cluster
+            .register_pattern(f.pattern.clone(), MatchSemantics::DualSimulation)
+            .unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.push(DataUpdate::InsertEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        let r1 = cluster.apply(&batch).unwrap();
+        assert!(r1.rebalanced.is_empty(), "tick 1 is off-schedule");
+        let mut undo = UpdateBatch::new();
+        undo.push(DataUpdate::DeleteEdge {
+            from: f.se1,
+            to: f.te2,
+        });
+        let r2 = cluster.apply(&undo).unwrap();
+        assert_eq!(r2.rebalanced.len(), 1, "tick 2 migrates the duplicate");
+        assert!(r2.render_stats().contains("rebalance:"));
+        assert!(r2.stats_json().contains("\"rebalanced\":[{\"handle\":"));
     }
 
     #[test]

@@ -67,6 +67,6 @@ mod cluster;
 mod error;
 mod placement;
 
-pub use cluster::{ClusterBuilder, ClusterHandle, ClusterTickReport, GpnmCluster};
+pub use cluster::{ClusterBuilder, ClusterHandle, ClusterTickReport, GpnmCluster, RebalanceMove};
 pub use error::ClusterError;
-pub use placement::{LeastLoaded, RoundRobin, ShardLoad, ShardPlacement};
+pub use placement::{CoveredRowsCache, LeastLoaded, RoundRobin, ShardLoad, ShardPlacement};

@@ -80,7 +80,8 @@ pub use apsp::{
     parallel_bfs_rows_scoped,
 };
 pub use backend::{
-    project_delta, IoStats, PartitionedBackend, RepairHint, SlenBackend, SlenRequirements,
+    project_delta, CostHints, IoStats, PartitionedBackend, RepairHint, SlenBackend,
+    SlenRequirements,
 };
 pub use dijkstra::{dijkstra, dijkstra_multi, WeightedAdj};
 pub use hybrid::HybridMatrix;

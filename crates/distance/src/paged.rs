@@ -50,7 +50,7 @@ use std::sync::Mutex;
 use gpnm_graph::{CsrSnapshot, DataGraph, Label, NodeId};
 
 use crate::aff::AffDelta;
-use crate::backend::{IoStats, RepairHint, SlenBackend, SlenRequirements};
+use crate::backend::{CostHints, IoStats, RepairHint, SlenBackend, SlenRequirements};
 use crate::oracle::DistanceOracle;
 use crate::pager::{PageFile, RowLoc, DEFAULT_PAGE_SIZE};
 use crate::sparse::{bfs_truncated, diff_rows, Skip, SparseRow};
@@ -983,6 +983,18 @@ impl SlenBackend for PagedIndex {
             pages_read: self.file.pages_read(),
             pages_written: self.file.pages_written(),
         })
+    }
+
+    /// A full re-match streams every resident row through the
+    /// byte-budgeted cache — on a cache-starved index that evicts the hot
+    /// set an incremental repair would have reused, so scan predictions
+    /// are biased up front instead of learned by running the expensive
+    /// arm.
+    fn cost_hints(&self) -> CostHints {
+        CostHints {
+            rematch_bias: 4.0,
+            storage_backed: true,
+        }
     }
 }
 

@@ -233,6 +233,7 @@ impl<B: SlenBackend> GpnmEngine<B> {
                 self.run_eliminative(batch, ElimScope::Full, RepairHint::Accelerated)
             }
         };
+        stats.strategy = strategy.name();
         stats.slen_time += sync_time;
         stats.total_time = start.elapsed();
         Ok(stats)

@@ -38,5 +38,5 @@ pub use error::EngineError;
 // the backends themselves); re-exported here so existing imports hold.
 pub use gpnm_distance::BackendKind;
 pub use stats::ExecStats;
-pub use strategy::Strategy;
+pub use strategy::{RefreshStrategy, Strategy};
 pub use topk::{top_k_matches, RankedMatch};

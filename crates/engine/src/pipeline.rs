@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 
 use gpnm_distance::{AffDelta, RepairHint, SlenBackend};
 use gpnm_graph::{DataGraph, NodeId, PatternGraph};
-use gpnm_matcher::{repair, MatchResult, MatchSemantics, RepairPlan};
+use gpnm_matcher::{match_graph, repair, MatchResult, MatchSemantics, RepairPlan};
 use gpnm_updates::{DataUpdate, EhTree, EliminationGraph, Update, UpdateEffect};
 
 use crate::error::EngineError;
@@ -239,6 +239,73 @@ pub fn refresh_pattern_shared<B: SlenBackend>(
     stats
 }
 
+/// [`refresh_pattern_shared`] with the per-pattern half of the tick
+/// chosen by a [`crate::RefreshStrategy`] — the seam an adaptive
+/// controller swaps per pattern, per tick:
+///
+/// * [`crate::RefreshStrategy::Eliminative`] delegates to
+///   [`refresh_pattern_shared`] (EH-Tree survivors, one verify pass each);
+/// * [`crate::RefreshStrategy::PerUpdate`] runs one verify pass per
+///   *committed* update, ignoring the elimination analysis — the
+///   INC-GPNM refresh shape;
+/// * [`crate::RefreshStrategy::Rematch`] discards the standing result and
+///   re-matches from the post-batch index — the Scratch refresh shape.
+///
+/// All three converge to the same fixed point (repair passes verify down
+/// to exactly the full match — the invariant
+/// `commit_then_refresh_matches_scratch` pins), so the choice trades cost
+/// only; the service equivalence proptests assert bitwise-equal results
+/// across forced mid-stream switches.
+#[allow(clippy::too_many_arguments)] // refresh_pattern_shared's signature + the strategy selector
+pub fn refresh_pattern_strategy<B: SlenBackend>(
+    strategy: crate::RefreshStrategy,
+    pattern: &PatternGraph,
+    graph: &DataGraph,
+    index: &B,
+    semantics: MatchSemantics,
+    result: &mut MatchResult,
+    plans: &[RepairPlan],
+    shared: &SharedElimination,
+) -> RefreshStats {
+    match strategy {
+        crate::RefreshStrategy::Eliminative => {
+            refresh_pattern_shared(pattern, graph, index, semantics, result, plans, shared)
+        }
+        crate::RefreshStrategy::PerUpdate => {
+            let mut stats = RefreshStats::default();
+            let mut all_additions = RepairPlan::new();
+            for plan in plans {
+                for &p in &plan.addition_sources {
+                    if !all_additions.addition_sources.contains(&p) {
+                        all_additions.addition_sources.push(p);
+                    }
+                }
+            }
+            let every_plan: Vec<&RepairPlan> = plans.iter().collect();
+            let t = Instant::now();
+            stats.repair_calls = run_survivor_repairs(
+                pattern,
+                graph,
+                index,
+                semantics,
+                result,
+                &every_plan,
+                &all_additions,
+            );
+            stats.repair_time = t.elapsed();
+            stats
+        }
+        crate::RefreshStrategy::Rematch => {
+            let t = Instant::now();
+            *result = match_graph(pattern, graph, index, semantics);
+            RefreshStats {
+                repair_time: t.elapsed(),
+                ..Default::default()
+            }
+        }
+    }
+}
+
 /// Run one repair pass per survivor plan, seeding the merged addition
 /// sources into the first call only (additions cascade inside `repair`,
 /// so one seeding suffices; later passes are pure verify passes). Returns
@@ -343,5 +410,50 @@ mod tests {
         assert!(stats.repair_calls >= 1);
         let scratch = match_graph(&f.pattern, &f.graph, &index, semantics);
         assert_eq!(result, scratch);
+    }
+
+    #[test]
+    fn every_refresh_strategy_reaches_the_same_fixed_point() {
+        let mut f = fig1();
+        let mut index = IncrementalIndex::build(&f.graph);
+        let semantics = MatchSemantics::Simulation;
+        let base = match_graph(&f.pattern, &f.graph, &index, semantics);
+
+        let updates = [
+            DataUpdate::InsertEdge {
+                from: f.se1,
+                to: f.te2,
+            },
+            DataUpdate::DeleteEdge {
+                from: f.se1,
+                to: f.s1,
+            },
+        ];
+        let mut committed = Vec::new();
+        let mut plans = Vec::new();
+        for u in &updates {
+            let cu = commit_data_update(&mut f.graph, &mut index, u, RepairHint::Baseline)
+                .expect("valid update");
+            plans.push(plan_for_data_update(
+                u, &cu.delta, &f.pattern, &f.graph, &base, cu.created,
+            ));
+            committed.push(cu);
+        }
+        let shared = SharedElimination::detect(&committed);
+        let scratch = match_graph(&f.pattern, &f.graph, &index, semantics);
+        for strategy in crate::RefreshStrategy::ALL {
+            let mut result = base.clone();
+            refresh_pattern_strategy(
+                strategy,
+                &f.pattern,
+                &f.graph,
+                &index,
+                semantics,
+                &mut result,
+                &plans,
+                &shared,
+            );
+            assert_eq!(result, scratch, "{strategy} diverged from scratch");
+        }
     }
 }

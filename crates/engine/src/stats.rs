@@ -6,6 +6,10 @@ use std::time::Duration;
 /// analysis found. Returned by [`crate::GpnmEngine::subsequent_query`].
 #[derive(Debug, Clone, Default)]
 pub struct ExecStats {
+    /// Display name of the [`crate::Strategy`] that answered the query
+    /// (`""` on a default-constructed value) — lets cost-model consumers
+    /// attribute a sample without carrying the strategy alongside.
+    pub strategy: &'static str,
     /// Updates in the submitted batch (`|ΔG|`).
     pub updates_submitted: usize,
     /// Updates after net-effect reduction (cancelled pairs removed).
@@ -38,8 +42,13 @@ impl ExecStats {
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
+        let tag = if self.strategy.is_empty() {
+            String::new()
+        } else {
+            format!("[{}] ", self.strategy)
+        };
         format!(
-            "ΔG={} (net {}), eliminated={}, repairs={}, slen_changes={}, total={:?}",
+            "{tag}ΔG={} (net {}), eliminated={}, repairs={}, slen_changes={}, total={:?}",
             self.updates_submitted,
             self.updates_after_reduction,
             self.eliminated,
@@ -70,6 +79,7 @@ mod tests {
     #[test]
     fn summary_mentions_counts() {
         let s = ExecStats {
+            strategy: "UA-GPNM",
             updates_submitted: 7,
             updates_after_reduction: 5,
             eliminated: 2,
@@ -77,8 +87,10 @@ mod tests {
             ..Default::default()
         };
         let text = s.summary();
+        assert!(text.contains("[UA-GPNM]"));
         assert!(text.contains("ΔG=7"));
         assert!(text.contains("net 5"));
         assert!(text.contains("eliminated=2"));
+        assert!(!ExecStats::default().summary().starts_with('['));
     }
 }

@@ -76,6 +76,70 @@ impl std::fmt::Display for Strategy {
     }
 }
 
+/// How one standing pattern's *refresh* runs inside a multi-pattern tick.
+///
+/// A service tick splits a [`Strategy`] into a shared half (graph +
+/// `SLen` commit, DER-II detection — paid once per tick) and a
+/// per-pattern half (the survivor repair passes). This enum names the
+/// per-pattern half only, which is what an adaptive controller can swap
+/// *per pattern, per tick*: all three variants drive the result to the
+/// same fixed point (the matcher's repair converges to the full match —
+/// the bitwise contract the equivalence suites pin), so switching
+/// mid-stream changes cost, never answers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum RefreshStrategy {
+    /// EH-Tree survivors only, one verify pass each — the per-pattern
+    /// half of [`Strategy::UaGpnm`]/[`Strategy::EhGpnm`], and the
+    /// default. Cheapest when most updates are eliminated or batches are
+    /// small.
+    #[default]
+    Eliminative,
+    /// One verify pass per committed update, ignoring the elimination
+    /// analysis — the per-pattern half of [`Strategy::IncGpnm`]. A strict
+    /// superset of [`RefreshStrategy::Eliminative`]'s passes; exists as
+    /// the ablation arm that prices what elimination saves.
+    PerUpdate,
+    /// Throw the standing result away and re-match from the post-batch
+    /// index — the per-pattern half of [`Strategy::Scratch`]. Wins when a
+    /// batch disturbs more of the result than one full match costs.
+    Rematch,
+}
+
+impl RefreshStrategy {
+    /// All refresh strategies, in expected cheapest-first order on small
+    /// batches.
+    pub const ALL: [RefreshStrategy; 3] = [
+        RefreshStrategy::Eliminative,
+        RefreshStrategy::PerUpdate,
+        RefreshStrategy::Rematch,
+    ];
+
+    /// Display name, matching the whole-engine strategy each variant is
+    /// the per-pattern half of.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RefreshStrategy::Eliminative => "UA-GPNM",
+            RefreshStrategy::PerUpdate => "INC-GPNM",
+            RefreshStrategy::Rematch => "Scratch",
+        }
+    }
+
+    /// The whole-engine [`Strategy`] this refresh shape corresponds to.
+    pub fn engine_strategy(&self) -> Strategy {
+        match self {
+            RefreshStrategy::Eliminative => Strategy::UaGpnm,
+            RefreshStrategy::PerUpdate => Strategy::IncGpnm,
+            RefreshStrategy::Rematch => Strategy::Scratch,
+        }
+    }
+}
+
+impl std::fmt::Display for RefreshStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +150,18 @@ mod tests {
         assert_eq!(Strategy::UaGpnmNoPar.name(), "UA-GPNM-NoPar");
         assert_eq!(Strategy::EhGpnm.name(), "EH-GPNM");
         assert_eq!(Strategy::IncGpnm.name(), "INC-GPNM");
+    }
+
+    #[test]
+    fn refresh_strategies_map_to_engine_strategies() {
+        assert_eq!(RefreshStrategy::default(), RefreshStrategy::Eliminative);
+        for rs in RefreshStrategy::ALL {
+            assert_eq!(rs.name(), rs.engine_strategy().name());
+        }
+        assert_eq!(
+            RefreshStrategy::Rematch.engine_strategy(),
+            Strategy::Scratch
+        );
     }
 
     #[test]

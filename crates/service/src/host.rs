@@ -66,6 +66,11 @@ pub trait TickOutcome {
     /// (per-shard for a cluster report).
     fn render_stats(&self) -> String;
 
+    /// The tick's stats as one self-contained JSON object (no trailing
+    /// newline) — the `gpnm replay --stats-json` line format. A cluster
+    /// report nests its shard stats in a `"shards"` array.
+    fn stats_json(&self) -> String;
+
     /// The delta of one registered pattern, if it is part of this tick.
     fn delta_for(&self, handle: Self::Handle) -> Option<&MatchDelta> {
         self.deltas()

@@ -4,13 +4,15 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use gpnm_adaptive::{StrategyController, ThreadTuner, TickFeatures};
 use gpnm_distance::{
     AnyBackend, BackendKind, IoStats, PartitionedBackend, RepairHint, SlenBackend, SlenRequirements,
 };
 use gpnm_engine::pipeline::{
-    commit_data_update, plan_for_data_update, refresh_pattern_shared, CommittedUpdate,
+    commit_data_update, plan_for_data_update, refresh_pattern_strategy, CommittedUpdate,
     SharedElimination,
 };
+use gpnm_engine::RefreshStrategy;
 use gpnm_graph::{DataGraph, PatternGraph};
 use gpnm_matcher::{match_graph, MatchDelta, MatchResult, MatchSemantics, RepairPlan};
 use gpnm_pool::WorkerPool;
@@ -52,6 +54,10 @@ struct PatternSession {
     semantics: MatchSemantics,
     result: MatchResult,
     version: u64,
+    /// How the next tick refreshes this pattern. Every
+    /// [`RefreshStrategy`] reaches the same fixed point, so this knob
+    /// (hand-set or driven by the adaptive controller) trades cost only.
+    strategy: RefreshStrategy,
 }
 
 /// Fine-grained accounting of where one tick spent its time — the
@@ -75,6 +81,15 @@ pub struct TickStats {
     pub per_pattern_refresh_ns: Vec<(PatternHandle, u128)>,
     /// Parallel lanes the refresh phase ran on (1 = sequential baseline).
     pub refresh_lanes: usize,
+    /// Lanes the shared worker pool offers this host — pool utilization
+    /// of the refresh phase is `refresh_lanes / pool_lanes`.
+    pub pool_lanes: usize,
+    /// Refresh strategy each pattern ran this tick (display names, in
+    /// registration order — parallel to `per_pattern_refresh_ns`).
+    pub per_pattern_strategy: Vec<(PatternHandle, &'static str)>,
+    /// Cumulative adaptive controller arm switches across all patterns
+    /// since the controller was enabled (`0` on a fixed-strategy host).
+    pub strategy_switches: u64,
     /// Updates whose repair pass the EH-Tree eliminated, summed over
     /// patterns.
     pub eliminated: usize,
@@ -114,17 +129,30 @@ impl TickStats {
             .unwrap_or(0)
     }
 
+    /// The strategy name recorded for `handle` this tick, if any.
+    fn strategy_of(&self, handle: PatternHandle) -> Option<&'static str> {
+        self.per_pattern_strategy
+            .iter()
+            .find(|&&(h, _)| h == handle)
+            .map(|&(_, name)| name)
+    }
+
     /// Multi-line human rendering (the `--stats` output).
     pub fn render(&self) -> String {
+        let lanes = if self.pool_lanes > 0 {
+            format!("{}/{}", self.refresh_lanes, self.pool_lanes)
+        } else {
+            self.refresh_lanes.to_string()
+        };
         let mut out = format!(
             "  stats: reduce={}µs shared_repair={}µs detect={}µs refresh(Σ)={}µs \
-             refresh(max)={}µs lanes={} eliminated={} repairs={} affected={}",
+             refresh(max)={}µs lanes={lanes} switches={} eliminated={} repairs={} affected={}",
             self.reduce_ns / 1_000,
             self.shared_repair_ns / 1_000,
             self.detect_ns / 1_000,
             self.refresh_total_ns() / 1_000,
             self.refresh_max_ns() / 1_000,
-            self.refresh_lanes,
+            self.strategy_switches,
             self.eliminated,
             self.repair_calls,
             self.affected_nodes,
@@ -147,10 +175,61 @@ impl TickStats {
                 io.pages_written,
             ));
         }
-        for (handle, ns) in &self.per_pattern_refresh_ns {
+        for &(handle, ns) in &self.per_pattern_refresh_ns {
             out.push_str(&format!("\n    {handle}: refresh {}µs", ns / 1_000));
+            if let Some(name) = self.strategy_of(handle) {
+                out.push_str(&format!(" [{name}]"));
+            }
         }
         out
+    }
+
+    /// The stats as one JSON object (hand-rolled — the workspace carries
+    /// no serde). Field names mirror the struct; `io` is `null` on
+    /// in-memory backends.
+    pub fn to_json(&self) -> String {
+        let per_pattern: Vec<String> = self
+            .per_pattern_refresh_ns
+            .iter()
+            .map(|&(handle, ns)| {
+                let strategy = self.strategy_of(handle).unwrap_or("");
+                format!(
+                    "{{\"handle\":{},\"refresh_ns\":{ns},\"strategy\":\"{strategy}\"}}",
+                    handle.id()
+                )
+            })
+            .collect();
+        let io = match &self.io {
+            Some(io) => format!(
+                "{{\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+                 \"pages_read\":{},\"pages_written\":{}}}",
+                io.cache_hits, io.cache_misses, io.cache_evictions, io.pages_read, io.pages_written
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"reduce_ns\":{},\"shared_repair_ns\":{},\"detect_ns\":{},\
+             \"refresh_total_ns\":{},\"refresh_max_ns\":{},\"refresh_lanes\":{},\
+             \"pool_lanes\":{},\"strategy_switches\":{},\"eliminated\":{},\
+             \"repair_calls\":{},\"affected_nodes\":{},\"backend_kind\":\"{}\",\
+             \"resident_rows\":{},\"index_mem_bytes\":{},\"per_pattern\":[{}],\"io\":{}}}",
+            self.reduce_ns,
+            self.shared_repair_ns,
+            self.detect_ns,
+            self.refresh_total_ns(),
+            self.refresh_max_ns(),
+            self.refresh_lanes,
+            self.pool_lanes,
+            self.strategy_switches,
+            self.eliminated,
+            self.repair_calls,
+            self.affected_nodes,
+            self.backend_kind,
+            self.resident_rows,
+            self.index_mem_bytes,
+            per_pattern.join(","),
+            io,
+        )
     }
 }
 
@@ -212,6 +291,21 @@ impl TickOutcome for TickReport {
     fn render_stats(&self) -> String {
         self.stats.render()
     }
+
+    fn stats_json(&self) -> String {
+        format!(
+            "{{\"tick\":{},\"updates_submitted\":{},\"updates_applied\":{},\
+             \"slen_changes\":{},\"added\":{},\"removed\":{},\"total_ns\":{},\"stats\":{}}}",
+            self.tick,
+            self.updates_submitted,
+            self.updates_applied,
+            self.slen_changes,
+            self.total_added(),
+            self.total_removed(),
+            self.total_time.as_nanos(),
+            self.stats.to_json(),
+        )
+    }
 }
 
 /// Fallible, builder-style construction of a runtime-configured service —
@@ -237,6 +331,7 @@ pub struct ServiceBuilder {
     hint: RepairHint,
     refresh_threads: usize,
     publishing: bool,
+    adaptive: bool,
 }
 
 impl Default for ServiceBuilder {
@@ -248,6 +343,7 @@ impl Default for ServiceBuilder {
             hint: RepairHint::Accelerated,
             refresh_threads: 0,
             publishing: true,
+            adaptive: false,
         }
     }
 }
@@ -298,6 +394,17 @@ impl ServiceBuilder {
     /// bitwise identical either way — the knob trades wall time only.
     pub fn refresh_threads(mut self, n: usize) -> Self {
         self.refresh_threads = n;
+        self
+    }
+
+    /// Enable the online cost-model controller (default `false`): each
+    /// tick it picks every pattern's [`RefreshStrategy`] from live phase
+    /// timings and tunes the refresh parallelism between the sequential
+    /// baseline and pool fan-out — see [`GpnmService::set_adaptive`].
+    /// Results stay bitwise identical to any fixed configuration; the
+    /// controller trades cost only.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
         self
     }
 
@@ -353,8 +460,21 @@ impl ServiceBuilder {
         let mut service = GpnmService::from_parts(graph, index, reqs, self.hint);
         service.set_refresh_threads(self.refresh_threads);
         service.publishing = self.publishing;
+        service.set_adaptive(self.adaptive);
         Ok(service)
     }
+}
+
+/// The online controller state of an adaptive service: one
+/// [`StrategyController`] per registered pattern plus the host-wide
+/// [`ThreadTuner`], and the previous tick's refresh timings the tuner
+/// decides against.
+#[derive(Debug, Clone)]
+struct AdaptiveState {
+    controllers: Vec<(PatternHandle, StrategyController)>,
+    tuner: ThreadTuner,
+    /// `(total_ns, max_ns)` of the last tick's refresh phase.
+    last_refresh: Option<(u128, u128)>,
 }
 
 /// A continuous-query GPNM service: **one** data graph and **one** `SLen`
@@ -392,6 +512,7 @@ pub struct GpnmService<B: SlenBackend = PartitionedBackend> {
     refresh_threads: usize,
     front: ReadFront,
     publishing: bool,
+    adaptive: Option<AdaptiveState>,
 }
 
 impl<B: SlenBackend + Clone> Clone for GpnmService<B> {
@@ -412,6 +533,7 @@ impl<B: SlenBackend + Clone> Clone for GpnmService<B> {
             refresh_threads: self.refresh_threads,
             front: ReadFront::new(),
             publishing: self.publishing,
+            adaptive: self.adaptive.clone(),
         };
         clone.republish_all();
         clone
@@ -447,6 +569,7 @@ impl<B: SlenBackend> GpnmService<B> {
             refresh_threads: 0,
             front: ReadFront::new(),
             publishing: true,
+            adaptive: None,
         }
     }
 
@@ -478,6 +601,67 @@ impl<B: SlenBackend> GpnmService<B> {
     /// The configured refresh parallelism (`0` = sequential).
     pub fn refresh_threads(&self) -> usize {
         self.refresh_threads
+    }
+
+    /// Enable or disable the online cost-model controller. Enabled, each
+    /// tick prices every pattern's [`RefreshStrategy`] arms against the
+    /// batch features known before the refresh runs (committed updates,
+    /// EH-Tree survivors) using per-unit costs fitted to this pattern's
+    /// own observed timings, and tunes the refresh parallelism from the
+    /// last tick's measured critical path. Disabling drops the fitted
+    /// model; sessions keep whatever strategy the controller last chose.
+    pub fn set_adaptive(&mut self, on: bool) {
+        if !on {
+            self.adaptive = None;
+            return;
+        }
+        if self.adaptive.is_none() {
+            self.adaptive = Some(AdaptiveState {
+                controllers: self
+                    .sessions
+                    .iter()
+                    .map(|(h, _)| (*h, StrategyController::with_seed(h.id())))
+                    .collect(),
+                tuner: ThreadTuner::default(),
+                last_refresh: None,
+            });
+        }
+    }
+
+    /// Whether the online controller is driving this service.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive.is_some()
+    }
+
+    /// Cumulative strategy-arm switches across all adaptive controllers
+    /// (`0` when the controller is off).
+    pub fn strategy_switches(&self) -> u64 {
+        self.adaptive
+            .as_ref()
+            .map(|s| s.controllers.iter().map(|(_, c)| c.switches()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Pin `handle`'s refresh strategy for subsequent ticks. Every
+    /// strategy reaches the same fixed point (the `service_equivalence`
+    /// suite switches mid-stream and asserts bitwise equality), so this
+    /// trades cost only. On an adaptive service the controller re-decides
+    /// each tick, overriding a manual pin.
+    pub fn set_refresh_strategy(
+        &mut self,
+        handle: PatternHandle,
+        strategy: RefreshStrategy,
+    ) -> Result<(), ServiceError> {
+        self.sessions
+            .iter_mut()
+            .find(|(h, _)| *h == handle)
+            .map(|(_, s)| s.strategy = strategy)
+            .ok_or(ServiceError::UnknownHandle(handle))
+    }
+
+    /// The strategy `handle`'s next refresh will run under.
+    pub fn refresh_strategy(&self, handle: PatternHandle) -> Result<RefreshStrategy, ServiceError> {
+        Ok(self.session(handle)?.strategy)
     }
 
     /// The current data graph.
@@ -600,6 +784,34 @@ impl<B: SlenBackend> GpnmService<B> {
         self.reqs.absorb(&SlenRequirements::of_pattern(&pattern));
         self.index.sync_requirements(&self.graph, &self.reqs);
         let result = match_graph(&pattern, &self.graph, &self.index, semantics);
+        self.register_pattern_with_result(pattern, semantics, result, 0)
+    }
+
+    /// Register a standing pattern **carrying** an already-computed
+    /// result at `version` — the migration seam a cluster's
+    /// `rebalance()` uses to move a pattern between shard replicas
+    /// without re-matching it.
+    ///
+    /// Sound only when `result` is the pattern's exact current match on
+    /// *this* service's graph (under `semantics`): shard replicas walk
+    /// the same graph trajectory and results are graph-determined, so a
+    /// result lifted off one replica is bitwise what this replica would
+    /// compute. The backend's requirement union still widens and syncs
+    /// here — only the initial match is skipped. `version` seeds the
+    /// session's `result_version`, keeping the handle's delta stream
+    /// monotone across the move.
+    pub fn register_pattern_with_result(
+        &mut self,
+        pattern: PatternGraph,
+        semantics: MatchSemantics,
+        result: MatchResult,
+        version: u64,
+    ) -> Result<PatternHandle, ServiceError> {
+        if pattern.node_count() == 0 {
+            return Err(ServiceError::EmptyPattern);
+        }
+        self.reqs.absorb(&SlenRequirements::of_pattern(&pattern));
+        self.index.sync_requirements(&self.graph, &self.reqs);
         let handle = PatternHandle(HandleId(self.next_handle));
         self.next_handle += 1;
         if self.publishing {
@@ -607,7 +819,7 @@ impl<B: SlenBackend> GpnmService<B> {
                 handle,
                 ReadView {
                     result: result.clone(),
-                    result_version: 0,
+                    result_version: version,
                     tick: self.tick,
                 },
             );
@@ -618,9 +830,15 @@ impl<B: SlenBackend> GpnmService<B> {
                 pattern,
                 semantics,
                 result,
-                version: 0,
+                version,
+                strategy: RefreshStrategy::default(),
             },
         ));
+        if let Some(state) = &mut self.adaptive {
+            state
+                .controllers
+                .push((handle, StrategyController::with_seed(handle.id())));
+        }
         Ok(handle)
     }
 
@@ -635,6 +853,9 @@ impl<B: SlenBackend> GpnmService<B> {
             .position(|(h, _)| *h == handle)
             .ok_or(ServiceError::UnknownHandle(handle))?;
         self.sessions.remove(pos);
+        if let Some(state) = &mut self.adaptive {
+            state.controllers.retain(|(h, _)| *h != handle);
+        }
         // Terminate the handle's published state and subscriptions
         // (queued deltas drain first, then a final `Closed`).
         self.front.close(handle);
@@ -733,25 +954,77 @@ impl<B: SlenBackend> GpnmService<B> {
         // independent and fans out across `refresh_threads` pool lanes.
         let t = Instant::now();
         let shared = SharedElimination::detect(&committed);
+
+        // Adaptive pre-refresh step: price each pattern's strategy arms
+        // against this tick's known features and let the tuner set the
+        // refresh parallelism from the last tick's critical path. Both
+        // decisions trade cost only — every arm and lane count reaches
+        // the same fixed point.
+        let features = TickFeatures {
+            updates: committed.len(),
+            survivors: shared.survivors().len(),
+        };
+        let mut effective_threads = self.refresh_threads;
+        if let Some(state) = &mut self.adaptive {
+            let hints = self.index.cost_hints();
+            for (handle, sess) in self.sessions.iter_mut() {
+                if let Some((_, ctl)) = state.controllers.iter_mut().find(|(h, _)| h == handle) {
+                    sess.strategy = ctl.decide(&features, &hints);
+                }
+            }
+            if let Some((total, max)) = state.last_refresh {
+                effective_threads = state.tuner.decide(
+                    total,
+                    max,
+                    self.sessions.len(),
+                    WorkerPool::global().lanes(),
+                );
+            }
+        }
+
         let outcomes = refresh_sessions(
             &self.graph,
             &self.index,
             &mut self.sessions,
             &plans,
             &shared,
-            self.refresh_threads,
+            effective_threads,
         );
         let refresh_time = t.elapsed();
 
         let mut eliminated = 0;
         let mut repair_calls = 0;
         let mut per_pattern_refresh_ns = Vec::with_capacity(outcomes.len());
+        let mut per_pattern_strategy = Vec::with_capacity(outcomes.len());
         let mut deltas = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
             eliminated += outcome.stats.eliminated;
             repair_calls += outcome.stats.repair_calls;
             per_pattern_refresh_ns.push((outcome.handle, outcome.refresh_ns));
+            per_pattern_strategy.push((outcome.handle, outcome.strategy.name()));
             deltas.push((outcome.handle, outcome.delta));
+        }
+
+        // Adaptive post-refresh step: fold the measured per-pattern
+        // timings back into each controller's cost model and remember
+        // the phase totals the tuner decides against next tick.
+        if let Some(state) = &mut self.adaptive {
+            let mut total = 0u128;
+            let mut max = 0u128;
+            for &(handle, ns) in per_pattern_refresh_ns.iter() {
+                total += ns;
+                max = max.max(ns);
+                let strategy = self
+                    .sessions
+                    .iter()
+                    .find(|(h, _)| *h == handle)
+                    .map(|(_, s)| s.strategy)
+                    .unwrap_or_default();
+                if let Some((_, ctl)) = state.controllers.iter_mut().find(|(h, _)| *h == handle) {
+                    ctl.observe(strategy, &features, ns);
+                }
+            }
+            state.last_refresh = Some((total, max));
         }
 
         self.tick += 1;
@@ -798,7 +1071,10 @@ impl<B: SlenBackend> GpnmService<B> {
                 shared_repair_ns: slen_time.as_nanos(),
                 detect_ns: (shared.detect_time + shared.tree_time).as_nanos(),
                 per_pattern_refresh_ns,
-                refresh_lanes: refresh_lanes(self.refresh_threads, self.sessions.len()),
+                refresh_lanes: refresh_lanes(effective_threads, self.sessions.len()),
+                pool_lanes: WorkerPool::global().lanes(),
+                per_pattern_strategy,
+                strategy_switches: self.strategy_switches(),
                 eliminated,
                 repair_calls,
                 affected_nodes: committed.iter().map(|c| c.delta.affected.len()).sum(),
@@ -901,6 +1177,7 @@ struct RefreshOutcome {
     stats: gpnm_engine::pipeline::RefreshStats,
     delta: MatchDelta,
     refresh_ns: u128,
+    strategy: RefreshStrategy,
 }
 
 /// Refresh every session against the post-commit graph/index, sequentially
@@ -921,7 +1198,8 @@ fn refresh_sessions<B: SlenBackend>(
      -> RefreshOutcome {
         let t = Instant::now();
         let prev = sess.result.clone();
-        let stats = refresh_pattern_shared(
+        let stats = refresh_pattern_strategy(
+            sess.strategy,
             &sess.pattern,
             graph,
             index,
@@ -936,6 +1214,7 @@ fn refresh_sessions<B: SlenBackend>(
             stats,
             delta: sess.result.delta_from(&prev, sess.version),
             refresh_ns: t.elapsed().as_nanos(),
+            strategy: sess.strategy,
         }
     };
 

@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 
 use gpnm_distance::{BackendKind, IncrementalIndex, PartitionedBackend, SlenBackend, SparseIndex};
-use gpnm_engine::{GpnmEngine, Strategy};
+use gpnm_engine::{GpnmEngine, RefreshStrategy, Strategy};
 use gpnm_graph::{Bound, DataGraph, Label, LabelInterner, NodeId, PatternGraph};
 use gpnm_matcher::{MatchResult, MatchSemantics};
 use gpnm_service::{GpnmService, ServiceError, TickOutcome};
@@ -252,6 +252,120 @@ proptest! {
             let _ = engine; // engine and service walked the same trajectory
             prop_assert_eq!(service.backend().backend_kind(), kind);
         }
+    }
+
+    /// Switching a pattern's refresh strategy *mid-stream* — tick by tick,
+    /// per pattern, through all three arms — never changes the answers:
+    /// every arm converges to the same fixed point, so the controller is
+    /// free to flip between them at any tick boundary. Results stay
+    /// bitwise-equal to dedicated engines and the delta contract holds
+    /// across every switch.
+    #[test]
+    fn mid_stream_strategy_switches_preserve_results(seed in any::<u64>(), k in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (graph, interner) = random_graph(&mut rng, 20, 40, 4);
+        let mut service = GpnmService::<SparseIndex>::new(graph.clone());
+        let mut engines = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..k {
+            let pattern = random_pattern(&mut rng, &interner, 4);
+            let h = service
+                .register_pattern(pattern.clone(), MatchSemantics::Simulation)
+                .unwrap();
+            let mut engine = GpnmEngine::<SparseIndex>::with_backend(
+                graph.clone(),
+                pattern,
+                MatchSemantics::Simulation,
+            );
+            engine.initial_query();
+            handles.push(h);
+            engines.push(engine);
+        }
+
+        let mut prev: Vec<MatchResult> = handles
+            .iter()
+            .map(|&h| service.result(h).unwrap().clone())
+            .collect();
+        for tick in 0..5usize {
+            // Each pattern lands on a different arm each tick, so every
+            // (arm → arm) transition is exercised somewhere in the run.
+            for (i, &h) in handles.iter().enumerate() {
+                let s = RefreshStrategy::ALL[(tick + i) % RefreshStrategy::ALL.len()];
+                service.set_refresh_strategy(h, s).unwrap();
+                prop_assert_eq!(service.refresh_strategy(h).unwrap(), s);
+            }
+            let batch = random_data_batch(&mut rng, service.graph(), &interner, 5);
+            let report = service.apply(&batch).expect("valid batch");
+            for i in 0..k {
+                engines[i]
+                    .subsequent_query(&batch, Strategy::UaGpnm)
+                    .expect("valid batch");
+                let got = service.result(handles[i]).unwrap();
+                prop_assert_eq!(
+                    got,
+                    engines[i].result(),
+                    "tick {} pattern {} diverged after a strategy switch (seed {})",
+                    tick,
+                    i,
+                    seed
+                );
+                let delta = report.delta_for(handles[i]).expect("handle in report");
+                prop_assert_eq!(delta.result_version, tick as u64 + 1);
+                prop_assert_eq!(&delta.apply_to(&prev[i]), got);
+                prev[i] = got.clone();
+            }
+        }
+    }
+
+    /// An adaptive service — controller picking strategies and the tuner
+    /// picking lane counts live — produces bitwise the same results and
+    /// deltas as a fixed-strategy service fed the same stream. The
+    /// controller moves *cost*, never *answers*.
+    #[test]
+    fn adaptive_service_matches_fixed(seed in any::<u64>(), k in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (graph, interner) = random_graph(&mut rng, 20, 40, 4);
+        let mut adaptive = GpnmService::builder()
+            .backend(BackendKind::Sparse)
+            .adaptive(true)
+            .build(graph.clone())
+            .unwrap();
+        let mut fixed = GpnmService::builder()
+            .backend(BackendKind::Sparse)
+            .build(graph)
+            .unwrap();
+        prop_assert!(adaptive.adaptive());
+        prop_assert!(!fixed.adaptive());
+
+        let mut pairs = Vec::new();
+        for _ in 0..k {
+            let pattern = random_pattern(&mut rng, &interner, 4);
+            let ha = adaptive
+                .register_pattern(pattern.clone(), MatchSemantics::Simulation)
+                .unwrap();
+            let hf = fixed
+                .register_pattern(pattern, MatchSemantics::Simulation)
+                .unwrap();
+            pairs.push((ha, hf));
+        }
+
+        for _ in 0..5 {
+            let batch = random_data_batch(&mut rng, adaptive.graph(), &interner, 6);
+            let ra = adaptive.apply(&batch).expect("valid batch");
+            let rf = fixed.apply(&batch).expect("valid batch");
+            for &(ha, hf) in &pairs {
+                prop_assert_eq!(adaptive.result(ha).unwrap(), fixed.result(hf).unwrap());
+                let da = ra.delta_for(ha).expect("handle in report");
+                let df = rf.delta_for(hf).expect("handle in report");
+                prop_assert_eq!(&da.added, &df.added);
+                prop_assert_eq!(&da.removed, &df.removed);
+                prop_assert_eq!(da.result_version, df.result_version);
+            }
+        }
+        // The controller actually ran: per-pattern strategies are reported.
+        let batch = random_data_batch(&mut rng, adaptive.graph(), &interner, 4);
+        let report = adaptive.apply(&batch).expect("valid batch");
+        prop_assert_eq!(report.stats.per_pattern_strategy.len(), k);
     }
 
     /// Deregistering mid-stream narrows the shared requirement union

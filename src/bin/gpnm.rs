@@ -6,7 +6,8 @@
 //! gpnm smoke  [--backend B] [--nodes N] [--edges M] [--labels N] [--updates N] [--seed S]
 //! gpnm replay [--backend B] [--nodes N] [--edges M] [--patterns K] [--ticks T]
 //!             [--updates N] [--trace FILE] [--labels N] [--seed S]
-//!             [--shards K] [--threads T] [--stats] [--subscribe]
+//!             [--shards K] [--threads T] [--stats] [--stats-json FILE] [--subscribe]
+//!             [--adaptive] [--rebalance-every N]
 //! gpnm demo
 //! ```
 //!
@@ -25,7 +26,13 @@
 //! instead) and every tick fans out to all shards in parallel;
 //! `--threads T` fans each shard's (or the single service's) per-pattern
 //! refresh out over T pool lanes, and `--stats` prints the per-tick
-//! `TickStats` accounting. Either way the replay drives the host through
+//! `TickStats` accounting (`--stats-json FILE` writes the same stats as
+//! one JSON object per tick). `--adaptive` turns on the online cost-model
+//! controller: per-pattern refresh strategies and refresh parallelism are
+//! then picked each tick from live timings instead of fixed knobs, and
+//! `--rebalance-every N` (clusters only) migrates patterns between shards
+//! every N ticks when a move shrinks the total resident index — results
+//! stay bitwise identical either way. Either way the replay drives the host through
 //! the `PatternHost` trait — the register and tick loops are one generic
 //! code path. `--subscribe` additionally consumes every pattern's deltas
 //! through the subscription API and cross-checks that the folded stream
@@ -71,8 +78,11 @@ struct Args {
     shards: Option<usize>,
     threads: usize,
     stats: bool,
+    stats_json: Option<String>,
     subscribe: bool,
     placement: PlacementKind,
+    adaptive: bool,
+    rebalance_every: Option<u64>,
 }
 
 /// Which `ShardPlacement` strategy `--placement` selects.
@@ -122,8 +132,11 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
         shards: None,
         threads: 0,
         stats: false,
+        stats_json: None,
         subscribe: false,
         placement: PlacementKind::RoundRobin,
+        adaptive: false,
+        rebalance_every: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -164,7 +177,8 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
             "--nodes" => args.nodes = parse_num(take_str("--nodes")?, "--nodes")?,
             "--edges" => args.edges = parse_num(take_str("--edges")?, "--edges")?,
             "--patterns" | "--ticks" | "--trace" | "--shards" | "--threads" | "--stats"
-            | "--subscribe" | "--placement"
+            | "--stats-json" | "--subscribe" | "--placement" | "--adaptive"
+            | "--rebalance-every"
                 if cmd != Cmd::Replay =>
             {
                 return Err(format!("{flag} only applies to `gpnm replay`"));
@@ -181,7 +195,16 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
             }
             "--threads" => args.threads = parse_num(take_str("--threads")?, "--threads")?,
             "--stats" => args.stats = true,
+            "--stats-json" => args.stats_json = Some(take_str("--stats-json")?.clone()),
             "--subscribe" => args.subscribe = true,
+            "--adaptive" => args.adaptive = true,
+            "--rebalance-every" => {
+                let n = parse_num(take_str("--rebalance-every")?, "--rebalance-every")? as u64;
+                if n == 0 {
+                    return Err("--rebalance-every: the period must be ≥ 1".to_owned());
+                }
+                args.rebalance_every = Some(n);
+            }
             "--placement" => {
                 args.placement = match take_str("--placement")?.as_str() {
                     "round-robin" => PlacementKind::RoundRobin,
@@ -520,6 +543,15 @@ fn replay_ticks<H: PatternHost>(
     interner: &mut LabelInterner,
     trace_chunks: Option<Vec<String>>,
 ) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut json_out = match &args.stats_json {
+        Some(path) => Some(
+            std::fs::File::create(path)
+                .map_err(|e| format!("cannot create --stats-json {path}: {e}"))?,
+        ),
+        None => None,
+    };
+
     // Subscribe before the first tick so the streams are gap-free from
     // the base views down.
     let mut streams: Vec<(H::Handle, Subscription, MatchResult)> = Vec::new();
@@ -547,6 +579,10 @@ fn replay_ticks<H: PatternHost>(
         }
         if args.stats {
             println!("{}", report.render_stats());
+        }
+        if let Some(out) = &mut json_out {
+            writeln!(out, "{}", report.stats_json())
+                .map_err(|e| format!("cannot write --stats-json: {e}"))?;
         }
     }
 
@@ -594,10 +630,18 @@ fn run_replay_service(
 ) -> Result<(), String> {
     // The builder is the fallible construction path: a dense backend on a
     // 100k-node graph comes back as a typed refusal, not an OOM kill.
+    if args.rebalance_every.is_some() {
+        return Err(
+            "--rebalance-every needs --shards (rebalancing moves patterns between \
+                    shards)"
+                .to_owned(),
+        );
+    }
     let mut builder = GpnmService::builder()
         .backend(args.backend)
         .max_index_gb(args.max_index_gb)
-        .refresh_threads(args.threads);
+        .refresh_threads(args.threads)
+        .adaptive(args.adaptive);
     if let Some(mb) = args.cache_budget_mb {
         builder = builder.cache_budget_mb(mb);
     }
@@ -635,7 +679,11 @@ fn run_replay_cluster(
         .shards(shards)
         .backend(args.backend)
         .max_index_gb(args.max_index_gb)
-        .refresh_threads(args.threads);
+        .refresh_threads(args.threads)
+        .adaptive(args.adaptive);
+    if let Some(n) = args.rebalance_every {
+        builder = builder.rebalance_every(n);
+    }
     if let Some(mb) = args.cache_budget_mb {
         builder = builder.cache_budget_mb(mb);
     }
@@ -765,8 +813,9 @@ fn main() -> ExitCode {
              \x20      --labels N --pattern-nodes N --updates N --seed S\n\
              \x20      --nodes N --edges M (smoke/replay only)\n\
              \x20      --patterns K --ticks T --trace FILE (replay only)\n\
-             \x20      --shards K --threads T --stats --subscribe (replay only)\n\
-             \x20      --placement round-robin|least-loaded (replay only)"
+             \x20      --shards K --threads T --stats --stats-json FILE --subscribe (replay only)\n\
+             \x20      --placement round-robin|least-loaded (replay only)\n\
+             \x20      --adaptive --rebalance-every N (replay only; rebalance needs --shards)"
                 .to_owned(),
         ),
     };

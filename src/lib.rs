@@ -19,6 +19,9 @@
 //!   EH-Tree.
 //! * [`engine`] — end-to-end strategies: `UA-GPNM` and the `INC-GPNM`,
 //!   `EH-GPNM`, `UA-GPNM-NoPar` baselines.
+//! * [`adaptive`] — the online cost-model controller: per-pattern refresh
+//!   strategy selection and refresh-parallelism tuning from live tick
+//!   stats.
 //! * [`service`] — the continuous-query layer: many standing patterns over
 //!   one graph, shared single-pass repair, per-tick [`prelude::MatchDelta`]s.
 //! * [`cluster`] — the sharded serving layer: k service shards with
@@ -64,6 +67,7 @@
 //! for the real crate is a one-line edit in the workspace manifest's
 //! `[workspace.dependencies]`.
 
+pub use gpnm_adaptive as adaptive;
 pub use gpnm_cluster as cluster;
 pub use gpnm_distance as distance;
 pub use gpnm_engine as engine;
@@ -75,12 +79,13 @@ pub use gpnm_workload as workload;
 
 /// Convenience re-exports covering the common API surface.
 pub mod prelude {
+    pub use gpnm_adaptive::{ControllerConfig, StrategyController, ThreadTuner, TickFeatures};
     pub use gpnm_cluster::{
         ClusterBuilder, ClusterError, ClusterHandle, ClusterTickReport, GpnmCluster, LeastLoaded,
-        RoundRobin, ShardLoad, ShardPlacement,
+        RebalanceMove, RoundRobin, ShardLoad, ShardPlacement,
     };
     pub use gpnm_distance::{AnyBackend, BackendKind, SlenBackend, SlenRequirements, SparseIndex};
-    pub use gpnm_engine::{EngineError, ExecStats, GpnmEngine, Strategy};
+    pub use gpnm_engine::{EngineError, ExecStats, GpnmEngine, RefreshStrategy, Strategy};
     pub use gpnm_graph::{
         Bound, DataGraph, DataGraphBuilder, GraphError, Label, LabelInterner, NodeId, PatternGraph,
         PatternGraphBuilder, PatternNodeId,
