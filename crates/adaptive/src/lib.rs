@@ -33,6 +33,7 @@
 //! Exploration uses a seeded [`rand::rngs::StdRng`], so an adaptive run
 //! is reproducible end to end.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -188,6 +188,8 @@ where
                         // Attributed *after* the read completes: a Mutex
                         // reader that slept through the whole tick wakes
                         // to a cleared flag and counts as idle-time.
+                        // RELAXED: lossy attribution flag — a stale read
+                        // misclassifies one sample, it breaks nothing.
                         if in_tick.load(Ordering::Relaxed) {
                             during += 1;
                         }
@@ -207,6 +209,7 @@ where
             .collect();
 
         std::hint::black_box(cycle(&in_tick)); // warm
+                                               // RELAXED: see the reader side — attribution flag, lossy by design.
         in_tick.store(false, Ordering::Relaxed);
         let start = Instant::now();
         let mut tick_time = Duration::ZERO;
@@ -262,12 +265,14 @@ fn run_front(
             view.result_version ^ view.tick
         },
         move |in_tick| {
+            // RELAXED: attribution flag, lossy by design (see the reader).
             in_tick.store(true, Ordering::Relaxed);
             let start = Instant::now();
             let a = svc.apply(fwd).expect("valid tick");
             let b = svc.apply(back).expect("valid tick");
             std::hint::black_box(a.slen_changes + b.slen_changes);
             let elapsed = start.elapsed();
+            // RELAXED: attribution flag, lossy by design.
             in_tick.store(false, Ordering::Relaxed);
             elapsed
         },
@@ -300,12 +305,14 @@ fn run_exclusive(
             // The in-flight window opens once the lock is *held* — the
             // writer queueing behind readers is starvation, not a tick.
             let mut guard = locked.lock().expect("bench threads don't panic");
+            // RELAXED: attribution flag, lossy by design (see the reader).
             in_tick.store(true, Ordering::Relaxed);
             let start = Instant::now();
             let a = guard.service.apply(fwd).expect("valid tick");
             let b = guard.service.apply(back).expect("valid tick");
             std::hint::black_box(a.slen_changes + b.slen_changes);
             let elapsed = start.elapsed();
+            // RELAXED: attribution flag, lossy by design.
             in_tick.store(false, Ordering::Relaxed);
             elapsed
         },

@@ -2,6 +2,7 @@
 //! criterion loops time only the subsequent query (the paper's "query
 //! processing time").
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

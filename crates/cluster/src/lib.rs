@@ -60,6 +60,7 @@
 //! command line; `examples/sharded_serving.rs` shows placement
 //! introspection and per-shard footprints.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -53,6 +53,7 @@
 //! The infinity sentinel is [`INF`] (`u32::MAX`); all arithmetic goes
 //! through [`sat_add`] so infinity propagates instead of wrapping.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -90,6 +91,9 @@ pub use kind::BackendKind;
 pub use label_range::{LabelRangeIndex, RangeVerdict};
 pub use matrix::DistanceMatrix;
 pub use oracle::DistanceOracle;
+#[cfg(gpnm_loom)]
+#[doc(hidden)]
+pub use paged::loom_model;
 pub use paged::{PagedConfig, PagedIndex};
 pub use pager::DEFAULT_PAGE_SIZE;
 pub use partition::{Partition, PartitionId};

@@ -42,10 +42,10 @@
 //! cache is at budget the miss stays a read-through and eviction waits
 //! for the next `&mut` operation).
 
+use gpnm_sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use gpnm_sync::Mutex;
 use std::collections::VecDeque;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use gpnm_graph::{CsrSnapshot, DataGraph, Label, NodeId};
 
@@ -125,6 +125,7 @@ impl CacheStats {
     /// accounting.
     #[inline(always)]
     fn bump_hit(&self) {
+        // RELAXED: lossy statistics (see above) — no ordering, no RMW.
         self.hits.store(
             self.hits.load(Ordering::Relaxed).wrapping_add(1),
             Ordering::Relaxed,
@@ -163,6 +164,9 @@ struct CacheDir {
 // `CacheEntry` itself is `Send + Sync` (rows are plain data, the clock bit
 // is atomic). The raw pointers are what inhibit the auto-impls.
 unsafe impl Send for CacheDir {}
+// SAFETY: same invariant as `Send` above; shared (`&self`) paths only
+// `Acquire`-load the published pointer or CAS-publish a fresh one — they
+// never free, so `&CacheDir` across threads cannot double-free or tear.
 unsafe impl Sync for CacheDir {}
 
 impl CacheDir {
@@ -193,31 +197,49 @@ impl CacheDir {
     /// Shared-path promotion after a read miss. Budget-gated and
     /// non-evicting: when the cache is full the miss stays a
     /// read-through, and rebalancing waits for the next `&mut` op.
-    fn try_promote(&self, slot: u32, row: SparseRow) {
+    fn try_promote(&self, slot: u32, row: SparseRow) -> bool {
         let added = row_footprint(&row);
+        // RELAXED: the budget gate is advisory check-then-act — two racing
+        // promotions to *different* slots can both pass and overshoot by
+        // up to one row per concurrent promoter (see the `PagedConfig`
+        // budget doc). A stronger ordering would not close that window;
+        // only a lock would, and this sits on the miss path.
         if self.bytes.load(Ordering::Relaxed) + added > self.budget {
-            return;
+            return false;
         }
         let Some(cell) = self.slots.get(slot as usize) else {
-            return;
+            return false;
         };
         let fresh = Box::into_raw(Box::new(CacheEntry {
             row,
             touched: AtomicBool::new(true),
             in_ring: false,
         }));
+        // RELAXED: failure ordering — a lost CAS only frees our copy, no
+        // data is read through it. Success is `AcqRel`: `Release` publishes
+        // the boxed row to `Acquire` loads in `get`.
         match cell.compare_exchange(ptr::null_mut(), fresh, Ordering::AcqRel, Ordering::Relaxed) {
             Ok(_) => {
+                // RELAXED: byte/row accounting is read for the advisory
+                // gate above and `&mut` rebalancing (already synchronized);
+                // atomicity is all the increments need.
                 self.bytes.fetch_add(added, Ordering::Relaxed);
                 self.count.fetch_add(1, Ordering::Relaxed);
                 self.promoted
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .push(slot);
+                true
             }
             // A racing reader published first — keep theirs, drop ours
             // (never published, so this free is race-free).
-            Err(_) => drop(unsafe { Box::from_raw(fresh) }),
+            Err(_) => {
+                // SAFETY: `fresh` came from Box::into_raw above and the
+                // CAS failed, so it was never published — we still hold
+                // the only pointer to it.
+                drop(unsafe { Box::from_raw(fresh) });
+                false
+            }
         }
     }
 
@@ -318,6 +340,7 @@ impl CacheDir {
             let entry = unsafe { Box::from_raw(ptr) };
             *self.bytes.get_mut() -= row_footprint(&entry.row);
             *self.count.get_mut() -= 1;
+            // RELAXED: diagnostics counter; readers tolerate staleness.
             stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -357,8 +380,10 @@ fn fetch<'a>(
     slot: u32,
 ) -> &'a SparseRow {
     if cache.entry_mut(slot).is_some() {
+        // RELAXED: diagnostics counters; readers tolerate staleness.
         stats.hits.fetch_add(1, Ordering::Relaxed);
     } else {
+        // RELAXED: as above.
         stats.misses.fetch_add(1, Ordering::Relaxed);
         let loc = locs[slot as usize].expect("fetch of a non-resident row");
         let row = SparseRow {
@@ -509,11 +534,13 @@ impl PagedIndex {
 
     /// Rows currently deserialized in the cache.
     pub fn cached_rows(&self) -> usize {
+        // RELAXED: monitoring snapshot; may trail in-flight promotions.
         self.cache.count.load(Ordering::Relaxed)
     }
 
     /// Current cache footprint in bytes.
     pub fn cache_bytes(&self) -> usize {
+        // RELAXED: monitoring snapshot; may trail in-flight promotions.
         self.cache.bytes.load(Ordering::Relaxed)
     }
 
@@ -745,6 +772,9 @@ impl DistanceOracle for PagedIndex {
         if let Some(entry) = self.cache.get(u.0) {
             // Check-then-set keeps the clock bit read-mostly: repeated hits
             // on a hot row must not dirty its cache line every call.
+            // RELAXED: the clock bit is an eviction heuristic — a touch
+            // that a racing evictor misses costs one early eviction, never
+            // correctness.
             if !entry.touched.load(Ordering::Relaxed) {
                 entry.touched.store(true, Ordering::Relaxed);
             }
@@ -753,6 +783,7 @@ impl DistanceOracle for PagedIndex {
         }
         // Miss: read the row from the spill file and publish it (another
         // reader may win the race — keep theirs).
+        // RELAXED: diagnostics counter; readers tolerate staleness.
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         let row = SparseRow {
             entries: self.file.read_row(loc),
@@ -977,6 +1008,7 @@ impl SlenBackend for PagedIndex {
 
     fn io_stats(&self) -> Option<IoStats> {
         Some(IoStats {
+            // RELAXED: monitoring snapshot of lossy counters.
             cache_hits: self.stats.hits.load(Ordering::Relaxed),
             cache_misses: self.stats.misses.load(Ordering::Relaxed),
             cache_evictions: self.stats.evictions.load(Ordering::Relaxed),
@@ -1199,5 +1231,102 @@ mod tests {
         // Shrinking to zero drains the promoted rows through the ring.
         p.set_cache_budget(0);
         assert_eq!(p.cached_rows(), 0, "rebudget must reclaim promoted rows");
+    }
+}
+
+/// Model-checking surface for the loom suite (`--cfg gpnm_loom` builds
+/// only): a thin handle over the crate-private [`CacheDir`] so the
+/// `loom_paged_cache` integration tests can drive the budget-gated CAS
+/// publish and clock eviction protocols directly.
+#[cfg(gpnm_loom)]
+#[doc(hidden)]
+pub mod loom_model {
+    use super::*;
+
+    /// A hot-row cache directory plus its stats, sized for model tests.
+    pub struct ModelCache {
+        dir: CacheDir,
+        stats: CacheStats,
+    }
+
+    impl ModelCache {
+        /// Cache with `slots` addressable slots and a `budget`-byte cap.
+        pub fn new(slots: usize, budget: usize) -> Self {
+            let mut dir = CacheDir::new(budget);
+            dir.ensure_slots(slots);
+            ModelCache {
+                dir,
+                stats: CacheStats::default(),
+            }
+        }
+
+        fn row(len: usize) -> SparseRow {
+            SparseRow {
+                entries: (0..len as u32).map(|t| (t, 1)).collect(),
+            }
+        }
+
+        /// What a `len`-entry row charges against the byte budget.
+        pub fn row_bytes(len: usize) -> usize {
+            row_footprint(&Self::row(len))
+        }
+
+        /// Shared-path promotion (the racing CAS publish under test).
+        /// Returns whether **this** call published the row.
+        pub fn try_promote(&self, slot: u32, len: usize) -> bool {
+            self.dir.try_promote(slot, Self::row(len))
+        }
+
+        /// Shared-path lookup: entry length of `slot`'s cached row.
+        pub fn get_len(&self, slot: u32) -> Option<usize> {
+            self.dir.get(slot).map(|e| e.row.entries.len())
+        }
+
+        /// Shared-path clock-bit touch, exactly as the distance hot path
+        /// does it (check-then-set to keep hot hits store-free).
+        pub fn mark_touched(&self, slot: u32) {
+            if let Some(entry) = self.dir.get(slot) {
+                // RELAXED: the clock bit is an eviction heuristic; see the
+                // identical pattern in `PagedIndex::distance`.
+                if !entry.touched.load(Ordering::Relaxed) {
+                    entry.touched.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Exclusive insert (the `&mut` write-through path).
+        pub fn insert(&mut self, slot: u32, len: usize) {
+            self.dir.insert(&self.stats, slot, Self::row(len));
+        }
+
+        /// Exclusive removal.
+        pub fn remove(&mut self, slot: u32) {
+            self.dir.remove(slot);
+        }
+
+        /// Re-aim the byte budget and evict down to it (`protect` pins one
+        /// slot, as the repair paths do for the row they hold).
+        pub fn rebudget(&mut self, budget: usize, protect: u32) {
+            self.dir.budget = budget;
+            self.dir.evict_to_budget(&self.stats, protect);
+        }
+
+        /// Cached-row count per the atomic accounting.
+        pub fn cached_rows(&self) -> usize {
+            // RELAXED: test-side observation after joins; no ordering load.
+            self.dir.count.load(Ordering::Relaxed)
+        }
+
+        /// Byte footprint per the atomic accounting.
+        pub fn bytes(&self) -> usize {
+            // RELAXED: test-side observation after joins; no ordering load.
+            self.dir.bytes.load(Ordering::Relaxed)
+        }
+
+        /// Eviction count (second-chance clock victims).
+        pub fn evictions(&self) -> u64 {
+            // RELAXED: test-side observation after joins; no ordering load.
+            self.stats.evictions.load(Ordering::Relaxed)
+        }
     }
 }

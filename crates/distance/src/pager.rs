@@ -19,9 +19,9 @@
 //! on crash); elsewhere it is removed on `Drop`. Page-touch counters feed
 //! the cache/IO statistics the serving layer surfaces per tick.
 
+use gpnm_sync::atomic::{AtomicU64, Ordering};
 use std::fs::{File, OpenOptions};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default page size: 64 KiB.
 pub const DEFAULT_PAGE_SIZE: usize = 64 * 1024;
@@ -125,6 +125,8 @@ impl PageFile {
         );
         let dir = std::env::temp_dir();
         let (file, path) = loop {
+            // RELAXED: process-global name uniquifier; only atomicity
+            // matters, the value orders nothing.
             let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
             let path = dir.join(format!("gpnm-paged-{}-{seq}.spill", std::process::id()));
             match OpenOptions::new()
@@ -177,10 +179,12 @@ impl PageFile {
     }
 
     pub(crate) fn pages_read(&self) -> u64 {
+        // RELAXED: monitoring snapshot of an I/O counter.
         self.pages_read.load(Ordering::Relaxed)
     }
 
     pub(crate) fn pages_written(&self) -> u64 {
+        // RELAXED: monitoring snapshot of an I/O counter.
         self.pages_written.load(Ordering::Relaxed)
     }
 
@@ -258,6 +262,7 @@ impl PageFile {
             self.live[p as usize] += share as u32;
             touched += 1;
         }
+        // RELAXED: I/O counter; read only by monitoring snapshots.
         self.pages_written.fetch_add(touched, Ordering::Relaxed);
         // Seal only after the live accounting above: sealing a just-filled
         // page earlier would see zero live bytes and recycle it in error.
@@ -286,6 +291,7 @@ impl PageFile {
         let mut buf = vec![0u8; bytes];
         read_at(&self.file, &mut buf, loc.start).expect("spill read");
         let touched = overlap(self.page_size, loc.start, bytes as u64).count() as u64;
+        // RELAXED: I/O counter; read only by monitoring snapshots.
         self.pages_read.fetch_add(touched, Ordering::Relaxed);
         buf.chunks_exact(ENTRY_BYTES)
             .map(|c| {

@@ -1,0 +1,95 @@
+//! Loom model tests for the paged cache's CAS publish + clock eviction.
+//!
+//! Build with `RUSTFLAGS="--cfg gpnm_loom"`; in ordinary builds this file
+//! compiles to nothing. The models drive the `loom_model::ModelCache`
+//! harness (the real `CacheDir` slot/budget machinery with the pager
+//! stripped away) through every bounded interleaving of 2–3 threads,
+//! checking the no-lost-row / no-double-publish invariant of the
+//! budget-gated CAS promotion, the budget gate itself, and that rows
+//! published under a race remain evictable and fully accounted.
+#![cfg(gpnm_loom)]
+
+use gpnm_distance::loom_model::ModelCache;
+use gpnm_sync::Arc;
+
+/// Two threads race to promote the same slot: the CAS publish must let
+/// exactly one row in (the loser frees its copy), and the byte accounting
+/// must reflect exactly one row in every interleaving.
+#[test]
+fn racing_promotions_publish_exactly_once() {
+    loom::model(|| {
+        let cache = Arc::new(ModelCache::new(1, 10_000));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                loom::thread::spawn(move || cache.try_promote(0, 4))
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("promoter");
+        }
+        assert_eq!(cache.get_len(0), Some(4), "row lost under racing promotion");
+        assert_eq!(cache.cached_rows(), 1, "double publish");
+        assert_eq!(
+            cache.bytes(),
+            ModelCache::row_bytes(4),
+            "byte accounting drifted under race"
+        );
+    });
+}
+
+/// With a zero budget the gate must reject both racing promotions in every
+/// interleaving — nothing is published, nothing is accounted, and the
+/// losers' rows are freed rather than leaked into the directory.
+#[test]
+fn budget_gate_rejects_under_race() {
+    loom::model(|| {
+        let cache = Arc::new(ModelCache::new(1, 0));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                loom::thread::spawn(move || cache.try_promote(0, 4))
+            })
+            .collect();
+        let mut admitted = 0;
+        for t in threads {
+            if t.join().expect("promoter") {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 0, "zero budget admitted a row");
+        assert_eq!(cache.get_len(0), None);
+        assert_eq!(cache.cached_rows(), 0);
+        assert_eq!(cache.bytes(), 0);
+    });
+}
+
+/// Rows promoted under a race (with concurrent clock touches) must remain
+/// reachable by the clock hand: after shrinking the budget to zero, every
+/// published row is evicted and the accounting returns to zero.
+#[test]
+fn raced_rows_stay_evictable_and_accounted() {
+    loom::model(|| {
+        let cache = Arc::new(ModelCache::new(2, 10_000));
+        let threads: Vec<_> = (0..2)
+            .map(|slot| {
+                let cache = Arc::clone(&cache);
+                loom::thread::spawn(move || {
+                    cache.try_promote(slot, 3);
+                    cache.mark_touched(slot);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("promoter");
+        }
+        let mut cache = Arc::try_unwrap(cache).ok().expect("all promoters joined");
+        assert_eq!(cache.cached_rows(), 2, "a promotion was lost");
+        cache.rebudget(0, 99);
+        assert_eq!(cache.cached_rows(), 0, "clock hand missed a raced row");
+        assert_eq!(cache.bytes(), 0, "eviction accounting drifted");
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.get_len(0), None);
+        assert_eq!(cache.get_len(1), None);
+    });
+}

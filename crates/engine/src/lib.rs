@@ -21,6 +21,7 @@
 //! [`BackendKind`]): the dense matrix, the dense-plus-§V-partition default,
 //! or the bounded-row sparse index that scales past 100k nodes.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

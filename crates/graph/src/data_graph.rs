@@ -70,6 +70,7 @@ impl Default for DataGraph {
             by_label: Vec::new(),
             live_nodes: 0,
             live_edges: 0,
+            // RELAXED: uid allocation needs uniqueness, not ordering.
             uid: NEXT_GRAPH_UID.fetch_add(1, Ordering::Relaxed),
             generation: 0,
         }
@@ -88,6 +89,7 @@ impl Clone for DataGraph {
             by_label: self.by_label.clone(),
             live_nodes: self.live_nodes,
             live_edges: self.live_edges,
+            // RELAXED: uid allocation needs uniqueness, not ordering.
             uid: NEXT_GRAPH_UID.fetch_add(1, Ordering::Relaxed),
             generation: self.generation,
         }

@@ -18,6 +18,7 @@
 //! The [`paper`] module reconstructs the paper's Figure 1 / Figure 2 / Figure 4
 //! running examples; they anchor the golden tests across the workspace.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -16,6 +16,7 @@
 //! (successor + predecessor partners, matching the paper's candidate
 //! examples).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -56,15 +56,17 @@
 //!   matching the `crossbeam::thread::scope(...).expect(...)` behavior the
 //!   call sites relied on.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use gpnm_sync::atomic::{AtomicBool, Ordering};
+use gpnm_sync::thread::JoinHandle;
+use gpnm_sync::{Arc, Condvar, Mutex};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread::JoinHandle;
+use std::sync::OnceLock;
 
 /// A type-erased, lifetime-erased task. Erasure to `'static` is sound
 /// because [`WorkerPool::scope`] joins every task it submitted before the
@@ -158,10 +160,9 @@ impl WorkerPool {
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("gpnm-pool-{i}"))
-                    .spawn(move || worker_loop(i, &shared))
-                    .expect("spawning pool worker")
+                gpnm_sync::thread::spawn_named(&format!("gpnm-pool-{i}"), move || {
+                    worker_loop(i, &shared)
+                })
             })
             .collect();
         WorkerPool {
@@ -323,7 +324,7 @@ impl<'env> PoolScope<'_, 'env> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use gpnm_sync::atomic::AtomicUsize;
 
     #[test]
     fn scope_joins_all_tasks_and_allows_borrows() {
@@ -335,6 +336,8 @@ mod tests {
                 let total = &total;
                 scope.spawn(move || {
                     let s: u64 = chunk.iter().sum();
+                    // RELAXED: scope() latch orders this against the final
+                    // read; the counter needs atomicity only.
                     total.fetch_add(s as usize, Ordering::Relaxed);
                 });
             }
@@ -365,6 +368,7 @@ mod tests {
                 for _ in 0..4 {
                     let counter = &counter;
                     scope.spawn(move || {
+                        // RELAXED: scope() latch synchronizes; atomicity only.
                         counter.fetch_add(1, Ordering::Relaxed);
                     });
                 }
@@ -394,18 +398,21 @@ mod tests {
                 scope.spawn(|| panic!("boom"));
                 for _ in 0..8 {
                     scope.spawn(move || {
+                        // RELAXED: scope() latch synchronizes; atomicity only.
                         finished.fetch_add(1, Ordering::Relaxed);
                     });
                 }
             });
         }));
         assert!(result.is_err(), "scope must re-panic");
+        // RELAXED: read after the scope's latch synchronized.
         assert_eq!(finished.load(Ordering::Relaxed), 8, "siblings all ran");
         // The pool survives a panicked scope.
         let ok = AtomicUsize::new(0);
         pool.scope(|scope| {
             let ok = &ok;
             scope.spawn(move || {
+                // RELAXED: scope() latch synchronizes; atomicity only.
                 ok.fetch_add(1, Ordering::Relaxed);
             });
         });
@@ -425,6 +432,7 @@ mod tests {
                         pool.scope(|scope| {
                             for _ in 0..3 {
                                 scope.spawn(move || {
+                                    // RELAXED: scope() latch synchronizes.
                                     grand_total.fetch_add(1, Ordering::Relaxed);
                                 });
                             }
@@ -453,6 +461,7 @@ mod tests {
                     pool.scope(|inner| {
                         for _ in 0..4 {
                             inner.spawn(move || {
+                                // RELAXED: scope() latch synchronizes.
                                 total.fetch_add(1, Ordering::Relaxed);
                             });
                         }
@@ -474,6 +483,7 @@ mod tests {
                     b.spawn(move || {
                         pool.scope(|c| {
                             c.spawn(move || {
+                                // RELAXED: scope() latch synchronizes.
                                 hits.fetch_add(1, Ordering::Relaxed);
                             });
                         });
@@ -495,6 +505,7 @@ mod tests {
             for _ in 0..16 {
                 let hits = &hits;
                 scope.spawn(move || {
+                    // RELAXED: scope() latch synchronizes; atomicity only.
                     hits.fetch_add(1, Ordering::Relaxed);
                 });
             }

@@ -76,6 +76,7 @@
 //! (k generated patterns, streamed batches, per-tick delta lines), and
 //! `examples/continuous_queries.rs` shows the subscriber's view.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

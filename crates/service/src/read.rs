@@ -29,10 +29,10 @@
 //! and their views and subscriptions — while `&mut self` ticks proceed
 //! on the host.
 
+use gpnm_sync::atomic::{AtomicU64, Ordering};
+use gpnm_sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, TryLockError};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, TryLockError};
 use std::time::Duration;
 
 use gpnm_matcher::{MatchDelta, MatchResult};
@@ -292,14 +292,28 @@ impl PublishCell {
     fn load(&self) -> Arc<ReadView> {
         loop {
             let e = self.epoch.load(Ordering::Acquire);
-            match self.slots[(e & 1) as usize].try_read() {
-                Ok(guard) => return Arc::clone(&guard),
+            let view = match self.slots[(e & 1) as usize].try_read() {
+                Ok(guard) => Arc::clone(&guard),
                 Err(TryLockError::Poisoned(poisoned)) => {
                     // The stored Arc is always whole (a clone of a fully
                     // built view), so a reader panic cannot have torn it.
-                    return Arc::clone(&poisoned.into_inner());
+                    Arc::clone(&poisoned.into_inner())
                 }
-                Err(TryLockError::WouldBlock) => std::hint::spin_loop(),
+                Err(TryLockError::WouldBlock) => {
+                    gpnm_sync::hint::spin_loop();
+                    continue;
+                }
+            };
+            // Seqlock-style re-check: a reader that stalls between the
+            // epoch load and the slot read can otherwise return the
+            // *in-flight* view early — the writer refills slot `e & 1`
+            // as the spare of epoch `e + 1` before publishing it — and a
+            // later read would then rewind to the previous version. The
+            // slot content is only rewritten after the epoch moves on, so
+            // an unchanged epoch proves `view` was current for the whole
+            // read (found by the loom model in `loom_read_front.rs`).
+            if self.epoch.load(Ordering::Acquire) == e {
+                return view;
             }
         }
     }
@@ -307,6 +321,8 @@ impl PublishCell {
     /// Single-writer only — hosts serialize publication behind
     /// `&mut self`.
     fn publish(&self, view: Arc<ReadView>) {
+        // RELAXED: single-writer — only `publish` stores `epoch`, so the
+        // writer reads back its own last store; readers use `Acquire`.
         let e = self.epoch.load(Ordering::Relaxed);
         {
             let mut spare = self.slots[((e + 1) & 1) as usize]
@@ -450,6 +466,30 @@ impl ReadFront {
             for sub in subs.iter() {
                 sub.offer(&delta);
             }
+        }
+    }
+
+    /// Deliberately *broken* variant of [`ReadFront::publish_tick`] that
+    /// fans each delta out **before** swapping the view in — the exact
+    /// ordering bug the publish-all-views-before-any-fan-out invariant
+    /// forbids (a woken subscriber could observe a `read_view` older than
+    /// the delta it was just handed). Compiled only for the loom model
+    /// suite, where `loom_read_front.rs` proves the checker catches it.
+    #[cfg(gpnm_loom)]
+    #[doc(hidden)]
+    pub fn publish_tick_fanout_first(
+        &self,
+        items: impl IntoIterator<Item = (HandleId, ReadView, MatchDelta)>,
+    ) {
+        for (id, view, delta) in items {
+            if let Ok(entry) = self.inner.entry(id) {
+                let mut subs = lock(&entry.subs);
+                subs.retain(|sub| Arc::strong_count(sub) > 1);
+                for sub in subs.iter() {
+                    sub.offer(&delta);
+                }
+            }
+            self.publish(id, view);
         }
     }
 
@@ -713,7 +753,7 @@ mod tests {
                 let pinned = front.pinned(id).unwrap();
                 let stop = Arc::clone(&stop);
                 let committed = committed.clone();
-                std::thread::spawn(move || {
+                gpnm_sync::thread::spawn(move || {
                     let mut last = 0u64;
                     let mut observations = 0u64;
                     loop {
@@ -729,6 +769,8 @@ mod tests {
                         // Check *after* observing, so even a reader that
                         // lost the whole race to the writer verifies the
                         // final epoch at least once.
+                        // RELAXED: test shutdown flag; no data published
+                        // through it.
                         if stop.load(Ordering::Relaxed) != 0 {
                             return observations;
                         }
@@ -739,6 +781,7 @@ mod tests {
         for v in committed.iter().skip(1) {
             front.publish(id, v.clone());
         }
+        // RELAXED: see the reader side above.
         stop.store(1, Ordering::Relaxed);
         for reader in readers {
             assert!(reader.join().expect("no reader panicked") > 0);

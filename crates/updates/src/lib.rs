@@ -16,6 +16,7 @@
 //! * [`reduce_batch`] — the "insert then delete back" cancellation the
 //!   paper motivates in §I-B, applied as a net-effect pre-pass.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -9,6 +9,7 @@
 //! substitution). [`datasets::from_edge_list`] loads the real files when
 //! present, so the harness runs unmodified on the originals.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,493 @@
+//! Workspace automation tool. Currently one subcommand: `lint`.
+//!
+//! `cargo run -p gpnm-xtask -- lint` runs the source-level concurrency
+//! lint described in the workspace README ("Correctness tooling"): a
+//! purely lexical pass (no rustc plumbing, no external parser) that
+//! enforces the commenting and layering discipline the loom models and
+//! the `gpnm-sync` facade rely on. Diagnostics are `path:line: message`;
+//! any finding exits nonzero.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let findings = lint::run(Path::new("."));
+            if findings.is_empty() {
+                eprintln!("lint: ok");
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("lint: {} finding(s)", findings.len());
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p gpnm-xtask -- lint");
+            std::process::exit(2);
+        }
+    }
+}
+
+mod lint {
+    use super::*;
+
+    /// The facade-only files: refactored onto `gpnm_sync` so the loom
+    /// models exercise the exact code that ships. `std::sync::atomic`
+    /// in any of them would silently fall out of the modeled space.
+    const FACADE_ONLY: &[&str] = &[
+        "crates/pool/src/lib.rs",
+        "crates/service/src/read.rs",
+        "crates/distance/src/pager.rs",
+        "crates/distance/src/paged.rs",
+    ];
+
+    /// Directories walked for `.rs` files, relative to the workspace root.
+    const ROOTS: &[&str] = &["crates", "shims", "src", "tests"];
+
+    /// How far above a `Relaxed` site its `// RELAXED:` justification may
+    /// sit (a comment often covers a short block of related atomics).
+    const RELAXED_LOOKBACK: usize = 6;
+
+    pub fn run(root: &Path) -> Vec<String> {
+        let mut findings = Vec::new();
+        let mut files = Vec::new();
+        for top in ROOTS {
+            walk(&root.join(top), &mut files);
+        }
+        files.sort();
+        for path in &files {
+            let Ok(src) = std::fs::read_to_string(path) else {
+                findings.push(format!("{}: unreadable", rel(path, root)));
+                continue;
+            };
+            let lines = split_code_comments(&src);
+            let name = rel(path, root);
+            check_safety_comments(&name, &lines, &mut findings);
+            if !name.starts_with("shims/loom/") {
+                check_relaxed_comments(&name, &lines, &mut findings);
+            }
+            if FACADE_ONLY.contains(&name.as_str()) {
+                check_facade_only(&name, &lines, &mut findings);
+            }
+        }
+        check_crate_attrs(root, &files, &mut findings);
+        findings
+    }
+
+    fn rel(path: &Path, root: &Path) -> String {
+        path.strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/")
+    }
+
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                walk(&path, out);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+
+    /// One source line split into its code part and its comment part
+    /// (string/char-literal contents blanked out of the code part).
+    pub struct Line {
+        pub code: String,
+        pub comment: String,
+    }
+
+    impl Line {
+        fn is_blank(&self) -> bool {
+            self.code.trim().is_empty() && self.comment.trim().is_empty()
+        }
+        fn is_pure_comment(&self) -> bool {
+            self.code.trim().is_empty() && !self.comment.trim().is_empty()
+        }
+    }
+
+    /// Lexical splitter: walks the file once, routing every character to
+    /// either the code stream or the comment stream of its line. Handles
+    /// line comments, nested block comments, string/raw-string/byte
+    /// literals, and char literals vs. lifetimes. String contents are
+    /// replaced by a single `"` pair so token boundaries survive.
+    pub fn split_code_comments(src: &str) -> Vec<Line> {
+        enum St {
+            Code,
+            Line,
+            Block(u32),
+            Str { raw_hashes: Option<u32> },
+        }
+        let mut st = St::Code;
+        let mut out = Vec::new();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let chars: Vec<char> = src.chars().collect();
+        let mut i = 0;
+        let n = chars.len();
+        let mut prev_ident = false; // was the previous code char ident-like?
+        while i < n {
+            let c = chars[i];
+            if c == '\n' {
+                out.push(Line {
+                    code: std::mem::take(&mut code),
+                    comment: std::mem::take(&mut comment),
+                });
+                if matches!(st, St::Line) {
+                    st = St::Code;
+                }
+                prev_ident = false;
+                i += 1;
+                continue;
+            }
+            match st {
+                St::Code => {
+                    if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                        st = St::Line;
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        st = St::Block(1);
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        code.push('"');
+                        st = St::Str { raw_hashes: None };
+                        i += 1;
+                        prev_ident = false;
+                        continue;
+                    }
+                    // Raw / byte-string openers: r"…", r#"…"#, br"…", b"…".
+                    if (c == 'r' || c == 'b') && !prev_ident {
+                        let mut j = i + 1;
+                        if c == 'b' && j < n && chars[j] == 'r' {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while j < n && chars[j] == '#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let rawish = j > i + 1 || c == 'r';
+                        if rawish && j < n && chars[j] == '"' {
+                            code.push('"');
+                            st = St::Str {
+                                raw_hashes: Some(hashes),
+                            };
+                            i = j + 1;
+                            prev_ident = false;
+                            continue;
+                        }
+                        if c == 'b' && i + 1 < n && chars[i + 1] == '\'' {
+                            // Byte-char literal b'…': skip like a char.
+                            code.push('\'');
+                            i = skip_char_literal(&chars, i + 1);
+                            prev_ident = false;
+                            continue;
+                        }
+                    }
+                    if c == '\'' && !prev_ident {
+                        // Char literal or lifetime. A literal closes with a
+                        // quote right after one (possibly escaped) char; a
+                        // lifetime never closes.
+                        let after = skip_char_literal(&chars, i);
+                        if after > i {
+                            code.push('\'');
+                            i = after;
+                            prev_ident = false;
+                            continue;
+                        }
+                    }
+                    code.push(c);
+                    prev_ident = c.is_alphanumeric() || c == '_';
+                    i += 1;
+                }
+                St::Line => {
+                    comment.push(c);
+                    i += 1;
+                }
+                St::Block(depth) => {
+                    if c == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        st = if depth == 1 {
+                            St::Code
+                        } else {
+                            St::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        st = St::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                St::Str { raw_hashes } => match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            i += 2;
+                        } else if c == '"' {
+                            code.push('"');
+                            st = St::Code;
+                            i += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    Some(hashes) => {
+                        if c == '"' {
+                            let mut j = i + 1;
+                            let mut seen = 0u32;
+                            while j < n && seen < hashes && chars[j] == '#' {
+                                seen += 1;
+                                j += 1;
+                            }
+                            if seen == hashes {
+                                code.push('"');
+                                st = St::Code;
+                                i = j;
+                                continue;
+                            }
+                        }
+                        i += 1;
+                    }
+                },
+            }
+        }
+        if !code.is_empty() || !comment.is_empty() {
+            out.push(Line { code, comment });
+        }
+        out
+    }
+
+    /// Index just past a char literal starting at the `'` in `chars[at]`,
+    /// or `at` if it is a lifetime rather than a literal.
+    fn skip_char_literal(chars: &[char], at: usize) -> usize {
+        let n = chars.len();
+        let mut j = at + 1;
+        if j >= n {
+            return at;
+        }
+        if chars[j] == '\\' {
+            j += 1;
+            if j < n && (chars[j] == 'x' || chars[j] == 'u') {
+                // \xNN or \u{…}: scan to the closing quote, bounded.
+                let mut k = j + 1;
+                while k < n && k < j + 10 && chars[k] != '\'' {
+                    k += 1;
+                }
+                return if k < n && chars[k] == '\'' { k + 1 } else { at };
+            }
+            j += 1;
+            return if j < n && chars[j] == '\'' { j + 1 } else { at };
+        }
+        if chars[j] == '\'' {
+            // '' is not a char literal.
+            return at;
+        }
+        j += 1;
+        if j < n && chars[j] == '\'' {
+            j + 1
+        } else {
+            at
+        }
+    }
+
+    /// `word` as a whole token inside `code`.
+    fn has_word(code: &str, word: &str) -> bool {
+        let bytes = code.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(word) {
+            let start = from + pos;
+            let end = start + word.len();
+            let before_ok = start == 0 || {
+                let b = bytes[start - 1];
+                !(b.is_ascii_alphanumeric() || b == b'_')
+            };
+            let after_ok = end == bytes.len() || {
+                let b = bytes[end];
+                !(b.is_ascii_alphanumeric() || b == b'_')
+            };
+            if before_ok && after_ok {
+                return true;
+            }
+            from = end;
+        }
+        false
+    }
+
+    /// Rule 1: every `unsafe` token is covered by a `SAFETY:` comment —
+    /// trailing on the same line, or in the contiguous pure-comment block
+    /// immediately above it.
+    fn check_safety_comments(name: &str, lines: &[Line], findings: &mut Vec<String>) {
+        for (i, line) in lines.iter().enumerate() {
+            if !has_word(&line.code, "unsafe") {
+                continue;
+            }
+            // `unsafe_op_in_unsafe_fn` / `unsafe_code` in attributes are
+            // lint names, not unsafe code.
+            if line.code.trim_start().starts_with("#!") || line.code.trim_start().starts_with("#[")
+            {
+                continue;
+            }
+            let mut ok = line.comment.contains("SAFETY:");
+            let mut j = i;
+            while !ok && j > 0 && lines[j - 1].is_pure_comment() {
+                j -= 1;
+                ok = lines[j].comment.contains("SAFETY:");
+            }
+            if !ok {
+                push(findings, name, i, "`unsafe` without a `// SAFETY:` comment (same line or the comment block directly above)");
+            }
+        }
+    }
+
+    /// Rule 2: every `Relaxed` ordering outside the loom shim carries a
+    /// `RELAXED:` justification — same line, or a comment within the
+    /// lookback window above (stopping at a blank line).
+    fn check_relaxed_comments(name: &str, lines: &[Line], findings: &mut Vec<String>) {
+        for (i, line) in lines.iter().enumerate() {
+            if !has_word(&line.code, "Relaxed") {
+                continue;
+            }
+            let mut ok = line.comment.contains("RELAXED:");
+            let mut j = i;
+            let mut steps = 0;
+            while !ok && j > 0 && steps < RELAXED_LOOKBACK {
+                j -= 1;
+                steps += 1;
+                if lines[j].is_blank() {
+                    break;
+                }
+                ok = lines[j].comment.contains("RELAXED:");
+            }
+            if !ok {
+                push(findings, name, i, "`Relaxed` ordering without a `// RELAXED:` justification (same line or a comment within the 6 lines above)");
+            }
+        }
+    }
+
+    /// Rule 3: the facade files must not reach around `gpnm_sync` to
+    /// `std::sync::atomic`.
+    fn check_facade_only(name: &str, lines: &[Line], findings: &mut Vec<String>) {
+        for (i, line) in lines.iter().enumerate() {
+            if line.code.contains("std::sync::atomic") {
+                push(
+                    findings,
+                    name,
+                    i,
+                    "`std::sync::atomic` in a facade file — use `gpnm_sync::atomic` so the loom models cover this code",
+                );
+            }
+        }
+    }
+
+    /// Rule 4: crates that use `unsafe` declare
+    /// `#![deny(unsafe_op_in_unsafe_fn)]`; all others declare
+    /// `#![forbid(unsafe_code)]`.
+    fn check_crate_attrs(root: &Path, files: &[PathBuf], findings: &mut Vec<String>) {
+        let mut roots: Vec<PathBuf> = Vec::new();
+        for pat in ["crates", "shims"] {
+            let Ok(entries) = std::fs::read_dir(root.join(pat)) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let lib = entry.path().join("src/lib.rs");
+                let main = entry.path().join("src/main.rs");
+                if lib.is_file() {
+                    roots.push(lib);
+                } else if main.is_file() {
+                    roots.push(main);
+                }
+            }
+        }
+        let ws_lib = root.join("src/lib.rs");
+        if ws_lib.is_file() {
+            roots.push(ws_lib);
+        }
+        roots.sort();
+        for crate_root in &roots {
+            let crate_dir = crate_root.parent().unwrap_or(Path::new("."));
+            let uses_unsafe = files
+                .iter()
+                .filter(|f| f.starts_with(crate_dir))
+                .any(|f| file_uses_unsafe(f));
+            let Ok(src) = std::fs::read_to_string(crate_root) else {
+                continue;
+            };
+            let name = rel(crate_root, root);
+            let lines = split_code_comments(&src);
+            let has = |attr: &str| lines.iter().any(|l| l.code.contains(attr));
+            if uses_unsafe {
+                if !has("#![deny(unsafe_op_in_unsafe_fn)]") {
+                    push(
+                        findings,
+                        &name,
+                        0,
+                        "crate uses `unsafe` but its root does not declare `#![deny(unsafe_op_in_unsafe_fn)]`",
+                    );
+                }
+            } else if !has("#![forbid(unsafe_code)]") {
+                push(
+                    findings,
+                    &name,
+                    0,
+                    "unsafe-free crate root does not declare `#![forbid(unsafe_code)]`",
+                );
+            }
+        }
+    }
+
+    fn file_uses_unsafe(path: &Path) -> bool {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            return false;
+        };
+        split_code_comments(&src).iter().any(|l| {
+            has_word(&l.code, "unsafe")
+                && !l.code.trim_start().starts_with("#!")
+                && !l.code.trim_start().starts_with("#[")
+        })
+    }
+
+    fn push(findings: &mut Vec<String>, name: &str, line_idx: usize, msg: &str) {
+        let mut s = String::new();
+        let _ = write!(s, "{name}:{}: {msg}", line_idx + 1);
+        findings.push(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lint::split_code_comments;
+
+    #[test]
+    fn splitter_separates_comments_strings_and_chars() {
+        let src = r##"let s = "unsafe // not code"; // SAFETY: trailing
+let r = r#"Relaxed"#; /* block
+unsafe in block */ let c = 'x'; let lt: &'static str = "";
+"##;
+        let lines = split_code_comments(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("SAFETY: trailing"));
+        assert!(!lines[1].code.contains("Relaxed"));
+        assert!(lines[1].comment.contains("block"));
+        assert!(lines[2].comment.contains("unsafe in block"));
+        assert!(lines[2].code.contains("&'static str"));
+    }
+}

@@ -8,6 +8,7 @@
 //! manifest when registry access exists to get confidence intervals,
 //! outlier rejection, and HTML reports.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

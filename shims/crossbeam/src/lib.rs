@@ -9,6 +9,7 @@
 //! `.expect(...)` is never reached — the process still fails with the worker
 //! panic, which is the behavior every call site in this workspace wants.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

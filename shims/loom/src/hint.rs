@@ -1,0 +1,8 @@
+//! Spin-loop hint, routed through the scheduler.
+
+/// Equivalent of `std::hint::spin_loop`. Under a model this is a yield:
+/// a spinning thread must let other threads run, otherwise the explorer
+/// would unfold the spin forever.
+pub fn spin_loop() {
+    crate::thread::yield_now();
+}

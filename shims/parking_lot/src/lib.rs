@@ -7,6 +7,7 @@
 //! worker thread already aborts the surrounding `scope`, matching
 //! `parking_lot`'s no-poisoning semantics closely enough for this codebase.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -20,6 +20,7 @@
 //!   proptest (where an explicit `with_cases` beats the env var), the env
 //!   var wins unconditionally here so CI can bound runtime with one knob.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

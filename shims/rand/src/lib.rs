@@ -8,6 +8,7 @@
 //! workspace uses are seeded synthetic-workload generation where only
 //! determinism per seed matters, not a particular stream.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

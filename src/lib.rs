@@ -67,6 +67,8 @@
 //! for the real crate is a one-line edit in the workspace manifest's
 //! `[workspace.dependencies]`.
 
+#![forbid(unsafe_code)]
+
 pub use gpnm_adaptive as adaptive;
 pub use gpnm_cluster as cluster;
 pub use gpnm_distance as distance;

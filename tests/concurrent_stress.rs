@@ -233,6 +233,26 @@ fn service_readers_only_observe_committed_epochs() {
     stress_host(service, &interner, 42, readers, ticks);
 }
 
+/// Same harness over the out-of-core paged backend with a deliberately
+/// tiny hot-row cache: every tick's repairs and the reader spins force
+/// promotions, CAS races, and clock evictions *while* the epoch-swap
+/// publication is exercised — the stressy end of what the loom models in
+/// `crates/distance/tests/loom_paged_cache.rs` check exhaustively at
+/// 2 threads.
+#[test]
+fn paged_backend_readers_only_observe_committed_epochs() {
+    let readers = env_or("STRESS_READERS", 4);
+    let ticks = env_or("STRESS_TICKS", 10);
+    let (graph, interner) = stress_graph(44, 600);
+    let service = GpnmService::builder()
+        .backend(BackendKind::Paged)
+        .cache_budget_mb(0.25)
+        .refresh_threads(2)
+        .build(graph)
+        .expect("paged accepts any graph");
+    stress_host(service, &interner, 44, readers, ticks);
+}
+
 #[test]
 fn cluster_readers_only_observe_committed_epochs() {
     let readers = env_or("STRESS_READERS", 4);
