@@ -123,6 +123,25 @@ impl Default for ControllerConfig {
     }
 }
 
+/// One settled [`StrategyController::decide`] call, kept for
+/// observability: the host reads it back after `decide` to emit
+/// per-arm decision metrics, and the controller emits it as a tracing
+/// event at decision time.
+#[derive(Debug, Clone, Copy)]
+pub struct Decision {
+    /// The arm chosen for the coming tick.
+    pub arm: RefreshStrategy,
+    /// How the arm was chosen: `"seed"` (calibrating a never-observed
+    /// arm), `"explore"` (epsilon tick within the regret cap),
+    /// `"switch"` (prediction beat the hysteresis margin), or `"hold"`
+    /// (kept the incumbent).
+    pub reason: &'static str,
+    /// Predicted cost per arm in nanoseconds, in
+    /// [`RefreshStrategy::ALL`] order; `NaN` until that arm has been
+    /// observed once.
+    pub predicted: [f64; 3],
+}
+
 /// Per-pattern epsilon-greedy strategy selector over a fitted cost model.
 ///
 /// Lifecycle per tick: the host calls [`StrategyController::decide`] with
@@ -142,6 +161,7 @@ pub struct StrategyController {
     rematch_ns: Ewma,
     current: RefreshStrategy,
     switches: u64,
+    last_decision: Option<Decision>,
 }
 
 impl StrategyController {
@@ -156,6 +176,7 @@ impl StrategyController {
             rematch_ns: Ewma::new(cfg.alpha),
             current: RefreshStrategy::Eliminative,
             switches: 0,
+            last_decision: None,
         }
     }
 
@@ -178,6 +199,13 @@ impl StrategyController {
         self.switches
     }
 
+    /// The most recent [`StrategyController::decide`] outcome, with the
+    /// per-arm predicted costs and the reason the arm was picked. `None`
+    /// before the first decision.
+    pub fn last_decision(&self) -> Option<Decision> {
+        self.last_decision
+    }
+
     /// Predicted refresh cost of `arm` under `features`, in nanoseconds.
     /// `None` until the arm has been observed at least once.
     fn predict(&self, arm: RefreshStrategy, f: &TickFeatures, hints: &CostHints) -> Option<f64> {
@@ -194,11 +222,30 @@ impl StrategyController {
         }
     }
 
-    fn settle(&mut self, arm: RefreshStrategy) -> RefreshStrategy {
+    fn settle(
+        &mut self,
+        arm: RefreshStrategy,
+        reason: &'static str,
+        predicted: [f64; 3],
+    ) -> RefreshStrategy {
         if arm != self.current {
             self.switches += 1;
             self.current = arm;
         }
+        self.last_decision = Some(Decision {
+            arm,
+            reason,
+            predicted,
+        });
+        tracing::event!(
+            tracing::Level::DEBUG,
+            "strategy_decision",
+            arm = arm.name(),
+            reason = reason,
+            predicted_eliminative_ns = predicted[0],
+            predicted_per_update_ns = predicted[1],
+            predicted_rematch_ns = predicted[2],
+        );
         arm
     }
 
@@ -210,12 +257,21 @@ impl StrategyController {
     /// `exploration_cap` of the best (bounded regret), then exploit the
     /// model: switch only when the best arm prices below the current arm
     /// by more than the hysteresis margin.
+    ///
+    /// Every call records a [`Decision`] (see
+    /// [`StrategyController::last_decision`]) and emits a
+    /// `strategy_decision` tracing event carrying the per-arm predicted
+    /// costs and the reason the arm won.
     pub fn decide(&mut self, features: &TickFeatures, hints: &CostHints) -> RefreshStrategy {
+        let predicted: [f64; 3] = std::array::from_fn(|i| {
+            self.predict(RefreshStrategy::ALL[i], features, hints)
+                .unwrap_or(f64::NAN)
+        });
         if let Some(&unseeded) = RefreshStrategy::ALL
             .iter()
             .find(|&&arm| self.predict(arm, features, hints).is_none())
         {
-            return self.settle(unseeded);
+            return self.settle(unseeded, "seed", predicted);
         }
         let costs: Vec<(RefreshStrategy, f64)> = RefreshStrategy::ALL
             .iter()
@@ -238,7 +294,7 @@ impl StrategyController {
                 .map(|&(arm, _)| arm)
                 .collect();
             let arm = candidates[self.rng.gen_range(0..candidates.len())];
-            return self.settle(arm);
+            return self.settle(arm, "explore", predicted);
         }
         let current_cost = costs
             .iter()
@@ -246,9 +302,10 @@ impl StrategyController {
             .expect("current is one of ALL")
             .1;
         if best != self.current && best_cost < current_cost * (1.0 - self.cfg.hysteresis) {
-            self.settle(best)
+            self.settle(best, "switch", predicted)
         } else {
-            self.current
+            let current = self.current;
+            self.settle(current, "hold", predicted)
         }
     }
 
@@ -340,6 +397,7 @@ impl ThreadTuner {
             return 0;
         }
         let parallel_est = max_ns + (self.cfg.spawn_overhead_ns as u128) * lanes as u128;
+        let was_parallel = self.parallel;
         if self.parallel {
             // Fall back only when parallel is clearly not paying for its
             // overhead anymore.
@@ -348,6 +406,16 @@ impl ThreadTuner {
             }
         } else if (total_ns as f64) > parallel_est as f64 * (1.0 + self.cfg.hysteresis) {
             self.parallel = true;
+        }
+        if self.parallel != was_parallel {
+            tracing::event!(
+                tracing::Level::DEBUG,
+                "tuner_decision",
+                parallel = self.parallel,
+                total_ns = total_ns,
+                parallel_est_ns = parallel_est,
+                lanes = lanes,
+            );
         }
         if self.parallel {
             lanes

@@ -454,5 +454,44 @@ fn emit_json(c: &mut Criterion) {
     eprintln!("[micro_adaptive] wrote {}", path.to_string_lossy());
 }
 
-criterion_group!(benches, adaptive_vs_fixed, emit_json);
+/// PR-10 companion to the micro_readpath guard: the adaptive tick stream
+/// (spans, per-update events, strategy-decision events, metrics) with a
+/// no-op subscriber installed vs telemetry fully disabled. Reported, not
+/// asserted — the tick pipeline *is* instrumented, so the interesting
+/// number is how much running the span/event calls costs when nobody
+/// records them; the <2% hard guard lives on the uninstrumented read hot
+/// path in micro_readpath.
+fn telemetry_overhead(c: &mut Criterion) {
+    let _ = c;
+    let (graph, interner) = setup_graph();
+    let pats = patterns(&interner);
+    let phases = build_phases(&graph);
+    let iters = if smoke() { 1 } else { 5 };
+
+    let stream_ns = |label: &str| -> u128 {
+        let mut dep = deployment(&graph, &pats, None);
+        let mut sink = vec![0u128; phases.len()];
+        let mut best = u128::MAX;
+        for _ in 0..iters {
+            let t = Instant::now();
+            run_stream(&mut dep, &phases, &mut sink);
+            best = best.min(t.elapsed().as_nanos());
+        }
+        eprintln!("[micro_adaptive] stream ({label}): {best} ns");
+        best
+    };
+    tracing::subscriber::replace_global_default(None);
+    let disabled = stream_ns("telemetry disabled");
+    let noop: std::sync::Arc<dyn tracing::Subscriber> =
+        std::sync::Arc::new(gpnm_telemetry::NoopSubscriber::new());
+    tracing::subscriber::replace_global_default(Some(noop));
+    let with_noop = stream_ns("noop subscriber");
+    tracing::subscriber::replace_global_default(None);
+    eprintln!(
+        "[micro_adaptive] noop-subscriber overhead on the adaptive stream: {:+.2}%",
+        (with_noop as f64 - disabled as f64) / disabled as f64 * 100.0,
+    );
+}
+
+criterion_group!(benches, adaptive_vs_fixed, emit_json, telemetry_overhead);
 criterion_main!(benches);

@@ -433,5 +433,133 @@ fn emit_json(c: &mut Criterion) {
     eprintln!("[micro_readpath] wrote {}", path.to_string_lossy());
 }
 
-criterion_group!(benches, readpath, emit_json);
+/// Median ns per `op()` over `rounds` timed batches of `iters` calls.
+fn median_op_ns(rounds: usize, iters: u32, mut op: impl FnMut() -> u64) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            let mut sink = 0u64;
+            for _ in 0..iters {
+                sink = sink.wrapping_add(std::hint::black_box(op()));
+            }
+            std::hint::black_box(sink);
+            start.elapsed().as_nanos() as f64 / f64::from(iters)
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// PR-10 telemetry-overhead guard. The tick pipeline is instrumented
+/// with spans and metrics, but the read hot path (`PinnedReader::view`)
+/// carries no instrumentation at all — installing a subscriber nobody
+/// reads must therefore cost it nothing. The guard measures the
+/// single-snapshot cost with telemetry fully disabled vs a no-op
+/// subscriber installed and (outside smoke runs) asserts the overhead
+/// stays under 2%, with a half-nanosecond absolute floor so timer jitter
+/// on a sub-5ns op cannot fail the build. Set `MICRO_TELEMETRY_JSON` to
+/// also write BENCH_pr10.json-shaped numbers including
+/// instrumented-vs-disabled *tick* timings (disabled / no-op subscriber
+/// / full span collector).
+fn telemetry_overhead(c: &mut Criterion) {
+    let _ = c;
+    let (graph, interner) = setup_graph();
+    let mut sut = service(&graph, &interner);
+    let front = sut.service.reader();
+    let pinned = front.pinned(sut.handles[0]).expect("registered");
+
+    let (rounds, iters, cycles) = if smoke() {
+        (3, 1_000, 1u32)
+    } else {
+        (21, 200_000, 10u32)
+    };
+
+    tracing::subscriber::replace_global_default(None);
+    let read_disabled = median_op_ns(rounds, iters, || pinned.view().result_version);
+    let noop: std::sync::Arc<dyn tracing::Subscriber> =
+        std::sync::Arc::new(gpnm_telemetry::NoopSubscriber::new());
+    tracing::subscriber::replace_global_default(Some(noop.clone()));
+    let read_noop = median_op_ns(rounds, iters, || pinned.view().result_version);
+    tracing::subscriber::replace_global_default(None);
+
+    let overhead_pct = (read_noop - read_disabled) / read_disabled.max(1e-9) * 100.0;
+    eprintln!(
+        "[micro_readpath] telemetry overhead on pinned view: disabled {read_disabled:.2} ns, \
+         noop subscriber {read_noop:.2} ns ({overhead_pct:+.2}%)"
+    );
+    if !smoke() {
+        assert!(
+            read_noop <= read_disabled * 1.02 + 0.5,
+            "telemetry with a no-op subscriber must cost <2% on the read hot path: \
+             disabled {read_disabled:.2} ns vs noop {read_noop:.2} ns"
+        );
+    }
+
+    let Some(path) = std::env::var_os("MICRO_TELEMETRY_JSON") else {
+        return;
+    };
+    let path = {
+        let given = std::path::PathBuf::from(&path);
+        if given.is_absolute() {
+            given
+        } else {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(given)
+        }
+    };
+
+    // Instrumented-vs-disabled tick timings: the same balanced cycle the
+    // reader matrix uses, with telemetry disabled, a no-op subscriber
+    // (span/event calls run, nothing is recorded), and a full span
+    // collector (everything recorded and drained at the end).
+    let picks = insert_picks(&graph, EDGES_PER_TICK);
+    let (fwd, back) = tick_batches(&picks);
+    let mut tick_cycle_ns = |label: &str| -> f64 {
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..cycles {
+                    let a = sut.service.apply(&fwd).expect("valid tick");
+                    let b = sut.service.apply(&back).expect("valid tick");
+                    std::hint::black_box(a.slen_changes + b.slen_changes);
+                }
+                start.elapsed().as_nanos() as f64 / f64::from(cycles)
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        eprintln!("[micro_readpath] tick cycle ({label}): {median:.0} ns");
+        median
+    };
+    tracing::subscriber::replace_global_default(None);
+    let tick_disabled = tick_cycle_ns("telemetry disabled");
+    tracing::subscriber::replace_global_default(Some(noop));
+    let tick_noop = tick_cycle_ns("noop subscriber");
+    let collector = gpnm_telemetry::install_collector();
+    let tick_collector = tick_cycle_ns("span collector");
+    tracing::subscriber::replace_global_default(None);
+    let collected = collector.finish();
+
+    let json = format!(
+        "{{\n  \"bench\": \"micro_readpath_telemetry\",\n  \
+         \"graph\": {{ \"nodes\": {}, \"edges\": {} }},\n  \
+         \"patterns\": {PATTERNS},\n  \"updates_per_tick\": {EDGES_PER_TICK},\n  \
+         \"read_view_ns\": {{ \"disabled\": {read_disabled:.3}, \
+         \"noop_subscriber\": {read_noop:.3}, \"overhead_pct\": {overhead_pct:.3} }},\n  \
+         \"tick_cycle_ns\": {{ \"disabled\": {tick_disabled:.0}, \
+         \"noop_subscriber\": {tick_noop:.0}, \"span_collector\": {tick_collector:.0} }},\n  \
+         \"collector_spans_per_cycle\": {:.1},\n  \
+         \"note\": \"read_view_ns is the <2% guard (the read hot path carries no \
+         instrumentation); tick_cycle_ns shows what full span collection costs the \
+         instrumented tick pipeline.\"\n}}\n",
+        graph.node_count(),
+        graph.edge_count(),
+        collected.spans.len() as f64 / (f64::from(cycles) * 5.0 * 2.0),
+    );
+    std::fs::write(&path, json).expect("writing MICRO_TELEMETRY_JSON");
+    eprintln!("[micro_readpath] wrote {}", path.to_string_lossy());
+}
+
+criterion_group!(benches, readpath, emit_json, telemetry_overhead);
 criterion_main!(benches);

@@ -95,6 +95,10 @@ pub struct ClusterTickReport {
     pub repair_calls: usize,
     /// End-to-end wall time of the fan-out tick.
     pub total_time: Duration,
+    /// Wall-clock unix milliseconds when the tick finished (sampled from
+    /// the telemetry clock) — the `ts_ms` of this tick's `--stats-json`
+    /// line.
+    pub ts_ms: u64,
     /// Per-pattern deltas, in cluster registration order.
     pub deltas: Vec<(ClusterHandle, MatchDelta)>,
     /// Each shard's own report, in shard order — per-shard `TickStats`
@@ -166,10 +170,11 @@ impl TickOutcome for ClusterTickReport {
             })
             .collect();
         format!(
-            "{{\"tick\":{},\"updates_submitted\":{},\"updates_applied\":{},\
+            "{{\"tick\":{},\"ts_ms\":{},\"updates_submitted\":{},\"updates_applied\":{},\
              \"slen_changes\":{},\"added\":{},\"removed\":{},\"total_ns\":{},\
              \"rebalanced\":[{}],\"shards\":[{}]}}",
             self.tick,
+            self.ts_ms,
             self.updates_submitted,
             self.updates_applied,
             self.slen_changes,
@@ -676,13 +681,35 @@ impl GpnmCluster {
         }
         // One validation serves every replica: they share one trajectory.
         batch.validate_data(self.shards[0].graph())?;
+        let cluster_span = tracing::span!(
+            tracing::Level::INFO,
+            "cluster_tick",
+            tick = self.tick + 1,
+            shards = self.shards.len(),
+            submitted = batch.len(),
+        );
+        let _cluster_entered = cluster_span.enter();
         let start = Instant::now();
 
         let mut slots: Vec<Option<Result<TickReport, ServiceError>>> = Vec::new();
         slots.resize_with(self.shards.len(), || None);
         WorkerPool::global().scope(|scope| {
-            for (shard, slot) in self.shards.iter_mut().zip(slots.iter_mut()) {
-                scope.spawn(move || *slot = Some(shard.apply_prevalidated(batch)));
+            for (i, (shard, slot)) in self.shards.iter_mut().zip(slots.iter_mut()).enumerate() {
+                let cluster_span = &cluster_span;
+                scope.spawn(move || {
+                    // Explicit parenting: the pool worker's contextual
+                    // span stack is empty, so the shard span names the
+                    // cluster tick as parent directly; the service's own
+                    // `tick` span then nests contextually under it.
+                    let span = tracing::span!(
+                        parent: cluster_span,
+                        tracing::Level::INFO,
+                        "shard_tick",
+                        shard = i,
+                    );
+                    let _entered = span.enter();
+                    *slot = Some(shard.apply_prevalidated(batch));
+                });
             }
         });
 
@@ -708,6 +735,12 @@ impl GpnmCluster {
         // Publish the committed cluster epoch. Every shard has joined,
         // so each pattern's new view is whole-tick state; views swap in
         // before any delta fans out (see `ReadFront::publish_tick`).
+        let publish_span = tracing::span!(
+            tracing::Level::DEBUG,
+            "publish",
+            patterns = self.patterns.len()
+        );
+        let publish_entered = publish_span.enter();
         let mut items = Vec::with_capacity(self.patterns.len());
         for (&(handle, shard, local), (_, delta)) in self.patterns.iter().zip(deltas.iter()) {
             items.push((
@@ -726,6 +759,10 @@ impl GpnmCluster {
             ));
         }
         self.front.publish_tick(items);
+        drop(publish_entered);
+        gpnm_telemetry::global()
+            .counter("gpnm_cluster_ticks_total")
+            .inc();
 
         // Periodic re-placement, after the epoch is published: migrations
         // are invisible to readers (handles, views and subscriptions are
@@ -743,6 +780,7 @@ impl GpnmCluster {
             eliminated: shard_reports.iter().map(|r| r.eliminated).sum(),
             repair_calls: shard_reports.iter().map(|r| r.repair_calls).sum(),
             total_time: start.elapsed(),
+            ts_ms: gpnm_telemetry::clock::wall_ms(),
             deltas,
             shard_reports,
             rebalanced,

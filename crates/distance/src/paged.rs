@@ -1022,9 +1022,27 @@ impl SlenBackend for PagedIndex {
     /// set an incremental repair would have reused, so scan predictions
     /// are biased up front instead of learned by running the expensive
     /// arm.
+    ///
+    /// The bias is priced from the cache's own history rather than a
+    /// fixed constant: a cold or thrashing cache (high miss ratio) pays
+    /// spill-file page reads on nearly every row a scan touches, so the
+    /// penalty scales up toward 16×; a cache that absorbs the working
+    /// set (miss ratio → 0) costs little more than the in-memory
+    /// backends and the penalty relaxes toward 1×. Before any row fetch
+    /// has been observed the static 4× prior applies.
     fn cost_hints(&self) -> CostHints {
+        // RELAXED: monitoring snapshot of lossy counters.
+        let hits = self.stats.hits.load(Ordering::Relaxed);
+        let misses = self.stats.misses.load(Ordering::Relaxed);
+        let total = hits + misses;
+        let rematch_bias = if total == 0 {
+            4.0
+        } else {
+            let miss_ratio = misses as f64 / total as f64;
+            (1.0 + 15.0 * miss_ratio).clamp(1.0, 16.0)
+        };
         CostHints {
-            rematch_bias: 4.0,
+            rematch_bias,
             storage_backed: true,
         }
     }
@@ -1098,6 +1116,37 @@ mod tests {
         let io = p.io_stats().expect("paged reports IO");
         assert!(io.cache_evictions > 0, "2-page budget must churn: {io:?}");
         assert!(io.pages_read > 0);
+    }
+
+    #[test]
+    fn cost_hints_price_io_from_live_cache_metrics() {
+        let (f, p) = fig1_paged(tiny());
+        // Idle index: no fetch history yet, the static prior applies.
+        let idle = SlenBackend::cost_hints(&p);
+        assert!(idle.storage_backed);
+        assert_eq!(idle.rematch_bias, 4.0, "no observations → static prior");
+
+        // Thrash the 2-page cache so the miss ratio climbs, then check
+        // the bias is priced from the observed history (and bounded).
+        let n = f.graph.slot_count();
+        for _ in 0..3 {
+            for i in 0..n {
+                for j in 0..n {
+                    let _ = p.distance(NodeId::from_index(i), NodeId::from_index(j));
+                }
+            }
+        }
+        let io = p.io_stats().expect("paged reports IO");
+        assert!(io.cache_hits + io.cache_misses > 0);
+        let hot = SlenBackend::cost_hints(&p);
+        let miss_ratio = io.cache_misses as f64 / (io.cache_hits + io.cache_misses) as f64;
+        let expected = (1.0 + 15.0 * miss_ratio).clamp(1.0, 16.0);
+        assert!(
+            (hot.rematch_bias - expected).abs() < 1e-9,
+            "bias {} should track miss ratio {miss_ratio}",
+            hot.rematch_bias
+        );
+        assert!((1.0..=16.0).contains(&hot.rematch_bias));
     }
 
     #[test]

@@ -86,6 +86,19 @@ pub fn commit_data_update<B: SlenBackend>(
             (index.commit_delete_node(graph, node, hint), None)
         }
     };
+    let kind = match *update {
+        DataUpdate::InsertEdge { .. } => "insert_edge",
+        DataUpdate::DeleteEdge { .. } => "delete_edge",
+        DataUpdate::InsertNode { .. } => "insert_node",
+        DataUpdate::DeleteNode { .. } => "delete_node",
+    };
+    tracing::event!(
+        tracing::Level::TRACE,
+        "engine_commit",
+        kind = kind,
+        slen_changes = delta.changed.len(),
+        affected = delta.affected.len(),
+    );
     Ok(CommittedUpdate {
         update: *update,
         delta,
@@ -267,6 +280,13 @@ pub fn refresh_pattern_strategy<B: SlenBackend>(
     plans: &[RepairPlan],
     shared: &SharedElimination,
 ) -> RefreshStats {
+    let span = tracing::span!(
+        tracing::Level::TRACE,
+        "strategy_refresh",
+        strategy = strategy.name(),
+        plans = plans.len(),
+    );
+    let _entered = span.enter();
     match strategy {
         crate::RefreshStrategy::Eliminative => {
             refresh_pattern_shared(pattern, graph, index, semantics, result, plans, shared)

@@ -73,6 +73,68 @@ use std::sync::OnceLock;
 /// borrowed environment can go out of scope.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// Pool telemetry: cumulative scope/task counters and the live
+/// `gpnm_pool_active_tasks` gauge (read against `gpnm_pool_lanes` for
+/// lane occupancy). Compiled out under loom model checking — the metrics
+/// registry lives in process-wide statics, and loom state must not leak
+/// across model iterations.
+#[cfg(not(gpnm_loom))]
+mod pool_metrics {
+    use super::{Arc, OnceLock};
+
+    /// Cached handles into the global metrics registry — resolved once so
+    /// the per-task cost is a relaxed atomic bump, not a registry lookup.
+    struct PoolMetrics {
+        tasks: Arc<gpnm_telemetry::Counter>,
+        scopes: Arc<gpnm_telemetry::Counter>,
+        active: Arc<gpnm_telemetry::Gauge>,
+    }
+
+    fn metrics() -> &'static PoolMetrics {
+        static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let registry = gpnm_telemetry::global();
+            PoolMetrics {
+                tasks: registry.counter("gpnm_pool_tasks_total"),
+                scopes: registry.counter("gpnm_pool_scopes_total"),
+                active: registry.gauge("gpnm_pool_active_tasks"),
+            }
+        })
+    }
+
+    pub fn scope_opened() {
+        metrics().scopes.inc();
+    }
+
+    pub fn task_submitted() {
+        metrics().tasks.inc();
+    }
+
+    pub fn task_started() {
+        metrics().active.add(1.0);
+    }
+
+    pub fn task_finished() {
+        metrics().active.add(-1.0);
+    }
+
+    pub fn pool_sized(lanes: usize) {
+        gpnm_telemetry::global()
+            .gauge("gpnm_pool_lanes")
+            .set(lanes as f64);
+    }
+}
+
+/// No-op stand-in under `--cfg gpnm_loom`; see the real module above.
+#[cfg(gpnm_loom)]
+mod pool_metrics {
+    pub fn scope_opened() {}
+    pub fn task_submitted() {}
+    pub fn task_started() {}
+    pub fn task_finished() {}
+    pub fn pool_sized(_lanes: usize) {}
+}
+
 /// Queues and lifecycle flags shared between the pool handle and workers.
 struct Shared {
     state: Mutex<State>,
@@ -180,7 +242,9 @@ impl WorkerPool {
         static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
         GLOBAL.get_or_init(|| {
             let lanes = std::thread::available_parallelism().map_or(1, usize::from);
-            WorkerPool::new(lanes.saturating_sub(1))
+            let pool = WorkerPool::new(lanes.saturating_sub(1));
+            pool_metrics::pool_sized(pool.lanes());
+            pool
         })
     }
 
@@ -201,6 +265,7 @@ impl WorkerPool {
     where
         F: for<'scope> FnOnce(&'scope PoolScope<'scope, 'env>) -> R,
     {
+        pool_metrics::scope_opened();
         let scope = PoolScope {
             pool: self,
             latch: ScopeLatch::new(),
@@ -300,11 +365,14 @@ impl<'env> PoolScope<'_, 'env> {
         F: FnOnce() + Send + 'env,
     {
         *self.latch.pending.lock().expect("latch lock") += 1;
+        pool_metrics::task_submitted();
         let latch = Arc::clone(&self.latch);
         let wrapper: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            pool_metrics::task_started();
             if catch_unwind(AssertUnwindSafe(f)).is_err() {
                 latch.panicked.store(true, Ordering::Release);
             }
+            pool_metrics::task_finished();
             let mut pending = latch.pending.lock().expect("latch lock");
             *pending -= 1;
             if *pending == 0 {

@@ -67,8 +67,40 @@ pub trait TickOutcome {
     fn render_stats(&self) -> String;
 
     /// The tick's stats as one self-contained JSON object (no trailing
-    /// newline) — the `gpnm replay --stats-json` line format. A cluster
-    /// report nests its shard stats in a `"shards"` array.
+    /// newline) — the `gpnm replay --stats-json` line format (one object
+    /// per tick, newline-delimited = JSONL).
+    ///
+    /// This is the canonical schema description; the implementations
+    /// mirror it exactly.
+    ///
+    /// Top-level fields (both hosts):
+    ///
+    /// * `tick` — 1-based tick number;
+    /// * `ts_ms` — wall-clock unix milliseconds when the tick finished,
+    ///   sampled from the telemetry clock;
+    /// * `updates_submitted` / `updates_applied` — batch size before and
+    ///   after net-effect reduction;
+    /// * `slen_changes` — distance-index entries rewritten by commits;
+    /// * `added` / `removed` — match pairs gained/lost across all
+    ///   patterns ([`TickOutcome::total_added`]/[`TickOutcome::total_removed`]);
+    /// * `total_ns` — end-to-end tick wall time in nanoseconds.
+    ///
+    /// A service report adds `stats`: one *stats object* (below). A
+    /// cluster report instead adds `rebalanced` (array of
+    /// `{handle, from, to, reclaimed_rows, added_rows}` placement moves)
+    /// and `shards` (array of stats objects, shard order).
+    ///
+    /// Stats object fields: phase timings in integer nanoseconds
+    /// (`reduce_ns`, `shared_repair_ns`, `detect_ns`, `refresh_total_ns`,
+    /// `refresh_max_ns`, `publish_ns` — `publish_ns` is 0 on a
+    /// non-publishing host); lane counts (`refresh_lanes`, `pool_lanes`);
+    /// tick counters (`strategy_switches` cumulative, `eliminated`,
+    /// `repair_calls`, `affected_nodes`); index gauges (`backend_kind`,
+    /// `resident_rows`, `index_mem_bytes`); `per_pattern` — array of
+    /// `{handle, refresh_ns, strategy}` in registration order; `io` —
+    /// `{cache_hits, cache_misses, cache_evictions, pages_read,
+    /// pages_written}` cumulative backend IO counters, or `null` on
+    /// in-memory backends.
     fn stats_json(&self) -> String;
 
     /// The delta of one registered pattern, if it is part of this tick.

@@ -109,6 +109,25 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+// Publish-path counters. Compiled out under loom: `publish_tick` runs
+// inside `loom::model` closures (see `tests/loom_read_front.rs`), and the
+// global registry's lazily-initialised statics must not be touched there —
+// loom state may not leak across model iterations.
+#[cfg(not(gpnm_loom))]
+mod read_metrics {
+    pub fn tick_published(views: u64, deltas_offered: u64, newly_lagged: u64) {
+        let reg = gpnm_telemetry::global();
+        reg.counter("gpnm_read_views_published_total").add(views);
+        reg.counter("gpnm_read_deltas_fanned_total")
+            .add(deltas_offered);
+        reg.counter("gpnm_read_sub_lagged_total").add(newly_lagged);
+    }
+}
+#[cfg(gpnm_loom)]
+mod read_metrics {
+    pub fn tick_published(_views: u64, _deltas_offered: u64, _newly_lagged: u64) {}
+}
+
 /// Consumer-side queue state. `pending` and `lagged` are mutually
 /// exclusive: overflow drains the whole queue into the coalesced record,
 /// and further publishes fold into it until the consumer drains it.
@@ -139,11 +158,15 @@ impl SubShared {
 
     /// Writer side: enqueue one published delta, degrading to the
     /// coalesced lagged record instead of growing past `capacity`.
-    fn offer(&self, delta: &MatchDelta) {
+    /// Returns whether this offer *newly* degraded the stream (the
+    /// full-queue → lagged transition; folds into an existing lagged
+    /// record return `false`).
+    fn offer(&self, delta: &MatchDelta) -> bool {
         let mut st = lock(&self.state);
         if st.closed {
-            return;
+            return false;
         }
+        let mut newly_lagged = false;
         if let Some((missed, acc)) = st.lagged.take() {
             st.lagged = Some((missed + 1, acc.compose(delta)));
         } else if st.pending.len() >= self.capacity {
@@ -155,11 +178,13 @@ impl SubShared {
                 acc = d.compose(&acc);
             }
             st.lagged = Some((missed, acc));
+            newly_lagged = true;
         } else {
             st.pending.push_back(delta.clone());
         }
         drop(st);
         self.ready.notify_all();
+        newly_lagged
     }
 
     fn close(&self) {
@@ -460,13 +485,20 @@ impl ReadFront {
                 fanout.push((entry, delta));
             }
         }
+        let views = fanout.len() as u64;
+        let mut offered = 0u64;
+        let mut newly_lagged = 0u64;
         for (entry, delta) in fanout {
             let mut subs = lock(&entry.subs);
             subs.retain(|sub| Arc::strong_count(sub) > 1);
             for sub in subs.iter() {
-                sub.offer(&delta);
+                offered += 1;
+                if sub.offer(&delta) {
+                    newly_lagged += 1;
+                }
             }
         }
+        read_metrics::tick_published(views, offered, newly_lagged);
     }
 
     /// Deliberately *broken* variant of [`ReadFront::publish_tick`] that

@@ -16,6 +16,7 @@ use gpnm_engine::RefreshStrategy;
 use gpnm_graph::{DataGraph, PatternGraph};
 use gpnm_matcher::{match_graph, MatchDelta, MatchResult, MatchSemantics, RepairPlan};
 use gpnm_pool::WorkerPool;
+use gpnm_telemetry::{IoDelta, PatternRefreshSample, TickRecorder};
 use gpnm_updates::{reduce_batch, Update, UpdateBatch};
 
 use crate::error::ServiceError;
@@ -75,6 +76,9 @@ pub struct TickStats {
     pub shared_repair_ns: u128,
     /// DER-II elimination detection + EH-Tree build (also shared).
     pub detect_ns: u128,
+    /// Read-front publish + subscription fan-out (`0` on a non-publishing
+    /// shard replica — the cluster publishes merged views itself).
+    pub publish_ns: u128,
     /// Per-pattern refresh time, in registration order. Summed this is
     /// the embarrassingly parallel half of the tick; the max entry bounds
     /// its ideal parallel wall time.
@@ -146,12 +150,14 @@ impl TickStats {
         };
         let mut out = format!(
             "  stats: reduce={}µs shared_repair={}µs detect={}µs refresh(Σ)={}µs \
-             refresh(max)={}µs lanes={lanes} switches={} eliminated={} repairs={} affected={}",
+             refresh(max)={}µs publish={}µs lanes={lanes} switches={} eliminated={} \
+             repairs={} affected={}",
             self.reduce_ns / 1_000,
             self.shared_repair_ns / 1_000,
             self.detect_ns / 1_000,
             self.refresh_total_ns() / 1_000,
             self.refresh_max_ns() / 1_000,
+            self.publish_ns / 1_000,
             self.strategy_switches,
             self.eliminated,
             self.repair_calls,
@@ -209,7 +215,8 @@ impl TickStats {
         };
         format!(
             "{{\"reduce_ns\":{},\"shared_repair_ns\":{},\"detect_ns\":{},\
-             \"refresh_total_ns\":{},\"refresh_max_ns\":{},\"refresh_lanes\":{},\
+             \"refresh_total_ns\":{},\"refresh_max_ns\":{},\"publish_ns\":{},\
+             \"refresh_lanes\":{},\
              \"pool_lanes\":{},\"strategy_switches\":{},\"eliminated\":{},\
              \"repair_calls\":{},\"affected_nodes\":{},\"backend_kind\":\"{}\",\
              \"resident_rows\":{},\"index_mem_bytes\":{},\"per_pattern\":[{}],\"io\":{}}}",
@@ -218,6 +225,7 @@ impl TickStats {
             self.detect_ns,
             self.refresh_total_ns(),
             self.refresh_max_ns(),
+            self.publish_ns,
             self.refresh_lanes,
             self.pool_lanes,
             self.strategy_switches,
@@ -231,6 +239,58 @@ impl TickStats {
             io,
         )
     }
+
+    /// Project per-tick stats out of the telemetry [`TickRecorder`] — the
+    /// recorder is the tick's single bookkeeping path (`finish()` flushes
+    /// the same numbers into the global metrics registry), so the per-tick
+    /// stats and the cumulative metrics can never disagree. The backend
+    /// fields (`kind`/rows/bytes) are point-in-time gauges sampled at tick
+    /// end, not tick measurements; `strategy_switches` is the cumulative
+    /// controller count this struct has always reported.
+    fn from_recorder<B: SlenBackend>(
+        rec: &TickRecorder,
+        strategy_switches: u64,
+        index: &B,
+    ) -> TickStats {
+        TickStats {
+            reduce_ns: u128::from(rec.reduce_ns),
+            shared_repair_ns: u128::from(rec.commit_ns),
+            detect_ns: u128::from(rec.detect_ns),
+            publish_ns: u128::from(rec.publish_ns),
+            per_pattern_refresh_ns: rec
+                .per_pattern
+                .iter()
+                .map(|s| (PatternHandle(HandleId(s.handle)), u128::from(s.ns)))
+                .collect(),
+            refresh_lanes: rec.refresh_lanes,
+            pool_lanes: rec.pool_lanes,
+            per_pattern_strategy: rec
+                .per_pattern
+                .iter()
+                .map(|s| (PatternHandle(HandleId(s.handle)), s.strategy))
+                .collect(),
+            strategy_switches,
+            eliminated: rec.eliminated as usize,
+            repair_calls: rec.repair_calls as usize,
+            affected_nodes: rec.affected_nodes as usize,
+            backend_kind: index.kind(),
+            resident_rows: index.resident_rows(),
+            index_mem_bytes: index.mem_bytes(),
+            io: rec.io.map(|d| IoStats {
+                cache_hits: d.hits,
+                cache_misses: d.misses,
+                cache_evictions: d.evictions,
+                pages_read: d.pages_read,
+                pages_written: d.pages_written,
+            }),
+        }
+    }
+}
+
+/// Nanoseconds of a [`Duration`] as the `u64` the telemetry recorder
+/// carries (saturating — 584 years of headroom).
+fn ns64(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// What one [`GpnmService::apply`] tick did: shared-work accounting plus
@@ -257,6 +317,10 @@ pub struct TickReport {
     pub refresh_time: Duration,
     /// End-to-end wall time of the tick.
     pub total_time: Duration,
+    /// Wall-clock unix milliseconds when the tick finished (sampled from
+    /// the telemetry clock) — the `ts_ms` of this tick's `--stats-json`
+    /// line.
+    pub ts_ms: u64,
     /// Per-pattern deltas, in registration order.
     pub deltas: Vec<(PatternHandle, MatchDelta)>,
     /// Fine-grained timing/counters for the tick.
@@ -294,9 +358,10 @@ impl TickOutcome for TickReport {
 
     fn stats_json(&self) -> String {
         format!(
-            "{{\"tick\":{},\"updates_submitted\":{},\"updates_applied\":{},\
+            "{{\"tick\":{},\"ts_ms\":{},\"updates_submitted\":{},\"updates_applied\":{},\
              \"slen_changes\":{},\"added\":{},\"removed\":{},\"total_ns\":{},\"stats\":{}}}",
             self.tick,
+            self.ts_ms,
             self.updates_submitted,
             self.updates_applied,
             self.slen_changes,
@@ -899,6 +964,21 @@ impl<B: SlenBackend> GpnmService<B> {
         if let Some(index) = batch.first_pattern_update() {
             return Err(ServiceError::PatternUpdateInBatch { index });
         }
+        // The tick's telemetry: one root span covering the whole tick,
+        // child spans per phase, and a `TickRecorder` as the single
+        // bookkeeping path every measurement is written into exactly once
+        // — `TickStats` is projected from the recorder at the end, and
+        // `finish()` flushes the same numbers into the metrics registry.
+        let tick_span = tracing::span!(
+            tracing::Level::INFO,
+            "tick",
+            tick = self.tick + 1,
+            patterns = self.sessions.len(),
+            submitted = batch.len(),
+        );
+        let _tick_entered = tick_span.enter();
+        let mut rec = TickRecorder::new();
+        rec.pool_lanes = WorkerPool::global().lanes();
         let start = Instant::now();
         let io_before = self.index.io_stats();
 
@@ -906,8 +986,14 @@ impl<B: SlenBackend> GpnmService<B> {
         // pattern graph, so reducing against an empty pattern is exactly
         // what every per-pattern engine would compute.
         let t = Instant::now();
-        let reduced = reduce_batch(&self.graph, &PatternGraph::new(), batch);
+        let reduced = {
+            let span = tracing::span!(tracing::Level::DEBUG, "reduce", submitted = batch.len());
+            let _entered = span.enter();
+            reduce_batch(&self.graph, &PatternGraph::new(), batch)
+        };
         let reduce_time = t.elapsed();
+        rec.reduce_ns = ns64(reduce_time);
+        rec.updates_applied = reduced.len() as u64;
 
         if self.hint == RepairHint::Accelerated {
             self.index.prepare_accelerator(&self.graph);
@@ -918,6 +1004,8 @@ impl<B: SlenBackend> GpnmService<B> {
         // repair plan from the shared delta *at this update's post-state*,
         // which is precisely where the single-pattern engine derives its
         // own.
+        let commit_span = tracing::span!(tracing::Level::DEBUG, "commit", updates = reduced.len());
+        let commit_entered = commit_span.enter();
         let mut slen_time = Duration::ZERO;
         let mut committed: Vec<CommittedUpdate> = Vec::with_capacity(reduced.len());
         let mut plans: Vec<Vec<RepairPlan>> = self
@@ -932,6 +1020,12 @@ impl<B: SlenBackend> GpnmService<B> {
             let t = Instant::now();
             let cu = commit_data_update(&mut self.graph, &mut self.index, du, self.hint)?;
             slen_time += t.elapsed();
+            tracing::event!(
+                tracing::Level::TRACE,
+                "update_committed",
+                affected = cu.delta.affected.len(),
+                slen_changes = cu.delta.len(),
+            );
             for ((_, sess), pattern_plans) in self.sessions.iter().zip(plans.iter_mut()) {
                 pattern_plans.push(plan_for_data_update(
                     du,
@@ -944,7 +1038,13 @@ impl<B: SlenBackend> GpnmService<B> {
             }
             committed.push(cu);
         }
+        drop(commit_entered);
         let slen_changes = committed.iter().map(|c| c.delta.len()).sum();
+        rec.commit_ns = ns64(slen_time);
+        rec.affected_nodes = committed
+            .iter()
+            .map(|c| c.delta.affected.len() as u64)
+            .sum();
 
         // Per-pattern refresh over the shared committed records. The
         // elimination analysis (DER-II containment + EH-Tree) consumes only
@@ -953,7 +1053,12 @@ impl<B: SlenBackend> GpnmService<B> {
         // the graph and index are read-only, so the per-pattern work is
         // independent and fans out across `refresh_threads` pool lanes.
         let t = Instant::now();
-        let shared = SharedElimination::detect(&committed);
+        let shared = {
+            let span = tracing::span!(tracing::Level::DEBUG, "detect", updates = committed.len());
+            let _entered = span.enter();
+            SharedElimination::detect(&committed)
+        };
+        rec.detect_ns = ns64(shared.detect_time + shared.tree_time);
 
         // Adaptive pre-refresh step: price each pattern's strategy arms
         // against this tick's known features and let the tuner set the
@@ -964,12 +1069,21 @@ impl<B: SlenBackend> GpnmService<B> {
             updates: committed.len(),
             survivors: shared.survivors().len(),
         };
+        let switches_before = self.strategy_switches();
         let mut effective_threads = self.refresh_threads;
         if let Some(state) = &mut self.adaptive {
             let hints = self.index.cost_hints();
             for (handle, sess) in self.sessions.iter_mut() {
                 if let Some((_, ctl)) = state.controllers.iter_mut().find(|(h, _)| h == handle) {
                     sess.strategy = ctl.decide(&features, &hints);
+                    if let Some(d) = ctl.last_decision() {
+                        gpnm_telemetry::global()
+                            .counter_with(
+                                "gpnm_adaptive_decisions_total",
+                                &[("arm", d.arm.name()), ("reason", d.reason)],
+                            )
+                            .inc();
+                    }
                 }
             }
             if let Some((total, max)) = state.last_refresh {
@@ -981,7 +1095,12 @@ impl<B: SlenBackend> GpnmService<B> {
                 );
             }
         }
+        rec.strategy_switches = self.strategy_switches().saturating_sub(switches_before);
+        rec.refresh_lanes = refresh_lanes(effective_threads, self.sessions.len());
 
+        let refresh_span =
+            tracing::span!(tracing::Level::DEBUG, "refresh", lanes = rec.refresh_lanes);
+        let refresh_entered = refresh_span.enter();
         let outcomes = refresh_sessions(
             &self.graph,
             &self.index,
@@ -989,21 +1108,29 @@ impl<B: SlenBackend> GpnmService<B> {
             &plans,
             &shared,
             effective_threads,
+            &refresh_span,
         );
+        drop(refresh_entered);
         let refresh_time = t.elapsed();
+        rec.refresh_ns = ns64(refresh_time);
 
         let mut eliminated = 0;
         let mut repair_calls = 0;
         let mut per_pattern_refresh_ns = Vec::with_capacity(outcomes.len());
-        let mut per_pattern_strategy = Vec::with_capacity(outcomes.len());
         let mut deltas = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
             eliminated += outcome.stats.eliminated;
             repair_calls += outcome.stats.repair_calls;
             per_pattern_refresh_ns.push((outcome.handle, outcome.refresh_ns));
-            per_pattern_strategy.push((outcome.handle, outcome.strategy.name()));
+            rec.per_pattern.push(PatternRefreshSample {
+                handle: outcome.handle.id(),
+                ns: u64::try_from(outcome.refresh_ns).unwrap_or(u64::MAX),
+                strategy: outcome.strategy.name(),
+            });
             deltas.push((outcome.handle, outcome.delta));
         }
+        rec.eliminated = eliminated as u64;
+        rec.repair_calls = repair_calls as u64;
 
         // Adaptive post-refresh step: fold the measured per-pattern
         // timings back into each controller's cost model and remember
@@ -1034,7 +1161,14 @@ impl<B: SlenBackend> GpnmService<B> {
         // out to subscribers. Readers were served the previous epoch for
         // the whole tick and switch to this one at the swap — never a
         // half-refreshed state.
+        let t = Instant::now();
         if self.publishing {
+            let span = tracing::span!(
+                tracing::Level::DEBUG,
+                "publish",
+                patterns = self.sessions.len()
+            );
+            let _entered = span.enter();
             let items: Vec<(HandleId, ReadView, MatchDelta)> = self
                 .sessions
                 .iter()
@@ -1052,7 +1186,34 @@ impl<B: SlenBackend> GpnmService<B> {
                 })
                 .collect();
             self.front.publish_tick(items);
+            rec.publish_ns = ns64(t.elapsed());
         }
+
+        // Paging delta, then flush: the recorder pushes everything it
+        // accumulated into the cumulative metrics registry, and the
+        // per-tick stats are projected from the very same recorder.
+        rec.io = match (io_before, self.index.io_stats()) {
+            (Some(before), Some(after)) => {
+                let d = after.since(&before);
+                Some(IoDelta {
+                    hits: d.cache_hits,
+                    misses: d.cache_misses,
+                    evictions: d.cache_evictions,
+                    pages_read: d.pages_read,
+                    pages_written: d.pages_written,
+                })
+            }
+            _ => None,
+        };
+        rec.finish();
+        let stats = TickStats::from_recorder(&rec, self.strategy_switches(), &self.index);
+        let registry = gpnm_telemetry::global();
+        registry
+            .gauge("gpnm_index_resident_rows")
+            .set(stats.resident_rows as f64);
+        registry
+            .gauge("gpnm_index_mem_bytes")
+            .set(stats.index_mem_bytes as f64);
 
         Ok(TickReport {
             tick: self.tick,
@@ -1065,27 +1226,9 @@ impl<B: SlenBackend> GpnmService<B> {
             slen_time,
             refresh_time,
             total_time: start.elapsed(),
+            ts_ms: gpnm_telemetry::clock::wall_ms(),
             deltas,
-            stats: TickStats {
-                reduce_ns: reduce_time.as_nanos(),
-                shared_repair_ns: slen_time.as_nanos(),
-                detect_ns: (shared.detect_time + shared.tree_time).as_nanos(),
-                per_pattern_refresh_ns,
-                refresh_lanes: refresh_lanes(effective_threads, self.sessions.len()),
-                pool_lanes: WorkerPool::global().lanes(),
-                per_pattern_strategy,
-                strategy_switches: self.strategy_switches(),
-                eliminated,
-                repair_calls,
-                affected_nodes: committed.iter().map(|c| c.delta.affected.len()).sum(),
-                backend_kind: self.index.kind(),
-                resident_rows: self.index.resident_rows(),
-                index_mem_bytes: self.index.mem_bytes(),
-                io: match (io_before, self.index.io_stats()) {
-                    (Some(before), Some(after)) => Some(after.since(&before)),
-                    _ => None,
-                },
-            },
+            stats,
         })
     }
 }
@@ -1192,10 +1335,23 @@ fn refresh_sessions<B: SlenBackend>(
     plans: &[Vec<RepairPlan>],
     shared: &SharedElimination,
     refresh_threads: usize,
+    parent: &tracing::Span,
 ) -> Vec<RefreshOutcome> {
     let refresh_one = |(handle, sess): &mut (PatternHandle, PatternSession),
                        pattern_plans: &Vec<RepairPlan>|
      -> RefreshOutcome {
+        // Explicit parenting: under pool fan-out this closure runs on a
+        // worker thread whose contextual span stack is empty, so the
+        // pattern span names the refresh span as parent directly — the
+        // trace nests identically on the sequential and parallel paths.
+        let span = tracing::span!(
+            parent: parent,
+            tracing::Level::DEBUG,
+            "pattern_refresh",
+            handle = handle.id(),
+            strategy = sess.strategy.name(),
+        );
+        let _entered = span.enter();
         let t = Instant::now();
         let prev = sess.result.clone();
         let stats = refresh_pattern_strategy(
@@ -1209,6 +1365,12 @@ fn refresh_sessions<B: SlenBackend>(
             shared,
         );
         sess.version += 1;
+        tracing::event!(
+            tracing::Level::TRACE,
+            "pattern_refreshed",
+            eliminated = stats.eliminated,
+            repairs = stats.repair_calls,
+        );
         RefreshOutcome {
             handle: *handle,
             stats,

@@ -1,0 +1,47 @@
+//! The telemetry time source.
+//!
+//! All span timestamps share one monotonic epoch (first use in the
+//! process) so traces from different subsystems line up on one timeline;
+//! wall-clock time is sampled separately for the `ts_ms` field in
+//! `--stats-json` lines.
+
+use std::sync::OnceLock;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the telemetry epoch (the first clock use in
+/// this process). Saturates at `u64::MAX` (584 years).
+pub fn monotonic_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Wall-clock unix time in milliseconds. Returns 0 if the system clock is
+/// before the unix epoch (it reports, it does not panic).
+pub fn wall_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_is_monotone() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_clock_is_after_2020() {
+        // 2020-01-01 in unix millis; the build box clock is sane.
+        assert!(wall_ms() > 1_577_836_800_000);
+    }
+}

@@ -1,4 +1,5 @@
-//! Workspace automation tool. Currently one subcommand: `lint`.
+//! Workspace automation tool. Two subcommands: `lint` and
+//! `check-telemetry`.
 //!
 //! `cargo run -p gpnm-xtask -- lint` runs the source-level concurrency
 //! lint described in the workspace README ("Correctness tooling"): a
@@ -6,6 +7,12 @@
 //! enforces the commenting and layering discipline the loom models and
 //! the `gpnm-sync` facade rely on. Diagnostics are `path:line: message`;
 //! any finding exits nonzero.
+//!
+//! `cargo run -p gpnm-xtask -- check-telemetry [--metrics FILE]
+//! [--trace FILE]` validates the replay exporters' output: the Prometheus
+//! text dump (`--metrics-out`) and the Chrome trace-event JSON
+//! (`--trace-out`). CI runs a replay with both exporters and feeds the
+//! files through this check.
 
 #![forbid(unsafe_code)]
 
@@ -27,8 +34,29 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("check-telemetry") => {
+            let findings = match telemetry_check::run(&args[1..]) {
+                Ok(findings) => findings,
+                Err(e) => {
+                    eprintln!("check-telemetry: {e}");
+                    std::process::exit(2);
+                }
+            };
+            if findings.is_empty() {
+                eprintln!("check-telemetry: ok");
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("check-telemetry: {} finding(s)", findings.len());
+                std::process::exit(1);
+            }
+        }
         _ => {
-            eprintln!("usage: cargo run -p gpnm-xtask -- lint");
+            eprintln!(
+                "usage: cargo run -p gpnm-xtask -- lint\n\
+                 \x20      cargo run -p gpnm-xtask -- check-telemetry [--metrics FILE] [--trace FILE]"
+            );
             std::process::exit(2);
         }
     }
@@ -74,6 +102,9 @@ mod lint {
             }
             if FACADE_ONLY.contains(&name.as_str()) {
                 check_facade_only(&name, &lines, &mut findings);
+            }
+            if !print_exempt(&name) {
+                check_no_adhoc_printing(&name, &lines, &mut findings);
             }
         }
         check_crate_attrs(root, &files, &mut findings);
@@ -398,6 +429,38 @@ mod lint {
         }
     }
 
+    /// Files where direct stdout/stderr printing is the *product*: CLI
+    /// binaries, bench harnesses, examples, tests, the shims (the loom
+    /// scheduler and criterion shim report to the console by design), and
+    /// this tool itself.
+    fn print_exempt(name: &str) -> bool {
+        name.starts_with("shims/")
+            || name.starts_with("tests/")
+            || name.starts_with("crates/xtask/")
+            || name.contains("/bin/")
+            || name.contains("/benches/")
+            || name.contains("/tests/")
+            || name.contains("/examples/")
+    }
+
+    /// Rule 5: library crates report through the telemetry layer (spans,
+    /// events, metrics) — not ad-hoc console printing a service embedder
+    /// cannot intercept.
+    fn check_no_adhoc_printing(name: &str, lines: &[Line], findings: &mut Vec<String>) {
+        for (i, line) in lines.iter().enumerate() {
+            for mac in ["println!", "eprintln!"] {
+                if line.code.contains(mac) {
+                    push(
+                        findings,
+                        name,
+                        i,
+                        &format!("`{mac}` in a library crate — emit a `tracing` event or a metric instead (binaries, benches, tests, examples, and shims are exempt)"),
+                    );
+                }
+            }
+        }
+    }
+
     /// Rule 4: crates that use `unsafe` declare
     /// `#![deny(unsafe_op_in_unsafe_fn)]`; all others declare
     /// `#![forbid(unsafe_code)]`.
@@ -469,6 +532,246 @@ mod lint {
         let mut s = String::new();
         let _ = write!(s, "{name}:{}: {msg}", line_idx + 1);
         findings.push(s);
+    }
+}
+
+mod telemetry_check {
+    use std::collections::HashMap;
+
+    /// Parse `--metrics FILE` / `--trace FILE` and validate whichever
+    /// files were named (at least one required).
+    pub fn run(args: &[String]) -> Result<Vec<String>, String> {
+        let mut metrics = None;
+        let mut trace = None;
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"));
+            match flag {
+                "--metrics" => metrics = Some(value?.clone()),
+                "--trace" => trace = Some(value?.clone()),
+                other => return Err(format!("unknown flag {other}")),
+            }
+            i += 2;
+        }
+        if metrics.is_none() && trace.is_none() {
+            return Err("nothing to check: pass --metrics FILE and/or --trace FILE".to_owned());
+        }
+        let mut findings = Vec::new();
+        if let Some(path) = metrics {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read --metrics {path}: {e}"))?;
+            check_prometheus(&path, &text, &mut findings);
+        }
+        if let Some(path) = trace {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read --trace {path}: {e}"))?;
+            check_chrome_trace(&path, &text, &mut findings);
+        }
+        Ok(findings)
+    }
+
+    fn finding(findings: &mut Vec<String>, path: &str, line: usize, msg: &str) {
+        findings.push(format!("{path}:{}: {msg}", line + 1));
+    }
+
+    /// Prometheus text exposition sanity: every sample line parses as
+    /// `name[{labels}] value`, values are finite (no NaN), cumulative
+    /// metrics (`_total`/`_bucket`/`_count`/`_sum` over nanoseconds) are
+    /// non-negative, every sample's base name is covered by a `# TYPE`
+    /// line, and each histogram's buckets are cumulative-monotone with
+    /// `+Inf` equal to its `_count`.
+    fn check_prometheus(path: &str, text: &str, findings: &mut Vec<String>) {
+        let mut types: HashMap<String, String> = HashMap::new();
+        // (series base, le, count, line) per histogram bucket sample.
+        let mut buckets: HashMap<String, Vec<(f64, f64, usize)>> = HashMap::new();
+        let mut counts: HashMap<String, f64> = HashMap::new();
+        let mut samples = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                match (parts.next(), parts.next()) {
+                    (Some(name), Some(kind)) => {
+                        types.insert(name.to_owned(), kind.to_owned());
+                    }
+                    _ => finding(findings, path, i, "malformed `# TYPE` line"),
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let Some((series, value_str)) = line.rsplit_once(' ') else {
+                finding(findings, path, i, "sample line without a value");
+                continue;
+            };
+            let Ok(value) = value_str.parse::<f64>() else {
+                finding(findings, path, i, "sample value does not parse as a number");
+                continue;
+            };
+            samples += 1;
+            if value.is_nan() || value.is_infinite() {
+                finding(findings, path, i, "sample value is NaN/infinite");
+                continue;
+            }
+            let name = series.split('{').next().unwrap_or(series);
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_count"))
+                .or_else(|| name.strip_suffix("_sum"))
+                .unwrap_or(name);
+            if !types.contains_key(base) {
+                finding(
+                    findings,
+                    path,
+                    i,
+                    "sample without a preceding `# TYPE` line",
+                );
+            }
+            let cumulative = name.ends_with("_total")
+                || name.ends_with("_bucket")
+                || name.ends_with("_count")
+                || name.ends_with("_sum");
+            if cumulative && value < 0.0 {
+                finding(findings, path, i, "cumulative metric went negative");
+            }
+            if let Some(hist) = name.strip_suffix("_bucket") {
+                let le = series
+                    .split("le=\"")
+                    .nth(1)
+                    .and_then(|s| s.split('"').next())
+                    .map(|s| {
+                        if s == "+Inf" {
+                            f64::INFINITY
+                        } else {
+                            s.parse::<f64>().unwrap_or(f64::NAN)
+                        }
+                    });
+                match le {
+                    Some(le) if !le.is_nan() => {
+                        buckets
+                            .entry(hist.to_owned())
+                            .or_default()
+                            .push((le, value, i));
+                    }
+                    _ => finding(findings, path, i, "bucket without a numeric `le` label"),
+                }
+            } else if let Some(hist) = name.strip_suffix("_count") {
+                counts.insert(hist.to_owned(), value);
+            }
+        }
+        if samples == 0 {
+            finding(findings, path, 0, "no samples at all");
+        }
+        for (hist, series) in &buckets {
+            // The renderer emits buckets in ascending `le` order; rely on
+            // file order so an out-of-order dump also fails.
+            let mut prev = f64::NEG_INFINITY;
+            for &(_le, cum, line) in series {
+                if cum < prev {
+                    finding(
+                        findings,
+                        path,
+                        line,
+                        &format!("{hist}: bucket counts must be cumulative-monotone"),
+                    );
+                }
+                prev = cum;
+            }
+            match (series.last(), counts.get(hist)) {
+                (Some(&(le, cum, line)), Some(&count)) => {
+                    if le != f64::INFINITY {
+                        finding(
+                            findings,
+                            path,
+                            line,
+                            &format!("{hist}: last bucket must be +Inf"),
+                        );
+                    } else if cum != count {
+                        finding(
+                            findings,
+                            path,
+                            line,
+                            &format!("{hist}: +Inf bucket ({cum}) disagrees with _count ({count})"),
+                        );
+                    }
+                }
+                (Some(&(_, _, line)), None) => {
+                    finding(
+                        findings,
+                        path,
+                        line,
+                        &format!("{hist}: buckets without a _count"),
+                    );
+                }
+                (None, _) => {}
+            }
+        }
+    }
+
+    /// Chrome trace-event JSON sanity, specialized to the exporter's
+    /// one-event-per-line layout: the envelope declares `traceEvents`,
+    /// every event carries name/ph/ts/pid/tid, complete (`"X"`) events
+    /// carry a non-negative `dur`, and no bare (unquoted) NaN token
+    /// appears anywhere — which would make the file unparseable in a
+    /// strict viewer.
+    fn check_chrome_trace(path: &str, text: &str, findings: &mut Vec<String>) {
+        if !text.starts_with('{') || !text.contains("\"traceEvents\":[") {
+            finding(findings, path, 0, "missing the `traceEvents` envelope");
+            return;
+        }
+        if !text.trim_end().ends_with("]}") {
+            finding(findings, path, 0, "envelope never closes with `]}`");
+        }
+        let mut events = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end().trim_end_matches(',');
+            if !line.starts_with("{\"name\":") {
+                continue; // envelope / closing lines
+            }
+            events += 1;
+            for key in ["\"ph\":", "\"ts\":", "\"pid\":", "\"tid\":"] {
+                if !line.contains(key) {
+                    finding(findings, path, i, &format!("event missing {key}"));
+                }
+            }
+            for (key, allow_missing) in [("\"ts\":", false), ("\"dur\":", true)] {
+                match num_after(line, key) {
+                    Some(v) if v.is_nan() || v < 0.0 => {
+                        finding(findings, path, i, &format!("event {key} negative or NaN"));
+                    }
+                    Some(_) => {}
+                    None if allow_missing => {}
+                    None => finding(findings, path, i, &format!("event {key} unparseable")),
+                }
+            }
+            if line.contains("\"ph\":\"X\"") && !line.contains("\"dur\":") {
+                finding(findings, path, i, "complete (`X`) event without a `dur`");
+            }
+            // A bare NaN (outside a string) is invalid JSON. The shim
+            // quotes non-finite field values, so `:NaN` must not appear.
+            if line.contains(":NaN") || line.contains(": NaN") {
+                finding(findings, path, i, "bare NaN token (invalid JSON)");
+            }
+        }
+        if events == 0 {
+            finding(findings, path, 0, "no trace events recorded");
+        }
+    }
+
+    /// The number immediately following `key` in `line`, if any.
+    fn num_after(line: &str, key: &str) -> Option<f64> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
     }
 }
 

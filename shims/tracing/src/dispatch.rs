@@ -1,0 +1,120 @@
+//! Subscriber dispatch: the process-global default, thread-scoped
+//! overrides, and the thread-local span stack.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::span::Id;
+use crate::subscriber::{Event, Metadata, Subscriber};
+
+/// Count of installed subscribers (1 for the global default, +1 per live
+/// `with_default` scope on any thread). The disabled fast path is a single
+/// relaxed load of this counter.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-global default subscriber.
+static GLOBAL: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+thread_local! {
+    /// Thread-scoped subscriber overrides (`subscriber::with_default`).
+    static SCOPED: RefCell<Vec<Arc<dyn Subscriber>>> = const { RefCell::new(Vec::new()) };
+    /// The thread-local span stack: entered-but-not-exited span ids,
+    /// innermost last. Gives spans and events their contextual parent.
+    static SPAN_STACK: RefCell<Vec<Id>> = const { RefCell::new(Vec::new()) };
+}
+
+/// True if any subscriber (global or thread-scoped anywhere) is installed.
+/// This is the only work a disabled `span!`/`event!` does.
+#[inline]
+pub fn enabled() -> bool {
+    // RELAXED: monotonic gate flag — a stale read makes one span a no-op
+    // (or dispatches to a subscriber being torn down, which still sees a
+    // coherent Arc); no ordering with other data is required.
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// The subscriber a new span or event on this thread dispatches to:
+/// the innermost `with_default` scope, else the global default.
+pub(crate) fn current_subscriber() -> Option<Arc<dyn Subscriber>> {
+    let scoped = SCOPED.with(|s| s.borrow().last().cloned());
+    if scoped.is_some() {
+        return scoped;
+    }
+    GLOBAL.read().expect("tracing dispatch poisoned").clone()
+}
+
+/// Install `sub` only if no global default exists yet (upstream
+/// `set_global_default` semantics).
+pub(crate) fn try_install_global(sub: Arc<dyn Subscriber>) -> Result<(), ()> {
+    let mut slot = GLOBAL.write().expect("tracing dispatch poisoned");
+    if slot.is_some() {
+        return Err(());
+    }
+    *slot = Some(sub);
+    // RELAXED: gate counter only (see `enabled`); the RwLock write is the
+    // synchronization point for the subscriber itself.
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+pub(crate) fn install_global(sub: Option<Arc<dyn Subscriber>>) -> Option<Arc<dyn Subscriber>> {
+    let mut slot = GLOBAL.write().expect("tracing dispatch poisoned");
+    let had = slot.is_some();
+    let installing = sub.is_some();
+    let prev = std::mem::replace(&mut *slot, sub);
+    match (had, installing) {
+        // RELAXED: the gate counter orders nothing; the RwLock write above
+        // is the synchronization point for the subscriber itself.
+        (false, true) => drop(ACTIVE.fetch_add(1, Ordering::Relaxed)),
+        // RELAXED: as above.
+        (true, false) => drop(ACTIVE.fetch_sub(1, Ordering::Relaxed)),
+        _ => {}
+    }
+    prev
+}
+
+pub(crate) fn push_scoped(sub: Arc<dyn Subscriber>) {
+    SCOPED.with(|s| s.borrow_mut().push(sub));
+    // RELAXED: gate counter only (see `enabled`).
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn pop_scoped() {
+    SCOPED.with(|s| s.borrow_mut().pop());
+    // RELAXED: gate counter only (see `enabled`).
+    ACTIVE.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// The id of the innermost entered span on this thread, if any.
+pub fn current_span() -> Option<Id> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+pub(crate) fn push_span(id: Id) {
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+}
+
+pub(crate) fn pop_span(id: Id) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        debug_assert_eq!(stack.last(), Some(&id), "span exits must nest");
+        // Entered guards are RAII so exits nest lexically; pop the top.
+        stack.pop();
+    });
+}
+
+/// Dispatch an event to the current subscriber (macro plumbing; call sites
+/// use [`event!`](crate::event)).
+pub fn dispatch_event(metadata: Metadata, fields: &[(&'static str, crate::field::Value)]) {
+    if let Some(sub) = current_subscriber() {
+        if sub.enabled(&metadata) {
+            let event = Event {
+                metadata,
+                parent: current_span(),
+                fields,
+            };
+            sub.event(&event);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The [`Subscriber`] trait and installation entry points.
+
+use std::sync::Arc;
+
+use crate::field::Value;
+use crate::span::Id;
+use crate::{dispatch, Level};
+
+/// Static description of a span or event: its name and level.
+#[derive(Debug, Clone, Copy)]
+pub struct Metadata {
+    /// The span or event name (a string literal at the call site).
+    pub name: &'static str,
+    /// Verbosity level.
+    pub level: Level,
+}
+
+/// Everything known about a span at creation time.
+pub struct Attributes<'a> {
+    /// Name and level.
+    pub metadata: Metadata,
+    /// The parent span id: explicit if the call site pinned one, else the
+    /// innermost entered span on the creating thread.
+    pub parent: Option<Id>,
+    /// Structured fields, in call-site order.
+    pub fields: &'a [(&'static str, Value)],
+}
+
+/// A point-in-time record, parented to the current span.
+pub struct Event<'a> {
+    /// Name and level.
+    pub metadata: Metadata,
+    /// The innermost entered span on the emitting thread, if any.
+    pub parent: Option<Id>,
+    /// Structured fields, in call-site order.
+    pub fields: &'a [(&'static str, Value)],
+}
+
+/// Observes span lifecycles and events. Mirrors the upstream trait shape:
+/// the subscriber allocates span ids and is called on enter/exit/event.
+pub trait Subscriber: Send + Sync {
+    /// Filter hook: return `false` to make spans/events with this metadata
+    /// inert at creation time. Defaults to recording everything.
+    fn enabled(&self, metadata: &Metadata) -> bool {
+        let _ = metadata;
+        true
+    }
+
+    /// A span was created; allocate and return its id.
+    fn new_span(&self, attrs: &Attributes<'_>) -> Id;
+
+    /// The span was entered on the calling thread.
+    fn enter(&self, id: Id);
+
+    /// The span was exited on the calling thread.
+    fn exit(&self, id: Id);
+
+    /// An event was recorded.
+    fn event(&self, event: &Event<'_>);
+}
+
+/// Error returned by [`set_global_default`] when a default is already set.
+#[derive(Debug)]
+pub struct SetGlobalDefaultError;
+
+impl std::fmt::Display for SetGlobalDefaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("a global default subscriber has already been set")
+    }
+}
+
+impl std::error::Error for SetGlobalDefaultError {}
+
+/// Install the process-wide default subscriber. Mirrors upstream: errors if
+/// one is already installed (use [`replace_global_default`] to swap).
+pub fn set_global_default<S>(subscriber: S) -> Result<(), SetGlobalDefaultError>
+where
+    S: Subscriber + 'static,
+{
+    dispatch::try_install_global(Arc::new(subscriber)).map_err(|()| SetGlobalDefaultError)
+}
+
+/// Shim extension (upstream's global is write-once): replace the global
+/// default — `None` uninstalls — returning the previous subscriber. Lets
+/// the replay harness and tests swap collectors between runs in one
+/// process. Callers coordinate concurrent replacement themselves.
+pub fn replace_global_default(
+    subscriber: Option<Arc<dyn Subscriber>>,
+) -> Option<Arc<dyn Subscriber>> {
+    dispatch::install_global(subscriber)
+}
+
+/// Run `f` with `subscriber` installed as this thread's default (shadowing
+/// the global one), uninstalling it afterwards. Mirrors upstream
+/// `with_default`; spans created on *other* threads (e.g. pool workers)
+/// still see the global default.
+pub fn with_default<S, T>(subscriber: S, f: impl FnOnce() -> T) -> T
+where
+    S: Subscriber + 'static,
+{
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            dispatch::pop_scoped();
+        }
+    }
+    dispatch::push_scoped(Arc::new(subscriber));
+    let _guard = Guard;
+    f()
+}

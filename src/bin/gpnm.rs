@@ -8,6 +8,7 @@
 //!             [--updates N] [--trace FILE] [--labels N] [--seed S]
 //!             [--shards K] [--threads T] [--stats] [--stats-json FILE] [--subscribe]
 //!             [--adaptive] [--rebalance-every N]
+//!             [--trace-summary] [--trace-out FILE] [--metrics-out FILE]
 //! gpnm demo
 //! ```
 //!
@@ -38,6 +39,15 @@
 //! through the subscription API and cross-checks that the folded stream
 //! reconstructs the live `ReadView`. `demo` runs the paper's Figure 1
 //! example.
+//!
+//! The telemetry exporters: `--trace-summary` installs a span collector
+//! for the run and prints a per-span-name summary table (count,
+//! total/p50/p99 duration); `--trace-out FILE` writes the same collected
+//! spans as Chrome trace-event JSON (load in `chrome://tracing` or
+//! Perfetto to see the nested tick → phase → per-pattern flame);
+//! `--metrics-out FILE` dumps the process metrics registry (counters,
+//! gauges, histograms) in Prometheus text exposition format after the
+//! last tick.
 //!
 //! `--backend {dense,partitioned,sparse,paged}` selects the `SLen`
 //! backend. The dense backends materialize an `n × n` matrix; builds whose
@@ -83,6 +93,9 @@ struct Args {
     placement: PlacementKind,
     adaptive: bool,
     rebalance_every: Option<u64>,
+    trace_summary: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 /// Which `ShardPlacement` strategy `--placement` selects.
@@ -137,6 +150,9 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
         placement: PlacementKind::RoundRobin,
         adaptive: false,
         rebalance_every: None,
+        trace_summary: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -178,7 +194,7 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
             "--edges" => args.edges = parse_num(take_str("--edges")?, "--edges")?,
             "--patterns" | "--ticks" | "--trace" | "--shards" | "--threads" | "--stats"
             | "--stats-json" | "--subscribe" | "--placement" | "--adaptive"
-            | "--rebalance-every"
+            | "--rebalance-every" | "--trace-summary" | "--trace-out" | "--metrics-out"
                 if cmd != Cmd::Replay =>
             {
                 return Err(format!("{flag} only applies to `gpnm replay`"));
@@ -197,6 +213,9 @@ fn parse_flags(rest: &[String], default_backend: BackendKind, cmd: Cmd) -> Resul
             "--stats" => args.stats = true,
             "--stats-json" => args.stats_json = Some(take_str("--stats-json")?.clone()),
             "--subscribe" => args.subscribe = true,
+            "--trace-summary" => args.trace_summary = true,
+            "--trace-out" => args.trace_out = Some(take_str("--trace-out")?.clone()),
+            "--metrics-out" => args.metrics_out = Some(take_str("--metrics-out")?.clone()),
             "--adaptive" => args.adaptive = true,
             "--rebalance-every" => {
                 let n = parse_num(take_str("--rebalance-every")?, "--rebalance-every")? as u64;
@@ -502,10 +521,39 @@ fn run_replay(args: &Args) -> Result<(), String> {
         Some(path) => Some(parse_trace_chunks(path)?),
         None => None,
     };
-    match args.shards {
+
+    // Span collection is opt-in: without a collector the instrumentation
+    // in the tick pipeline stays on the disabled fast path.
+    let collector = (args.trace_summary || args.trace_out.is_some())
+        .then(ua_gpnm::telemetry::install_collector);
+    let result = match args.shards {
         Some(shards) => run_replay_cluster(args, graph, &mut interner, trace_chunks, shards),
         None => run_replay_service(args, graph, &mut interner, trace_chunks),
+    };
+    if collector.is_some() {
+        ua_gpnm::telemetry::uninstall_collector();
     }
+    result?;
+
+    if let Some(collector) = collector {
+        let trace = collector.finish();
+        if args.trace_summary {
+            println!("{}", trace.summary_table());
+        }
+        if let Some(path) = &args.trace_out {
+            std::fs::write(path, trace.chrome_json())
+                .map_err(|e| format!("cannot write --trace-out {path}: {e}"))?;
+            println!(
+                "wrote Chrome trace-event JSON to {path} (load in chrome://tracing or Perfetto)"
+            );
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, ua_gpnm::telemetry::metrics_text())
+            .map_err(|e| format!("cannot write --metrics-out {path}: {e}"))?;
+        println!("wrote Prometheus text metrics to {path}");
+    }
+    Ok(())
 }
 
 /// Register the replay's standing patterns on any [`PatternHost`],
@@ -815,7 +863,8 @@ fn main() -> ExitCode {
              \x20      --patterns K --ticks T --trace FILE (replay only)\n\
              \x20      --shards K --threads T --stats --stats-json FILE --subscribe (replay only)\n\
              \x20      --placement round-robin|least-loaded (replay only)\n\
-             \x20      --adaptive --rebalance-every N (replay only; rebalance needs --shards)"
+             \x20      --adaptive --rebalance-every N (replay only; rebalance needs --shards)\n\
+             \x20      --trace-summary --trace-out FILE --metrics-out FILE (replay only)"
                 .to_owned(),
         ),
     };

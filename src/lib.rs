@@ -28,6 +28,9 @@
 //!   narrowed indices, pluggable pattern placement, parallel fan-out ticks.
 //! * [`workload`] — synthetic SNAP stand-ins and the paper's experiment
 //!   protocol.
+//! * [`telemetry`] — tracing spans + metrics registry over the whole tick
+//!   pipeline, with Chrome-trace, span-summary, and Prometheus exporters
+//!   (`gpnm replay --trace-out/--trace-summary/--metrics-out`).
 //!
 //! ## Quickstart
 //!
@@ -76,6 +79,7 @@ pub use gpnm_engine as engine;
 pub use gpnm_graph as graph;
 pub use gpnm_matcher as matcher;
 pub use gpnm_service as service;
+pub use gpnm_telemetry as telemetry;
 pub use gpnm_updates as updates;
 pub use gpnm_workload as workload;
 
@@ -98,5 +102,6 @@ pub mod prelude {
         ReadView, ServiceBuilder, ServiceError, SubEvent, Subscription, TickOutcome, TickReport,
         TickStats, DEFAULT_SUBSCRIPTION_CAPACITY,
     };
+    pub use gpnm_telemetry::{install_collector, metrics_text, SpanCollector, TickRecorder};
     pub use gpnm_updates::{DataUpdate, PatternUpdate, Update, UpdateBatch};
 }

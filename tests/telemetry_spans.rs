@@ -1,0 +1,179 @@
+//! Integration tests of the telemetry span tree: a cluster tick must
+//! produce a correctly parented `cluster_tick → shard_tick → tick →
+//! refresh → pattern_refresh` hierarchy even though the shard ticks and
+//! per-pattern refreshes run on pool worker threads, and running with the
+//! subscriber removed must record nothing at all.
+//!
+//! The global tracing subscriber is process state, so every test body
+//! runs under one shared lock.
+
+use std::sync::{Mutex, MutexGuard};
+
+use ua_gpnm::prelude::*;
+use ua_gpnm::telemetry::{install_collector, uninstall_collector, SpanData, Trace};
+use ua_gpnm::workload::{
+    generate_batch, generate_pattern, generate_social_graph, PatternConfig, SocialGraphConfig,
+    UpdateProtocol,
+};
+
+static SUBSCRIBER_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    SUBSCRIBER_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn build_cluster(seed: u64) -> (GpnmCluster, ua_gpnm::graph::LabelInterner, PatternGraph) {
+    let (graph, interner) = generate_social_graph(&SocialGraphConfig {
+        nodes: 400,
+        edges: 1600,
+        labels: 8,
+        communities: 8,
+        seed,
+        ..Default::default()
+    });
+    let mut cluster = GpnmCluster::builder()
+        .shards(2)
+        .refresh_threads(2)
+        .build(graph)
+        .expect("sparse is never refused");
+    let mut first = None;
+    for i in 0..2u64 {
+        let pattern = generate_pattern(
+            &PatternConfig {
+                nodes: 4,
+                edges: 4,
+                bound_range: (1, 3),
+                seed: seed + i,
+            },
+            &interner,
+        );
+        first.get_or_insert_with(|| pattern.clone());
+        cluster
+            .register_pattern(pattern, MatchSemantics::Simulation)
+            .expect("registration succeeds");
+    }
+    (cluster, interner, first.expect("two patterns registered"))
+}
+
+fn tick_once(
+    cluster: &mut GpnmCluster,
+    interner: &ua_gpnm::graph::LabelInterner,
+    pattern: &PatternGraph,
+    seed: u64,
+) {
+    let protocol = UpdateProtocol::from_scale(0, 20);
+    let batch = generate_batch(cluster.graph(), pattern, interner, &protocol, seed);
+    cluster.apply(&batch).expect("pre-validated batch applies");
+}
+
+/// Walk `span`'s parent chain to the root, returning the names outermost
+/// first.
+fn ancestry(trace: &Trace, span: &SpanData) -> Vec<&'static str> {
+    let mut names = vec![span.name];
+    let mut parent = span.parent;
+    while let Some(pid) = parent {
+        let p = trace
+            .spans
+            .iter()
+            .find(|s| s.id == pid)
+            .expect("parent id recorded in the same trace");
+        names.push(p.name);
+        parent = p.parent;
+    }
+    names.reverse();
+    names
+}
+
+#[test]
+fn cluster_tick_spans_nest_across_the_pool_fanout() {
+    let _guard = serialize();
+    let (mut cluster, interner, pattern) = build_cluster(11);
+    let collector = install_collector();
+    tick_once(&mut cluster, &interner, &pattern, 99);
+    uninstall_collector();
+    let trace = collector.finish();
+
+    let by_name =
+        |name: &str| -> Vec<&SpanData> { trace.spans.iter().filter(|s| s.name == name).collect() };
+
+    let roots = by_name("cluster_tick");
+    assert_eq!(roots.len(), 1, "one tick → one cluster_tick root");
+    assert_eq!(roots[0].parent, None, "cluster_tick is the root span");
+
+    let shard_spans = by_name("shard_tick");
+    assert_eq!(shard_spans.len(), 2, "one shard_tick per shard");
+    for shard in &shard_spans {
+        assert_eq!(
+            shard.parent,
+            Some(roots[0].id),
+            "shard_tick parents to cluster_tick across the pool spawn"
+        );
+    }
+
+    let ticks = by_name("tick");
+    assert_eq!(ticks.len(), 2, "each shard replica runs one service tick");
+    for tick in &ticks {
+        let chain = ancestry(&trace, tick);
+        assert_eq!(chain, ["cluster_tick", "shard_tick", "tick"]);
+    }
+
+    // Both registered patterns refresh; each pattern_refresh must chain
+    // through its shard's refresh phase up to the cluster root even when
+    // the refresh itself ran on a different worker thread.
+    let refreshes = by_name("pattern_refresh");
+    assert_eq!(refreshes.len(), 2, "one pattern_refresh per pattern");
+    for pr in &refreshes {
+        let chain = ancestry(&trace, pr);
+        assert_eq!(
+            chain,
+            [
+                "cluster_tick",
+                "shard_tick",
+                "tick",
+                "refresh",
+                "pattern_refresh"
+            ],
+            "explicit parenting must survive the pool fan-out"
+        );
+        assert!(
+            pr.fields.iter().any(|(k, _)| *k == "strategy"),
+            "pattern_refresh carries its strategy tag"
+        );
+    }
+
+    // Every span closed before the drain.
+    for span in &trace.spans {
+        assert!(span.dur_ns.is_some(), "span {} never exited", span.name);
+    }
+}
+
+#[test]
+fn removed_subscriber_records_nothing() {
+    let _guard = serialize();
+    let (mut cluster, interner, pattern) = build_cluster(23);
+
+    // Sanity: with a collector installed the tick emits spans and events.
+    let collector = install_collector();
+    tick_once(&mut cluster, &interner, &pattern, 7);
+    uninstall_collector();
+    let active = collector.finish();
+    assert!(!active.spans.is_empty());
+
+    // With the subscriber removed the same pipeline must record nothing
+    // anywhere: a collector installed *afterwards* starts empty, proving
+    // the disabled path neither buffers nor leaks spans.
+    tick_once(&mut cluster, &interner, &pattern, 8);
+    let fresh = install_collector();
+    uninstall_collector();
+    let silent = fresh.finish();
+    assert!(
+        silent.spans.is_empty(),
+        "disabled tick must record no spans"
+    );
+    assert!(
+        silent.events.is_empty(),
+        "disabled tick must record no events"
+    );
+}
